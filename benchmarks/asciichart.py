@@ -1,0 +1,114 @@
+"""Terminal line charts for the figure benchmarks.
+
+The paper's Figures 4-8 are log-log strong-scaling plots; the benches
+print the underlying tables, and this renderer adds a figure-shaped view
+directly in the text artefacts: multiple series over a shared x axis,
+optional log-scaled y, distinct glyphs per series, axis labels.
+
+Pure text, no dependencies; rendering is deterministic so the outputs are
+diffable across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+__all__ = ["line_chart"]
+
+GLYPHS = "ox+*#@%&"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    logy: bool = True,
+    ylabel: str = "",
+    xlabel: str = "",
+) -> str:
+    """Render *series* (name → y values over shared *x*) as an ASCII plot.
+
+    Points are marked with one glyph per series; collisions show the
+    later series' glyph.  ``logy`` plots log10(y) (all y must be > 0).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = list(x)
+    if any(len(ys) != len(xs) for ys in series.values()):
+        raise ValueError("every series must have one y per x")
+    if len(xs) < 2:
+        raise ValueError("need at least two x points")
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("logy requires positive values")
+            return math.log10(v)
+        return v
+
+    all_y = [ty(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi == lo:
+        hi = lo + 1.0
+    # x positions: treat x as ordinal (scaling plots use doubling nodes)
+    cols = [round(i * (width - 1) / (len(xs) - 1)) for i in range(len(xs))]
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        prev = None
+        for i, v in enumerate(ys):
+            r = height - 1 - round((ty(v) - lo) / (hi - lo) * (height - 1))
+            c = cols[i]
+            grid[r][c] = glyph
+            # connect with a sparse line of dots
+            if prev is not None:
+                pr, pc = prev
+                steps = max(abs(c - pc), 1)
+                for s in range(1, steps):
+                    rr = round(pr + (r - pr) * s / steps)
+                    cc = round(pc + (c - pc) * s / steps)
+                    if grid[rr][cc] == " ":
+                        grid[rr][cc] = "."
+            prev = (r, c)
+
+    top_label = _fmt(10 ** hi if logy else hi)
+    bot_label = _fmt(10 ** lo if logy else lo)
+    label_w = max(len(top_label), len(bot_label), len(ylabel))
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            margin = top_label.rjust(label_w)
+        elif r == height - 1:
+            margin = bot_label.rjust(label_w)
+        elif r == height // 2 and ylabel:
+            margin = ylabel.rjust(label_w)[:label_w]
+        else:
+            margin = " " * label_w
+        lines.append(f"{margin} |{''.join(row)}")
+    axis = " " * label_w + " +" + "-" * width
+    lines.append(axis)
+    # x tick labels
+    tick_row = [" "] * (width + 2 + label_w)
+    for i, c in enumerate(cols):
+        lbl = _fmt(xs[i])
+        start = label_w + 2 + c - len(lbl) // 2
+        start = max(label_w + 2, min(start, label_w + 2 + width - len(lbl)))
+        for k, ch in enumerate(lbl):
+            tick_row[start + k] = ch
+    lines.append("".join(tick_row).rstrip() + ("   " + xlabel if xlabel else ""))
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

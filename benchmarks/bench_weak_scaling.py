@@ -1,0 +1,91 @@
+"""Weak scaling — an extension beyond the paper's strong-scaling study.
+
+The paper evaluates strong scaling only (fixed graph, growing machine).
+Weak scaling — growing the graph *with* the machine so per-node work stays
+constant — is the regime metagenome pipelines actually live in (the intro:
+data "is on track to grow exponentially").  We scale an eukarya-like
+clustered graph proportionally to the node count and report simulated
+time per configuration: flat lines mean perfect weak scaling; LACC's
+gentle rise comes from the O(log n) iteration growth plus collective
+latency, while ParConnect's flat-MPI latency terms grow much faster.
+"""
+
+import pytest
+
+from repro.baselines.parconnect import parconnect
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import generators as gen
+from repro.mpisim import EDISON
+
+from tableio import emit, format_table
+
+# (nodes, clusters): graph grows linearly with nodes
+CONFIGS = [(4, 1000), (16, 4000), (64, 16000), (256, 64000)]
+
+
+def build(clusters):
+    return gen.clustered_graph(
+        n_clusters=clusters, cluster_size_mean=4.0, intra_degree=16.0,
+        giant_fraction=0.2, seed=33,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for nodes, clusters in CONFIGS:
+        g = build(clusters)
+        r = lacc_dist(g.to_matrix(), EDISON, nodes=nodes)
+        pc = parconnect(g.n, g.u, g.v, EDISON, nodes=nodes)
+        out[nodes] = (g, r, pc)
+    return out
+
+
+def test_weak_scaling(sweep, benchmark):
+    g = build(1000)
+    benchmark.pedantic(
+        lambda: lacc_dist(g.to_matrix(), EDISON, nodes=4), rounds=1, iterations=1
+    )
+    rows = []
+    for nodes, clusters in CONFIGS:
+        g, r, pc = sweep[nodes]
+        rows.append(
+            (
+                nodes,
+                g.n,
+                g.nedges,
+                f"{g.n / nodes:.0f}",
+                r.n_iterations,
+                f"{r.simulated_seconds*1e3:.3f}",
+                f"{pc.simulated_seconds*1e3:.3f}",
+            )
+        )
+    body = format_table(
+        ["nodes", "vertices", "edges", "vertices/node", "LACC iters",
+         "LACC (ms)", "ParConnect (ms)"],
+        rows,
+    )
+    body += (
+        "\n\nper-node problem size is constant; ideal weak scaling is a"
+        "\nflat time column.  LACC grows with log n (iterations) + α·log p;"
+        "\nParConnect grows with α·(p-1) per round under flat MPI."
+    )
+    emit("weak_scaling", "Extension: weak scaling (constant work per node)", body)
+
+
+def test_lacc_weak_scales_gracefully(sweep):
+    """64x more nodes+data must cost LACC < 8x more simulated time."""
+    t0 = sweep[CONFIGS[0][0]][1].simulated_seconds
+    t3 = sweep[CONFIGS[-1][0]][1].simulated_seconds
+    assert t3 < 8 * t0
+
+
+def test_lacc_beats_parconnect_under_weak_scaling(sweep):
+    for nodes, _ in CONFIGS[1:]:
+        _, r, pc = sweep[nodes]
+        assert r.simulated_seconds < pc.simulated_seconds, nodes
+
+
+def test_iterations_grow_logarithmically(sweep):
+    iters = [sweep[nodes][1].n_iterations for nodes, _ in CONFIGS]
+    assert iters[-1] - iters[0] <= 4

@@ -1,0 +1,7 @@
+"""Pytest wiring for the benchmark harness."""
+
+import os
+import sys
+
+# make `tableio` importable from every bench module regardless of cwd
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper as a
+plain-text table: printed to stdout (visible with ``pytest -s``) and
+persisted under ``benchmarks/results/`` so EXPERIMENTS.md can reference
+stable artefacts.  ``python benchmarks/run_all.py`` regenerates everything.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width aligned table with a rule under the header."""
+    srows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in srows]
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, body: str) -> str:
+    """Print and persist one benchmark table; returns the file path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = f"{title}\n{'=' * len(title)}\n\n{body}\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"\n{text}")
+    print(f"[written to {os.path.relpath(path)}]")
+    return path

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Metagenome-assembly decomposition (the paper's other driving use case).
+
+Metagenome assemblers represent partially assembled reads as an overlap
+graph; each connected component can be assembled *independently*, so the
+first distributed step is exactly LACC (§I: "Each component of this graph
+can be processed independently").  This example builds an M3-like contig
+overlap graph (extremely sparse, huge numbers of small components), labels
+it with LACC, and shows the per-component work queue an assembler would
+fan out — including the component-size skew that drives scheduling.
+
+Usage:  python examples/metagenome_assembly.py
+"""
+
+import numpy as np
+
+from repro.core import lacc
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import corpus, validate
+from repro.mpisim import CORI_KNL
+
+
+def main() -> None:
+    g = corpus.load("M3")  # soil-metagenome analogue (Table III)
+    print(f"contig overlap graph (M3 analogue): {g.n} contigs, "
+          f"{g.nedges} overlaps (avg degree {2 * g.nedges / g.n:.2f})\n")
+
+    res = lacc(g.to_matrix())
+    print(f"LACC: {res.n_components} assembly subproblems "
+          f"in {res.n_iterations} iterations")
+
+    sizes = validate.component_sizes(res.labels)
+    print(f"component sizes: max={sizes[0]}, median={int(np.median(sizes))}, "
+          f"min={sizes[-1]}")
+
+    # the assembler's work queue: bucket subproblems by size
+    buckets = [(1, 25), (26, 50), (51, 100), (101, 10**9)]
+    print("\nwork queue (independent assembly tasks by contig count):")
+    for lo, hi in buckets:
+        k = int(((sizes >= lo) & (sizes <= hi)).sum())
+        label = f"{lo}-{hi if hi < 10**9 else '...'}"
+        print(f"  {label:>9s} contigs: {k:6d} tasks")
+
+    # the convergence profile is the paper's M3 story (Fig 7): most
+    # vertices stay active for many iterations
+    print("\nconverged-vertex fraction per iteration (the paper's Fig 7):")
+    for i, frac in enumerate(res.stats.converged_fraction(), 1):
+        bar = "#" * int(frac * 40)
+        print(f"  iter {i:2d} [{bar:<40s}] {frac * 100:5.1f}%")
+
+    # at TB scale this step must run distributed; simulate 256 Cori nodes
+    dist = lacc_dist(g.to_matrix(), CORI_KNL, nodes=256)
+    print(f"\nsimulated on 256 Cori-KNL nodes ({dist.ranks} ranks): "
+          f"{dist.simulated_seconds * 1e3:.2f} ms "
+          f"(real M3 is ~3200x more edges)")
+
+
+if __name__ == "__main__":
+    main()

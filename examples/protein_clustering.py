@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Protein-family clustering with HipMCL-lite (§VI-F of the paper).
+
+The paper's motivating application: HipMCL clusters protein-similarity
+networks by Markov clustering, whose final step extracts clusters as the
+connected components of the converged flow matrix — the step LACC makes
+scalable.  This example builds a synthetic protein-similarity network with
+planted families, runs MCL, and reports how well the planted structure is
+recovered plus where LACC fits into the pipeline.
+
+Usage:  python examples/protein_clustering.py
+"""
+
+import numpy as np
+
+from repro.graphs import generators as gen
+from repro.mcl import markov_clustering
+
+
+def planted_families(n_families: int, size: int, noise_edges: int, seed: int = 0):
+    """Dense intra-family similarity plus a sprinkle of cross-family noise
+    (spurious alignment hits)."""
+    rng = np.random.default_rng(seed)
+    us, vs = [], []
+    for fam in range(n_families):
+        off = fam * size
+        for i in range(size):
+            for j in range(i + 1, size):
+                if rng.random() < 0.8:  # dense but not complete
+                    us.append(off + i)
+                    vs.append(off + j)
+    n = n_families * size
+    for _ in range(noise_edges):
+        a, b = rng.integers(0, n, 2)
+        if a // size != b // size:
+            us.append(int(a))
+            vs.append(int(b))
+    return gen.EdgeList(n, us, vs, "protein-similarity"), np.arange(n) // size
+
+
+def purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of vertices whose cluster's majority family is their own."""
+    correct = 0
+    for lbl in np.unique(labels):
+        members = np.flatnonzero(labels == lbl)
+        fams, counts = np.unique(truth[members], return_counts=True)
+        correct += counts.max()
+    return correct / labels.size
+
+
+def main() -> None:
+    g, truth = planted_families(n_families=12, size=15, noise_edges=40, seed=1)
+    print(f"protein-similarity network: {g.n} proteins, {g.nedges} similarities")
+    print(f"planted families: {len(np.unique(truth))}\n")
+
+    res = markov_clustering(g.to_matrix(), inflation=2.0)
+    print(f"MCL converged: {res.converged} after {res.n_iterations} iterations")
+    print(f"clusters found: {res.n_clusters}")
+    print(f"cluster purity vs planted families: {purity(res.labels, truth):.3f}")
+    print(f"LACC extracted the clusters in {res.lacc_iterations} iterations\n")
+
+    print("largest clusters:")
+    for c in res.clusters()[:5]:
+        fams = np.unique(truth[c])
+        print(f"  size {len(c):3d}  (families: {fams.tolist()})")
+
+    print("\nchaos trajectory (→0 at convergence):")
+    print("  " + "  ".join(f"{c:.4f}" for c in res.chaos_history[:12]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Strong-scaling study: LACC vs ParConnect on a simulated supercomputer.
+
+Reproduces the experiment design of the paper's Figures 4-6 for any corpus
+graph and machine from the command line, printing the node sweep as a
+table instead of a plot.
+
+Usage:
+    python examples/scaling_study.py                     # defaults
+    python examples/scaling_study.py eukarya edison
+    python examples/scaling_study.py M3 cori 1,4,16,64,256
+"""
+
+import sys
+
+from repro.baselines.parconnect import parconnect
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import corpus
+from repro.mpisim import CORI_KNL, EDISON
+
+MACHINES = {"edison": EDISON, "cori": CORI_KNL}
+
+
+def main() -> None:
+    graph_name = sys.argv[1] if len(sys.argv) > 1 else "archaea"
+    machine = MACHINES[sys.argv[2].lower()] if len(sys.argv) > 2 else EDISON
+    nodes_list = (
+        [int(x) for x in sys.argv[3].split(",")]
+        if len(sys.argv) > 3
+        else [1, 4, 16, 64, 256]
+    )
+
+    g = corpus.load(graph_name)
+    A = g.to_matrix()
+    entry = corpus.CORPUS[graph_name]
+    print(f"graph: {graph_name} analogue — {g.n} vertices, {g.nedges} edges")
+    print(f"       (paper's original: {entry.paper_vertices:.3g} vertices, "
+          f"{entry.paper_edges:.3g} directed edges)")
+    print(f"machine: {machine.name} "
+          f"({machine.cores_per_node} cores/node, "
+          f"{machine.processes_per_node} MPI procs/node for LACC, "
+          f"flat MPI for ParConnect)\n")
+
+    header = f"{'nodes':>6s} {'cores':>7s} {'LACC ranks':>10s} " \
+             f"{'LACC (ms)':>10s} {'ParConnect (ms)':>16s} {'speedup':>8s}"
+    print(header)
+    print("-" * len(header))
+    for nodes in nodes_list:
+        r1 = lacc_dist(A, machine, nodes=nodes)
+        r2 = parconnect(g.n, g.u, g.v, machine, nodes=nodes)
+        ratio = r2.simulated_seconds / r1.simulated_seconds
+        print(f"{nodes:6d} {nodes * machine.cores_per_node:7d} {r1.ranks:10d} "
+              f"{r1.simulated_seconds * 1e3:10.3f} "
+              f"{r2.simulated_seconds * 1e3:16.3f} {ratio:7.2f}x")
+
+    print("\nLACC per-step breakdown at the largest configuration "
+          "(the paper's Fig 8):")
+    r1 = lacc_dist(A, machine, nodes=nodes_list[-1])
+    for phase, secs in sorted(r1.cost.phase_seconds().items()):
+        print(f"  {phase:12s} {secs * 1e3:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

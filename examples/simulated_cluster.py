@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Inside the simulator: literal per-rank data movement with SimComm.
+
+The scaling benchmarks use analytic cost formulas, but the simulator also
+ships a literal communicator whose collectives really move data between
+per-rank NumPy buffers.  This example executes the paper's §V-A SpMV
+communication pattern by hand on a 2x2 process grid — block-distributed
+matrix, column-group allgather, local multiply, row-group reduce-scatter —
+and checks the result against the serial product, which is exactly how the
+test suite validates the distributed layer's ownership arithmetic.
+
+Usage:  python examples/simulated_cluster.py
+"""
+
+import numpy as np
+
+from repro.mpisim import ProcessGrid, SimComm
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n, side = 8, 2
+    p = side * side
+    grid = ProcessGrid(p, n)
+
+    # a random sparse-ish matrix and a dense input vector
+    A = (rng.random((n, n)) * (rng.random((n, n)) < 0.5)).round(2)
+    x = rng.random(n).round(2)
+    blk = n // side
+
+    print(f"distributing an {n}x{n} matrix over a {side}x{side} grid "
+          f"({p} ranks, {blk}x{blk} blocks)\n")
+
+    # each rank owns one 2D block; vector is block-distributed over p ranks
+    def block(r):
+        i, j = grid.coords(r)
+        return A[i * blk : (i + 1) * blk, j * blk : (j + 1) * blk]
+
+    vchunk = n // p
+    x_parts = [x[r * vchunk : (r + 1) * vchunk] for r in range(p)]
+
+    # --- stage 1: allgather within processor COLUMNS (§V-A) -----------
+    # ranks in grid column j need x[j*blk : (j+1)*blk]
+    col_groups = [[grid.rank_of(i, j) for i in range(side)] for j in range(side)]
+    x_cols = {}
+    for j, group in enumerate(col_groups):
+        comm = SimComm(len(group))
+        # the owners of that slice of x are ranks 2j and 2j+1 here
+        contributions = [x[j * blk + k * (blk // side): j * blk + (k + 1) * (blk // side)]
+                         for k in range(side)]
+        gathered = comm.allgather(contributions)
+        for r in group:
+            x_cols[r] = gathered[0]
+        print(f"column group {j}: ranks {group} gathered x[{j*blk}:{(j+1)*blk}] "
+              f"= {gathered[0]}")
+
+    # --- stage 2: local multiply ---------------------------------------
+    partials = {r: block(r) @ x_cols[r] for r in range(p)}
+
+    # --- stage 3: reduce-scatter within processor ROWS -----------------
+    print()
+    y = np.zeros(n)
+    row_groups = [[grid.rank_of(i, j) for j in range(side)] for i in range(side)]
+    for i, group in enumerate(row_groups):
+        comm = SimComm(len(group))
+        pieces = comm.reduce_scatter_block([partials[r] for r in group], np.add)
+        for k, r in enumerate(group):
+            lo = i * blk + k * (blk // side)
+            y[lo : lo + blk // side] = pieces[k]
+        print(f"row group {i}: ranks {group} reduce-scattered y[{i*blk}:{(i+1)*blk}]")
+
+    # --- verify ----------------------------------------------------------
+    expected = A @ x
+    assert np.allclose(y, expected), "distributed SpMV diverged from serial!"
+    print("\ndistributed result matches serial A @ x exactly:")
+    print("  y =", y.round(3))
+
+
+if __name__ == "__main__":
+    main()

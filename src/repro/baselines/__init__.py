@@ -1,0 +1,30 @@
+"""Competitor and reference connected-components algorithms.
+
+Serial references: :mod:`union_find` (the optimal oracle),
+:mod:`shiloach_vishkin`, :mod:`bfs_cc`, :mod:`label_prop` (plus the
+Multistep combination) and :mod:`fastsv`.
+
+The distributed competitor from the paper's evaluation, ParConnect, lives
+in :mod:`parconnect` and runs over the same simulated machine as
+distributed LACC so the Figure 4–6 comparisons are apples-to-apples.
+"""
+
+from . import (
+    awerbuch_shiloach,
+    bfs_cc,
+    fastsv,
+    label_prop,
+    random_mate,
+    shiloach_vishkin,
+    union_find,
+)
+
+__all__ = [
+    "union_find",
+    "shiloach_vishkin",
+    "awerbuch_shiloach",
+    "random_mate",
+    "bfs_cc",
+    "label_prop",
+    "fastsv",
+]

@@ -1,0 +1,94 @@
+"""The Awerbuch–Shiloach algorithm, Algorithm 1 of the paper, as plain
+array code.
+
+This is the PRAM formulation LACC is derived from, transcribed directly —
+per-edge conditional hooking, per-edge unconditional hooking, shortcut —
+with concurrent writes resolved by min (a CRCW "priority write"), and the
+star vector recomputed by Algorithm 2 before each hooking phase.  No
+GraphBLAS, no sparsity: this is the independent semantic reference the
+test suite checks both LACC implementations against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["connected_components", "as_iterations", "starcheck_arrays"]
+
+
+def starcheck_arrays(f: np.ndarray) -> np.ndarray:
+    """Algorithm 2: boolean star membership for the forest *f*.
+
+    The final ``star[v] = star[f[v]]`` pass is combined with AND — the
+    correction our reproduction found necessary for forests of height ≥ 3
+    (see DESIGN.md §5); with plain assignment a level-3 vertex whose
+    level-2 parent is still flagged would be resurrected.
+    """
+    star = np.ones(f.size, dtype=bool)
+    gf = f[f]
+    neq = f != gf
+    star[neq] = False
+    star[gf[neq]] = False
+    star &= star[f]
+    return star
+
+
+def _run(n: int, u: np.ndarray, v: np.ndarray):
+    f = np.arange(n, dtype=np.int64)
+    iters = 0
+    while True:
+        iters += 1
+        changed = False
+
+        # Step 1: conditional star hooking (lines 6-8) — for every edge
+        # (u, v) with u in a star and f[u] > f[v]: f[f[u]] <- f[v]
+        star = starcheck_arrays(f)
+        fu, fv = f[u], f[v]
+        fire = star[u] & (fv < fu)
+        if fire.any():
+            np.minimum.at(f, fu[fire], fv[fire])
+            changed = True
+
+        # Step 2: unconditional star hooking (lines 10-12) — remaining
+        # stars hook on any neighbouring tree with a different parent
+        star = starcheck_arrays(f)
+        fu, fv = f[u], f[v]
+        # Lemma 2 guard: hooking star-onto-star unconditionally can build
+        # 2-cycles (two stars extended during step 1 can point at each
+        # other), so the target must be a nonstar vertex
+        fire = star[u] & ~star[v] & (fu != fv)
+        if fire.any():
+            np.minimum.at(f, fu[fire], fv[fire])
+            changed = True
+
+        # Step 3: shortcutting (lines 14-18) on nonstar vertices
+        star = starcheck_arrays(f)
+        gf = f[f]
+        jump = ~star & (gf != f)
+        if jump.any():
+            f[jump] = gf[jump]
+            changed = True
+
+        if not changed:
+            return f, iters
+
+
+def connected_components(n: int, u, v) -> np.ndarray:
+    """Component labels (root ids) via the AS algorithm."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    # undirected: scan both edge directions like the parallel for-all
+    uu = np.r_[u[keep], v[keep]]
+    vv = np.r_[v[keep], u[keep]]
+    f, _ = _run(n, uu, vv)
+    return f
+
+
+def as_iterations(n: int, u, v) -> int:
+    """Iterations to converge (the O(log n) bound of §III)."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    _, iters = _run(n, np.r_[u[keep], v[keep]], np.r_[v[keep], u[keep]])
+    return iters

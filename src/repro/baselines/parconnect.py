@@ -1,0 +1,157 @@
+"""ParConnect — the state-of-the-art competitor in the paper's evaluation
+(its reference [10]), simulated over the same machine models as LACC.
+
+ParConnect combines parallel BFS (for the giant component) with
+Shiloach–Vishkin over the remaining edges.  Three modelling choices follow
+the paper's description of why it loses to LACC:
+
+* **flat MPI** — one rank per core (§VI-C: "Since ParConnect does not use
+  multithreading, we place one MPI process per core"), so at 4K nodes it
+  runs 262 144 ranks and every latency term is paid at full `p`;
+* **pairwise all-to-all** — the stock ``α·(p−1)`` exchange, with none of
+  LACC's §V-B hypercube / broadcast-offload mitigations;
+* **no vector sparsity** — every SV iteration touches all remaining edges
+  regardless of how many components have already settled.
+
+Correct labels are produced by the serial BFS+SV combination (tested in
+``tests/baselines``); the cost model prices the distributed execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.mpisim import collectives
+from repro.mpisim.costmodel import CostModel
+from repro.mpisim.machine import MachineModel
+
+from .bfs_cc import bfs_from, largest_component_seed
+from .shiloach_vishkin import connected_components as sv_cc
+from .shiloach_vishkin import sv_iterations
+
+__all__ = ["parconnect", "ParConnectResult"]
+
+
+@dataclass
+class ParConnectResult:
+    """Output of a simulated ParConnect run."""
+
+    parents: np.ndarray
+    n_components: int
+    cost: CostModel
+    machine: MachineModel
+    nodes: int
+    ranks: int
+    bfs_levels: int
+    sv_rounds: int
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.cost.total_seconds
+
+    @property
+    def labels(self) -> np.ndarray:
+        from repro.graphs.validate import canonical_labels
+
+        return canonical_labels(self.parents)
+
+
+def parconnect(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    machine: MachineModel,
+    nodes: int = 1,
+) -> ParConnectResult:
+    """Run the ParConnect model on graph ``(n, u–v)`` over *nodes* nodes."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    m_dir = 2 * u.size  # directed edge records, like the paper reports
+
+    ranks = machine.ranks(nodes, flat_mpi=True)
+    cost = CostModel(machine, ranks, nodes)
+
+    # ------------------------------------------------------------------
+    # Phase 1: parallel BFS of the (heuristically) largest component
+    # ------------------------------------------------------------------
+    adj = sp.coo_matrix(
+        (np.ones(2 * u.size, dtype=np.int8), (np.r_[u, v], np.r_[v, u])),
+        shape=(n, n),
+    ).tocsr()
+    labels = np.arange(n, dtype=np.int64)
+    bfs_levels = 0
+    if n and u.size:
+        visited = np.zeros(n, dtype=bool)
+        seed = largest_component_seed(n, u, v)
+        frontier = np.array([seed], dtype=np.int64)
+        visited[seed] = True
+        comp = [frontier]
+        indptr, indices = adj.indptr, adj.indices
+        while frontier.size:
+            bfs_levels += 1
+            edges_touched = int((indptr[frontier + 1] - indptr[frontier]).sum())
+            with cost.phase("bfs"):
+                # frontier expansion: sort-based bucketing of the touched
+                # edges (ParConnect's BFS also rides the mxx sample-sort)
+                local = edges_touched / ranks + 1
+                cost.charge_compute(local * max(np.log2(local), 1.0), "bfs")
+                collectives.alltoallv_pairwise(
+                    cost, ranks, max(edges_touched / ranks, 1.0), "bfs"
+                )
+                collectives.allreduce(cost, ranks, 1.0, "bfs")  # termination
+            nxt = np.unique(
+                indices[
+                    np.concatenate(
+                        [np.arange(indptr[x], indptr[x + 1]) for x in frontier]
+                    )
+                ]
+            ) if frontier.size else np.empty(0, dtype=np.int64)
+            frontier = nxt[~visited[nxt]]
+            visited[frontier] = True
+            if frontier.size:
+                comp.append(frontier)
+        giant = np.concatenate(comp)
+        labels[giant] = giant.min()
+
+        # --------------------------------------------------------------
+        # Phase 2: Shiloach–Vishkin on the edges outside the giant
+        # --------------------------------------------------------------
+        outside = ~(visited[u] & visited[v])
+        ur, vr = u[outside], v[outside]
+        m_rest = 2 * ur.size
+        sv_rounds = sv_iterations(n, ur, vr) if ur.size else 0
+        for _ in range(sv_rounds):
+            with cost.phase("sv"):
+                # every round touches all remaining edges (no sparsity);
+                # ParConnect's SV updates are sort-based (it builds on the
+                # mxx sample-sort), hence the log factor on local work
+                local = m_rest / ranks + 1
+                cost.charge_compute(local * max(np.log2(local), 1.0), "sv")
+                # pointer updates: irregular exchange of parent requests
+                collectives.alltoallv_pairwise(
+                    cost, ranks, max(m_rest / ranks, 1.0), "sv"
+                )
+                collectives.allreduce(cost, ranks, 1.0, "sv")
+        if ur.size:
+            rest = sv_cc(n, ur, vr)
+            # merge: vertices outside the giant take SV's labels
+            outside_v = ~visited
+            labels[outside_v] = rest[outside_v]
+    else:
+        sv_rounds = 0
+
+    return ParConnectResult(
+        parents=labels,
+        n_components=int(np.unique(labels).size) if n else 0,
+        cost=cost,
+        machine=machine,
+        nodes=nodes,
+        ranks=ranks,
+        bfs_levels=bfs_levels,
+        sv_rounds=sv_rounds if u.size else 0,
+    )

@@ -1,0 +1,78 @@
+"""Reif's random-mate connected components (§II-C related work).
+
+Each round flips an unbiased coin per *live* vertex, labelling it parent
+(head) or child (tail); every child adjacent to a parent hooks onto one,
+and stars are contracted into supernodes for the next round.  Expected
+O(log n) rounds; like AS and SV it is work-inefficient (the processor-time
+product exceeds the serial bound) — the property Gazit's later algorithm
+fixed.
+
+Implemented with vectorised contraction on the surviving edge list; the
+`seed` makes runs reproducible, and `rm_rounds` exposes the round count
+for the iteration-complexity benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["connected_components", "rm_rounds"]
+
+
+def _run(n: int, u: np.ndarray, v: np.ndarray, seed: int, max_rounds: int):
+    rng = np.random.default_rng(seed)
+    # labels[i]: current supervertex of i
+    labels = np.arange(n, dtype=np.int64)
+    eu, ev = u.copy(), v.copy()
+    rounds = 0
+    while eu.size:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("random-mate exceeded its round budget")
+        # coin flip per supervertex
+        parent = rng.random(n) < 0.5
+        # a child u adjacent to parent v hooks: f[u] <- v (min to dedup)
+        f = np.arange(n, dtype=np.int64)
+        fire = ~parent[eu] & parent[ev]
+        if fire.any():
+            np.minimum.at(f, eu[fire], ev[fire])
+        # contract: every vertex joins its (1-hop) parent
+        labels = f[labels]
+        # relabel edges to supervertices, drop internal edges & duplicates
+        eu, ev = f[eu], f[ev]
+        keep = eu != ev
+        eu, ev = eu[keep], ev[keep]
+        if eu.size:
+            key = eu * np.int64(n) + ev
+            _, first = np.unique(key, return_index=True)
+            eu, ev = eu[first], ev[first]
+    # path-compress labels to roots
+    while True:
+        nxt = labels[labels]
+        if np.array_equal(nxt, labels):
+            break
+        labels = nxt
+    return labels, rounds
+
+
+def connected_components(n: int, u, v, seed: int = 0) -> np.ndarray:
+    """Component labels via random mating (reproducible via *seed*)."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    uu = np.r_[u[keep], v[keep]]
+    vv = np.r_[v[keep], u[keep]]
+    labels, _ = _run(n, uu, vv, seed, max_rounds=40 * max(int(np.log2(max(n, 2))), 1) + 40)
+    return labels
+
+
+def rm_rounds(n: int, u, v, seed: int = 0) -> int:
+    """Rounds to contract every edge (expected O(log n))."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    keep = u != v
+    _, rounds = _run(
+        n, np.r_[u[keep], v[keep]], np.r_[v[keep], u[keep]], seed,
+        max_rounds=40 * max(int(np.log2(max(n, 2))), 1) + 40,
+    )
+    return rounds

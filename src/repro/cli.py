@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``cc``
+    Label connected components of a graph file (MatrixMarket ``.mtx`` or
+    whitespace edge list, optionally gzipped) with LACC or any baseline.
+``simulate``
+    Run simulated-distributed LACC (and optionally ParConnect) on a graph
+    file or a named corpus analogue across a node sweep.
+``corpus``
+    List the Table III corpus analogues or dump one to a file.
+``mcl``
+    Markov-cluster a graph and print the clusters (HipMCL-lite).
+
+Examples
+--------
+::
+
+    python -m repro cc graph.mtx --method lacc --stats
+    python -m repro simulate archaea --machine edison --nodes 1,16,64
+    python -m repro corpus --list
+    python -m repro corpus eukarya --out eukarya.mtx
+    python -m repro mcl similarities.mtx --inflation 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str):
+    """Load .mtx / edge-list files or a named corpus analogue."""
+    from repro.graphs import corpus, io
+
+    if path in corpus.CORPUS:
+        return corpus.load(path)
+    lower = path.lower()
+    if lower.endswith((".mtx", ".mtx.gz")):
+        return io.read_matrix_market(path)
+    return io.read_edge_list(path)
+
+
+def _cmd_cc(args: argparse.Namespace) -> int:
+    import repro
+    from repro.core import lacc
+
+    g = _load_graph(args.graph)
+    t0 = time.perf_counter()
+    if args.method == "lacc" and args.stats:
+        res = lacc(g.to_matrix())
+        labels = res.labels
+    else:
+        labels = repro.connected_components(g.u, g.v, g.n, method=args.method)
+        res = None
+    dt = time.perf_counter() - t0
+    ncc = int(np.unique(labels).size)
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+    print(f"components: {ncc}   [{args.method}, {dt*1e3:.1f} ms]")
+    if res is not None:
+        print(f"iterations: {res.n_iterations}")
+        for it in res.stats.iterations:
+            print(
+                f"  iter {it.iteration}: active={it.active_vertices} "
+                f"hooks={it.cond_hooks}+{it.uncond_hooks} "
+                f"converged={it.converged_vertices}"
+            )
+    if args.out:
+        np.savetxt(args.out, labels, fmt="%d")
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.baselines.parconnect import parconnect
+    from repro.core.lacc_dist import lacc_dist
+    from repro.mpisim.machine import load_machine
+
+    machine = load_machine(args.machine)
+    g = _load_graph(args.graph)
+    A = g.to_matrix()
+    nodes_list = [int(x) for x in args.nodes.split(",")]
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges) "
+          f"on simulated {machine.name}")
+    hdr = f"{'nodes':>6} {'ranks':>6} {'LACC (ms)':>10}"
+    if args.parconnect:
+        hdr += f" {'ParConnect (ms)':>16} {'speedup':>8}"
+    print(hdr)
+    for nodes in nodes_list:
+        r = lacc_dist(A, machine, nodes=nodes)
+        line = f"{nodes:6d} {r.ranks:6d} {r.simulated_seconds*1e3:10.3f}"
+        if args.parconnect:
+            pc = parconnect(g.n, g.u, g.v, machine, nodes=nodes)
+            line += (f" {pc.simulated_seconds*1e3:16.3f}"
+                     f" {pc.simulated_seconds/r.simulated_seconds:7.2f}x")
+        print(line)
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.graphs import corpus, io
+
+    if args.list or not args.name:
+        print(f"{'name':14s} {'paper V':>10s} {'paper E':>10s} {'paper CC':>9s}  description")
+        for name, e in corpus.CORPUS.items():
+            print(f"{name:14s} {e.paper_vertices:10.3g} {e.paper_edges:10.3g} "
+                  f"{e.paper_components:9d}  {e.description}")
+        return 0
+    g = corpus.load(args.name)
+    print(f"{args.name}: {g.n} vertices, {g.nedges} edges")
+    if args.out:
+        io.write_matrix_market(args.out, g, comment=f"corpus analogue {args.name}")
+        print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graphs.analysis import degree_histogram, summarize
+
+    g = _load_graph(args.graph)
+    s = summarize(g)
+    print(f"graph: {g.name}")
+    for key, value in s.as_rows():
+        print(f"  {key:20s} {value}")
+    if args.degrees:
+        print("degree histogram:")
+        hist = degree_histogram(g)
+        peak = max(hist.values())
+        for d in sorted(hist)[: args.degrees]:
+            bar = "#" * max(int(40 * hist[d] / peak), 1)
+            print(f"  deg {d:5d}: {hist[d]:7d} {bar}")
+    return 0
+
+
+def _cmd_forest(args: argparse.Namespace) -> int:
+    from repro.core.spanning_forest import spanning_forest
+
+    g = _load_graph(args.graph)
+    sf = spanning_forest(g.to_matrix())
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+    print(f"components: {sf.n_components}; forest edges: {sf.n_edges}")
+    print(f"spanning invariants hold: {sf.is_spanning()}")
+    if args.out:
+        np.savetxt(
+            args.out,
+            np.column_stack([sf.edges_u, sf.edges_v]),
+            fmt="%d",
+        )
+        print(f"forest edges written to {args.out}")
+    return 0
+
+
+def _cmd_mcl(args: argparse.Namespace) -> int:
+    from repro.mcl import markov_clustering
+
+    g = _load_graph(args.graph)
+    res = markov_clustering(
+        g.to_matrix(), inflation=args.inflation, max_iterations=args.max_iterations
+    )
+    print(f"graph: {g.name} ({g.n} vertices)")
+    print(f"MCL: {res.n_clusters} clusters, {res.n_iterations} iterations, "
+          f"converged={res.converged}")
+    for i, c in enumerate(res.clusters()[: args.top]):
+        members = ", ".join(map(str, c[:12]))
+        more = "" if len(c) <= 12 else f", ... ({len(c)} total)"
+        print(f"  cluster {i}: [{members}{more}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="LACC reproduction: connected components in (simulated) "
+        "distributed memory",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    cc = sub.add_parser("cc", help="label connected components")
+    cc.add_argument("graph", help=".mtx / edge-list file or corpus name")
+    cc.add_argument("--method", default="lacc",
+                    choices=["lacc", "union-find", "sv", "bfs", "label-prop", "fastsv"])
+    cc.add_argument("--stats", action="store_true", help="per-iteration stats (lacc)")
+    cc.add_argument("--out", help="write labels to this file")
+    cc.set_defaults(fn=_cmd_cc)
+
+    sim = sub.add_parser("simulate", help="simulated distributed run")
+    sim.add_argument("graph")
+    sim.add_argument(
+        "--machine", default="edison",
+        help="preset (edison/cori/laptop) or path to a machine JSON file",
+    )
+    sim.add_argument("--nodes", default="1,4,16,64")
+    sim.add_argument("--parconnect", action="store_true",
+                     help="also run the ParConnect competitor")
+    sim.set_defaults(fn=_cmd_simulate)
+
+    co = sub.add_parser("corpus", help="Table III corpus analogues")
+    co.add_argument("name", nargs="?", help="corpus graph name")
+    co.add_argument("--list", action="store_true")
+    co.add_argument("--out", help="write the graph as MatrixMarket")
+    co.set_defaults(fn=_cmd_corpus)
+
+    stats = sub.add_parser("stats", help="structural summary of a graph")
+    stats.add_argument("graph")
+    stats.add_argument("--degrees", type=int, default=0, metavar="N",
+                       help="also print the first N rows of the degree histogram")
+    stats.set_defaults(fn=_cmd_stats)
+
+    forest = sub.add_parser("forest", help="spanning forest per component")
+    forest.add_argument("graph")
+    forest.add_argument("--out", help="write forest edges to this file")
+    forest.set_defaults(fn=_cmd_forest)
+
+    mcl = sub.add_parser("mcl", help="Markov clustering (HipMCL-lite)")
+    mcl.add_argument("graph")
+    mcl.add_argument("--inflation", type=float, default=2.0)
+    mcl.add_argument("--max-iterations", type=int, default=100)
+    mcl.add_argument("--top", type=int, default=10, help="clusters to print")
+    mcl.set_defaults(fn=_cmd_mcl)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

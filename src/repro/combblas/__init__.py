@@ -1,0 +1,17 @@
+"""CombBLAS-style distributed objects over the simulated runtime:
+2D block-distributed DCSC matrices (:mod:`distmatrix`) and the distributed
+indexing layer with skew mitigation (:mod:`indexing`)."""
+
+from . import indexing, spmv
+from .distmatrix import DistMatrix
+from .indexing import RoutingReport, route_requests
+from .spmv import dist_mxv
+
+__all__ = [
+    "DistMatrix",
+    "RoutingReport",
+    "route_requests",
+    "dist_mxv",
+    "indexing",
+    "spmv",
+]

@@ -1,0 +1,181 @@
+"""2D block-distributed sparse matrices (CombBLAS style).
+
+A :class:`DistMatrix` wraps a symmetric adjacency
+:class:`~repro.graphblas.Matrix` with a ``√p × √p``
+:class:`~repro.mpisim.grid.ProcessGrid`, the §V-B load-balancing random
+permutation, and pre-computed per-edge block ownership used by the
+SpMV/SpMSpV cost accounting.
+
+The *values* of every operation are computed by the (tested) serial
+substrate — the simulator executes the identical algorithm, so results are
+bit-identical to a serial run; what this layer adds is exact per-rank
+work/word/message counting priced by the α–β model (see
+``DESIGN.md`` §4 for the execution model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphblas import DCSC, Matrix
+from repro.mpisim import collectives
+from repro.mpisim.costmodel import CostModel
+from repro.mpisim.grid import ProcessGrid
+
+__all__ = ["DistMatrix"]
+
+
+class DistMatrix:
+    """An adjacency matrix distributed over a square process grid.
+
+    Parameters
+    ----------
+    A:
+        Symmetric boolean adjacency matrix.
+    grid:
+        The process grid (must be square; CombBLAS limitation the paper
+        inherits, §VI-A).
+    permute:
+        Apply the random symmetric row+column permutation CombBLAS uses to
+        load-balance blocks (§V-B).  The permutation is pure relabelling,
+        so component structure is preserved; labels are mapped back by
+        :meth:`to_original_labels`.
+    seed:
+        Permutation seed.
+    """
+
+    def __init__(
+        self,
+        A: Matrix,
+        grid: ProcessGrid,
+        permute: bool = True,
+        seed: int = 0,
+    ):
+        if A.nrows != A.ncols:
+            raise ValueError("adjacency matrix must be square")
+        if grid.n != A.nrows:
+            raise ValueError(
+                f"grid built for n={grid.n} but matrix has {A.nrows} rows"
+            )
+        self.grid = grid
+        self.n = A.nrows
+        if permute and self.n > 1:
+            rng = np.random.default_rng(seed)
+            self.perm = rng.permutation(self.n).astype(np.int64)
+        else:
+            self.perm = np.arange(self.n, dtype=np.int64)
+        self.inv_perm = np.empty_like(self.perm)
+        self.inv_perm[self.perm] = np.arange(self.n, dtype=np.int64)
+
+        rows, cols, vals = A.extract_tuples()
+        prows, pcols = self.perm[rows], self.perm[cols]
+        self.A = Matrix.from_edges(
+            self.n, self.n, prows, pcols, vals, symmetric=True
+        )
+        # COO + per-edge ownership for cost accounting
+        self.rows, self.cols, _ = self.A.extract_tuples()
+        self.edge_owner = grid.edge_owner(self.rows, self.cols)
+        self.edges_per_rank = np.bincount(self.edge_owner, minlength=grid.nprocs)
+        # local blocks in CombBLAS's DCSC format (per-rank storage model)
+        self._local_blocks: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        return self.A.nvals
+
+    def local_block(self, rank: int) -> DCSC:
+        """The DCSC submatrix rank owns (built lazily, cached).
+
+        Row/column ids are local to the block, as in CombBLAS.
+        """
+        if self._local_blocks is None:
+            self._local_blocks = {}
+        if rank not in self._local_blocks:
+            br, bc = self.grid.coords(rank)
+            mask = self.edge_owner == rank
+            r = self.rows[mask] - br * self.grid.block
+            c = self.cols[mask] - bc * self.grid.block
+            self._local_blocks[rank] = DCSC.from_coo(
+                self.grid.block, self.grid.block, r, c, np.ones(r.size, dtype=bool)
+            )
+        return self._local_blocks[rank]
+
+    def load_imbalance(self) -> float:
+        """max/mean edges per rank — ≈1 after random permutation."""
+        mean = self.edges_per_rank.mean()
+        return float(self.edges_per_rank.max() / mean) if mean else 1.0
+
+    def to_original_labels(self, labels_permuted: np.ndarray) -> np.ndarray:
+        """Map labels computed in permuted space back to input vertex ids."""
+        # vertex v (original) is perm[v] in permuted space; its label is a
+        # permuted vertex id, mapped back through inv_perm
+        return self.inv_perm[labels_permuted[self.perm]]
+
+    # ------------------------------------------------------------------
+    # cost accounting for GrB_mxv (§V-A)
+    # ------------------------------------------------------------------
+    def charge_mxv(
+        self,
+        cost: CostModel,
+        active_cols: Optional[np.ndarray],
+        phase: str,
+        output_rows_hint: Optional[int] = None,
+    ) -> None:
+        """Charge one distributed SpMV/SpMSpV.
+
+        Parameters
+        ----------
+        active_cols:
+            Boolean bitmap of stored input-vector entries (in permuted
+            vertex space), or ``None`` for a fully dense input.
+        output_rows_hint:
+            Upper bound on nnz of the unreduced output (defaults to the
+            flop count — every product could hit a distinct row).
+
+        Two communication stages (§V-A): an allgather within processor
+        columns to assemble the needed input subvector, then a
+        reduce-scatter (dense) or sparse all-to-all (sparse) within
+        processor rows for the output.
+        """
+        g = self.grid
+        side = g.side
+        if active_cols is None:
+            flops_rank = int(self.edges_per_rank.max(initial=0))
+            gather_words = g.block  # each rank assembles its column block
+            out_words = g.block
+            dense = True
+        else:
+            sel = active_cols[self.cols]
+            if not sel.any():
+                return
+            owners = self.edge_owner[sel]
+            flops_rank = int(np.bincount(owners, minlength=g.nprocs).max(initial=0))
+            # input entries per column block = words each rank in that
+            # column group receives during the allgather
+            col_blocks = g.block_col(np.flatnonzero(active_cols))
+            per_col_block = np.bincount(col_blocks, minlength=side)
+            gather_words = int(per_col_block.max(initial=0))
+            nnz_in = int(np.count_nonzero(active_cols))
+            dense = nnz_in / max(self.n, 1) > 0.1  # CombBLAS's SpMV/SpMSpV switch
+            out_words = min(
+                flops_rank if output_rows_hint is None else output_rows_hint,
+                g.block,
+            )
+
+        with cost.phase(phase):
+            # stage 1: allgather within column groups (side ranks each)
+            collectives.allgather(cost, side, gather_words / max(side, 1), phase)
+            # local multiply
+            cost.charge_compute(flops_rank, phase)
+            # stage 2: output redistribution within row groups
+            if dense:
+                collectives.reduce_scatter(cost, side, out_words, phase)
+            else:
+                collectives.alltoallv_sparse(cost, side, out_words, phase)
+                cost.charge_compute(out_words, phase)  # local merge
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistMatrix(n={self.n}, nnz={self.nvals}, grid={self.grid})"

@@ -1,0 +1,28 @@
+"""LACC — the paper's contribution.
+
+:func:`repro.core.lacc.lacc` is the serial GraphBLAS implementation
+(Algorithms 1–6 with the §IV-B sparsity optimisations);
+:mod:`repro.core.lacc_dist` runs the same algorithm over the simulated
+distributed machine of :mod:`repro.mpisim` / :mod:`repro.combblas` and
+reports α–β model times for the scaling figures.
+"""
+
+from . import convergence, hooking, shortcut, starcheck, stats
+from .lacc import LACCResult, lacc
+from .lacc_lagraph import lacc_lagraph
+from .spanning_forest import SpanningForest, spanning_forest
+
+__all__ = [
+    "lacc",
+    "LACCResult",
+    "lacc_lagraph",
+    "spanning_forest",
+    "SpanningForest",
+    "hooking",
+    "starcheck",
+    "shortcut",
+    "convergence",
+    "stats",
+]
+# lacc_dist / lacc_spmd / lacc_2d are imported from their modules directly
+# (they pull in the simulator stack, which plain serial users never need)

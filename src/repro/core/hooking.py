@@ -1,0 +1,169 @@
+"""Star hooking — Algorithms 3 (conditional) and 4 (unconditional).
+
+Both steps find, for each star vertex, a neighbouring parent via
+``GrB_mxv`` over the *(Select2nd, min)* semiring, then scatter the chosen
+parents onto the star roots with ``GrB_assign``:
+
+* **conditional** hooking only fires when the neighbour's parent id is
+  *smaller* than the star's root (``f[u] > f[v]``), which makes roots
+  strictly decrease and guarantees the forest stays acyclic;
+* **unconditional** hooking lets leftover stars hook onto *nonstar*
+  neighbours regardless of id order (safe by Lemma 2: a star hooked onto a
+  nonstar cannot create a cycle of trees).
+
+Multiple vertices of one star may propose different parents; we combine
+proposals per root with *min*, which keeps the algorithm deterministic and
+preserves the min-id labelling convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.graphblas import Vector
+from repro.graphblas import binaryops as bop
+from repro.graphblas import semirings as sr
+from repro.graphblas.descriptor import Mask
+
+__all__ = ["cond_hook", "uncond_hook", "HookReport"]
+
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HookReport:
+    """Details of one hooking phase, consumed by the distributed layer's
+    cost accounting (which rank owns each updated root)."""
+
+    count: int  # distinct trees hooked
+    roots: np.ndarray  # root vertices whose parent was rewritten
+    new_parents: np.ndarray  # the values written
+    hook_vertices: np.ndarray  # the star vertices that proposed hooks
+
+    def __int__(self) -> int:  # hooks are countable
+        return self.count
+
+    def __eq__(self, other):  # allow comparison with plain ints in tests
+        if isinstance(other, int):
+            return self.count == other
+        return NotImplemented
+
+
+def _scatter_hooks(f: Vector, fn: Vector):
+    """Steps 2–3 shared by both hooking variants.
+
+    *fn* holds, for each hook vertex, the new parent id to give its root.
+    Identify the roots (``f_h = f`` on fn's pattern — within a star only
+    the root can be a parent), combine duplicate proposals with min, and
+    scatter ``f[f_h] = f_n`` (Algorithm 3, lines 6–12).
+    Returns a :class:`HookReport`.
+    """
+    fh = Vector.empty(f.size, f.dtype)
+    gb.ewise_mult(fh, None, None, bop.FIRST, f, fn)  # parents of hooks
+    hook_vertices, roots = fh.extract_tuples()
+    _, newpar = fn.extract_tuples()
+    if roots.size == 0:
+        return HookReport(0, roots, newpar, hook_vertices)
+    merged = Vector.sparse(f.size, roots, newpar, dedup="min")
+    idx, vals = merged.extract_tuples()
+    gb.assign(f, None, None, Vector.dense(vals), idx)
+    return HookReport(int(idx.size), idx, vals, hook_vertices)
+
+
+def _star_scope_mask(star: Vector, active: Optional[np.ndarray]) -> Mask:
+    """Mask of star vertices, intersected with the active bitmap."""
+    sv, sp_ = star.dense_arrays()
+    allow = sv & sp_
+    if active is not None:
+        allow = allow & active
+    return Mask(Vector.dense(allow))
+
+
+def cond_hook(
+    A: "gb.Matrix",
+    f: Vector,
+    star: Vector,
+    active: Optional[np.ndarray] = None,
+) -> "HookReport":
+    """Conditional star hooking (Algorithm 3).  Returns a
+    :class:`HookReport` (int-comparable: number of trees hooked).
+
+    For every star vertex *u* (within the active scope), find the minimum
+    parent id among its neighbours; where that improves on ``f[u]``, hook
+    ``f[f[u]] = min``.
+    """
+    n = f.size
+    star_mask = _star_scope_mask(star, active)
+
+    # Step 1: fn[i] = min parent among neighbours of star vertex i
+    fn = Vector.empty(n, f.dtype)
+    u_in = _scoped_input(f, active)
+    gb.mxv(fn, star_mask, None, sr.SEL2ND_MIN_INT64, A, u_in)
+
+    # Keep strict improvements only (the f[u] > f[v] condition): without
+    # this filter stale proposals equal to the current root id would count
+    # as hooks and the convergence test would never fire.
+    improves = Vector.empty(n, np.bool_)
+    gb.ewise_mult(improves, None, None, bop.LT, fn, f)
+    hooks = Vector.empty(n, f.dtype)
+    gb.extract(hooks, improves, None, fn, None)  # value mask: true entries
+
+    return _scatter_hooks(f, hooks)
+
+
+def uncond_hook(
+    A: "gb.Matrix",
+    f: Vector,
+    star: Vector,
+    active: Optional[np.ndarray] = None,
+) -> "HookReport":
+    """Unconditional star hooking (Algorithm 4).  Returns a
+    :class:`HookReport` (int-comparable: number of trees hooked).
+
+    Stars that survived conditional hooking hook onto any neighbouring
+    *nonstar* tree.  The input vector is ``f`` restricted to nonstar
+    vertices (``GrB_extract`` with the structurally-complemented star mask,
+    line 4), so a star vertex's mxv result can only come from a nonstar
+    neighbour — which also makes the step vacuous in iteration 1, exactly
+    the guard the paper applies below Lemma 2.
+    """
+    n = f.size
+    sv, sp_ = star.dense_arrays()
+    nonstar_allow = sp_ & ~sv
+    if active is not None:
+        nonstar_allow = nonstar_allow & active
+
+    # Step 1: parents of nonstar vertices (sparse input vector)
+    fns = Vector.empty(n, f.dtype)
+    gb.extract(fns, Mask(Vector.dense(nonstar_allow)), None, f, None)
+    if fns.nvals == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return HookReport(0, empty, empty, empty)
+
+    # Step 2: for star vertices, min parent among *nonstar* neighbours
+    star_mask = _star_scope_mask(star, active)
+    fn = Vector.empty(n, f.dtype)
+    gb.mxv(fn, star_mask, None, sr.SEL2ND_MIN_INT64, A, fns)
+
+    # A star root may be proposed its own id when a level-2 nonstar vertex
+    # points back at it; such no-op hooks must not count (f[u] != f[v]).
+    ne = Vector.empty(n, np.bool_)
+    gb.ewise_mult(ne, None, None, bop.NE, fn, f)
+    hooks = Vector.empty(n, f.dtype)
+    gb.extract(hooks, ne, None, fn, None)
+
+    return _scatter_hooks(f, hooks)
+
+
+def _scoped_input(f: Vector, active: Optional[np.ndarray]) -> Vector:
+    """f restricted to active vertices — the SpMSpV input once components
+    start converging (Table I / Lemma 1)."""
+    if active is None:
+        return f
+    idx = np.flatnonzero(active)
+    fv = f.to_numpy()
+    return Vector.sparse(f.size, idx, fv[idx])

@@ -1,0 +1,166 @@
+"""LACC — the paper's algorithm: Awerbuch–Shiloach connected components in
+GraphBLAS primitives, with the sparsity optimisations of §IV-B.
+
+One iteration (Algorithm 1, with the Table I scoping):
+
+1. **conditional hooking** of stars onto smaller-rooted neighbours,
+2. **starcheck** (hooked stars became nonstars),
+3. **unconditional hooking** of surviving stars onto nonstar neighbours,
+4. **starcheck**, then **Lemma 1**: active stars are converged — retire,
+5. **shortcut** (pointer jumping) on the remaining nonstars.
+
+Termination: every tree is a star and no hooks fired — equivalently, with
+convergence tracking on, the active set is empty.  The iteration count is
+``O(log n)``; each iteration's work shrinks with the active set, which is
+the behaviour Figures 4–7 measure.
+
+The ``use_sparsity=False`` mode disables all scoping and runs the plain AS
+algorithm over dense vectors (every vertex, every iteration) — it is both
+the educational LAGraph-style variant and the ablation baseline for the
+sparsity benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graphblas import Matrix, Vector
+
+from .convergence import ActiveSet
+from .hooking import cond_hook, uncond_hook
+from .shortcut import shortcut
+from .starcheck import starcheck
+from .stats import IterationStats, LACCStats, StepTimer
+
+__all__ = ["lacc", "LACCResult"]
+
+
+@dataclass
+class LACCResult:
+    """Output of a LACC run.
+
+    ``parents[i]`` is the root of *i*'s final star — a canonical
+    representative of the component, but (as in the paper) not necessarily
+    the minimum vertex id: unconditional hooking merges stars onto nonstars
+    regardless of id order.  Use :attr:`labels` for min-id labels.
+    """
+
+    parents: np.ndarray  # parents[i] = root vertex of i's component
+    n_components: int
+    n_iterations: int
+    stats: LACCStats
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Labels renamed so each component is labelled by its smallest
+        member vertex (stable across algorithms, handy for comparisons)."""
+        from repro.graphs.validate import canonical_labels
+
+        return canonical_labels(self.parents)
+
+    def component_of(self, v: int) -> int:
+        return int(self.parents[v])
+
+
+def lacc(
+    A: Matrix,
+    use_sparsity: bool = True,
+    max_iterations: Optional[int] = None,
+    collect_stats: bool = True,
+) -> LACCResult:
+    """Run LACC on the adjacency matrix of an undirected graph.
+
+    Parameters
+    ----------
+    A:
+        Symmetric boolean adjacency matrix (see
+        :meth:`repro.graphblas.Matrix.adjacency`).  Self-loops are ignored
+        by construction there; an asymmetric matrix is rejected.
+    use_sparsity:
+        Enable the paper's §IV-B optimisations (Lemma 1 convergence
+        tracking and Table I scoping).  Off = the unoptimised AS algorithm.
+    max_iterations:
+        Safety bound; defaults to ``4·⌈log2 n⌉ + 8``.  AS converges in
+        ``O(log n)`` iterations, so hitting the bound indicates a bug and
+        raises ``RuntimeError``.
+    collect_stats:
+        Fill per-iteration counters/timers (cheap; disable only for the
+        tightest micro-benchmarks).
+
+    Returns
+    -------
+    LACCResult
+        Min-id component labels, component count, iterations and stats.
+    """
+    if A.nrows != A.ncols:
+        raise ValueError(f"adjacency matrix must be square, got {A.shape}")
+    if not A.is_symmetric:
+        raise ValueError("LACC requires an undirected (symmetric) adjacency matrix")
+    n = A.nrows
+    stats = LACCStats(n_vertices=n)
+    if max_iterations is None:
+        max_iterations = 4 * max(int(np.ceil(np.log2(max(n, 2)))), 1) + 8
+
+    # initialise: every vertex is its own parent — n single-vertex stars
+    f = Vector.iota(n)
+    active = ActiveSet(n, enabled=use_sparsity)
+
+    if n == 0 or A.nvals == 0:
+        return LACCResult(f.to_numpy(), n, 0, stats)
+
+    # isolated vertices are converged components from the start
+    if use_sparsity:
+        deg = A.row_degrees()
+        isolated = deg == 0
+        if isolated.any():
+            active._active &= ~isolated
+
+    iteration = 0
+    star = starcheck(f, active.mask)
+    while True:
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError(
+                f"LACC did not converge within {max_iterations} iterations — "
+                "this indicates a forest-invariant violation"
+            )
+        it_stats = IterationStats(iteration=iteration, active_vertices=active.active_count)
+        timer = StepTimer(it_stats)
+
+        with timer.step("cond_hook"):
+            it_stats.cond_hooks = cond_hook(A, f, star, active.mask).count
+        with timer.step("starcheck"):
+            star = starcheck(f, active.mask)
+        with timer.step("uncond_hook"):
+            it_stats.uncond_hooks = uncond_hook(A, f, star, active.mask).count
+        with timer.step("starcheck"):
+            star = starcheck(f, active.mask)
+
+        # Lemma 1 (strengthened, see convergence module): stars surviving
+        # unconditional hooking with no external edges are converged
+        active.retire_converged_stars(A, f, star)
+        it_stats.converged_vertices = active.converged_count
+        sv, sp_ = star.dense_arrays()
+        it_stats.star_vertices = int(np.count_nonzero(sv & sp_))
+
+        with timer.step("shortcut"):
+            nonstar = sp_ & ~sv
+            scope = nonstar if not use_sparsity else (nonstar & active._active)
+            shortcut(f, scope if use_sparsity else nonstar)
+
+        if collect_stats:
+            stats.iterations.append(it_stats)
+
+        hooked = it_stats.cond_hooks + it_stats.uncond_hooks
+        all_stars = not (sp_ & ~sv).any()
+        if active.all_converged() or (hooked == 0 and all_stars):
+            break
+        # after shortcutting, star memberships may have changed
+        star = starcheck(f, active.mask)
+
+    labels = f.to_numpy()
+    n_components = int(np.unique(labels).size)
+    return LACCResult(labels, n_components, iteration, stats)

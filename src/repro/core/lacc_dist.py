@@ -1,0 +1,244 @@
+"""Distributed LACC over the simulated machine (§V of the paper).
+
+The simulator executes the *identical* algorithm as :func:`repro.core.lacc`
+— the serial step functions compute every value, so results are exact —
+while an α–β :class:`~repro.mpisim.costmodel.CostModel` prices each
+primitive as it would run on a ``√p × √p`` CombBLAS process grid:
+
+* ``GrB_mxv`` → two-stage SpMV/SpMSpV (column-group allgather + row-group
+  reduce-scatter / sparse all-to-all), work ∝ edges incident to active
+  columns (:meth:`repro.combblas.distmatrix.DistMatrix.charge_mxv`);
+* ``GrB_extract`` / ``GrB_assign`` → request routing with skew detection,
+  broadcast offload and sparse hypercube all-to-all
+  (:mod:`repro.combblas.indexing`) — the per-rank request histograms are
+  recorded per iteration, which is exactly Figure 3;
+* per-iteration step times land in ``IterationStats.step_model_seconds``,
+  the series behind Figures 4, 5, 6 and 8.
+
+Configuration follows §VI-A: ``t`` threads per MPI process (6 on Edison,
+16 on Cori → 4 processes/node on both), and the largest square process
+grid that fits ``cores/t`` ranks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.combblas.distmatrix import DistMatrix
+from repro.combblas.indexing import RoutingReport, charge_assign, charge_extract
+from repro.graphblas import Matrix, Vector
+from repro.mpisim.costmodel import CostModel
+from repro.mpisim.grid import ProcessGrid
+from repro.mpisim.machine import MachineModel
+
+from .convergence import ActiveSet, converged_star_vertices
+from .hooking import HookReport, cond_hook, uncond_hook
+from .shortcut import shortcut
+from .starcheck import starcheck
+from .stats import IterationStats, LACCStats
+
+__all__ = ["lacc_dist", "DistLACCResult", "grid_for"]
+
+
+@dataclass
+class DistLACCResult:
+    """Output of a simulated distributed LACC run."""
+
+    parents: np.ndarray  # component labels in ORIGINAL vertex space
+    n_components: int
+    n_iterations: int
+    stats: LACCStats
+    cost: CostModel
+    machine: MachineModel
+    nodes: int
+    ranks: int
+    #: (iteration, step, report) for every distributed extract/assign —
+    #: Figure 3 reads the starcheck/shortcut extract entries
+    routing: List[Tuple[int, str, RoutingReport]] = field(default_factory=list)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.cost.total_seconds
+
+    @property
+    def labels(self) -> np.ndarray:
+        from repro.graphs.validate import canonical_labels
+
+        return canonical_labels(self.parents)
+
+
+def grid_for(machine: MachineModel, nodes: int) -> Tuple[int, int]:
+    """(ranks, grid side) for a node count: the largest square grid that
+    fits ``nodes · processes_per_node`` ranks (§VI-A)."""
+    ranks = machine.ranks(nodes)
+    side = max(math.isqrt(ranks), 1)
+    return side * side, side
+
+
+def lacc_dist(
+    A: Matrix,
+    machine: MachineModel,
+    nodes: int = 1,
+    use_sparsity: bool = True,
+    permute: bool = True,
+    use_broadcast_offload: bool = True,
+    use_hypercube: bool = True,
+    vector_distribution: str = "block",
+    max_iterations: Optional[int] = None,
+    seed: int = 0,
+    trace_comm: bool = False,
+) -> DistLACCResult:
+    """Run LACC on the simulated machine.
+
+    Parameters mirror :func:`repro.core.lacc` plus the machine/topology
+    configuration and the §V-B communication toggles (exposed so the
+    ablation benchmarks can switch each optimisation off).
+    ``vector_distribution="cyclic"`` enables the paper's §VII future-work
+    layout, spreading indexing hot spots across ranks.
+    """
+    if A.nrows != A.ncols or not A.is_symmetric:
+        raise ValueError("LACC requires a square symmetric adjacency matrix")
+    n = A.nrows
+    nprocs, side = grid_for(machine, nodes)
+    grid = ProcessGrid(nprocs, n, distribution=vector_distribution)
+    dmat = DistMatrix(A, grid, permute=permute, seed=seed)
+    cost = CostModel(machine, nprocs, nodes, trace=trace_comm)
+    stats = LACCStats(n_vertices=n)
+    routing: List[Tuple[int, str, RoutingReport]] = []
+    route_kw = dict(
+        use_broadcast_offload=use_broadcast_offload, use_hypercube=use_hypercube
+    )
+    if max_iterations is None:
+        max_iterations = 4 * max(int(np.ceil(np.log2(max(n, 2)))), 1) + 8
+
+    Ap = dmat.A  # permuted adjacency
+    f = Vector.iota(n)
+    active = ActiveSet(n, enabled=use_sparsity)
+    if n == 0 or Ap.nvals == 0:
+        return DistLACCResult(
+            dmat.to_original_labels(f.to_numpy()), n, 0, stats, cost,
+            machine, nodes, nprocs, routing,
+        )
+    if use_sparsity:
+        active._active &= ~(Ap.row_degrees() == 0)
+
+    def snapshot() -> dict:
+        return {k: v.seconds for k, v in cost.phases.items()}
+
+    def add_step_delta(stats_dict: dict, before: dict) -> None:
+        for k, v in cost.phases.items():
+            d = v.seconds - before.get(k, 0.0)
+            if d > 0:
+                stats_dict[k] = stats_dict.get(k, 0.0) + d
+
+    def active_bitmap() -> Optional[np.ndarray]:
+        return active.mask
+
+    def charge_hook(report: HookReport, in_cols: Optional[np.ndarray], phase: str, it: int):
+        """Price one hooking phase: mxv + eWise filtering + hook scatter."""
+        dmat.charge_mxv(cost, in_cols, phase)
+        scope = int(np.count_nonzero(in_cols)) if in_cols is not None else n
+        cost.charge_compute(scope / max(nprocs, 1), phase)  # eWise/extract
+        if report.roots.size:
+            rep = charge_assign(
+                grid, cost, report.roots, report.hook_vertices, phase, **route_kw
+            )
+            routing.append((it, phase, rep))
+
+    def charge_starcheck(phase: str, it: int):
+        """Price one starcheck: grandparent extract (the Figure 3 hot
+        spot), nonstar marking, level-2 fixup."""
+        mask = active_bitmap()
+        idx = np.arange(n) if mask is None else np.flatnonzero(mask)
+        if idx.size == 0:
+            return
+        fv = f.to_numpy()
+        rep = charge_extract(grid, cost, fv[idx], idx, phase, **route_kw)
+        routing.append((it, phase, rep))
+        # marking + fixup are one more assign + extract over the scope
+        charge_assign(grid, cost, fv[idx], idx, phase, **route_kw)
+        cost.charge_compute(2 * idx.size / max(nprocs, 1), phase)
+
+    iteration = 0
+    star = starcheck(f, active.mask)
+    while True:
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError("distributed LACC failed to converge (bug)")
+        it_stats = IterationStats(iteration=iteration, active_vertices=active.active_count)
+
+        before = snapshot()
+        rep = cond_hook(Ap, f, star, active.mask)
+        it_stats.cond_hooks = rep.count
+        charge_hook(rep, active_bitmap(), "cond_hook", iteration)
+        add_step_delta(it_stats.step_model_seconds, before)
+
+        before = snapshot()
+        star = starcheck(f, active.mask)
+        charge_starcheck("starcheck", iteration)
+
+        sv, sp_ = star.dense_arrays()
+        nonstar_active = sp_ & ~sv
+        if active.mask is not None:
+            nonstar_active = nonstar_active & active.mask
+        add_step_delta(it_stats.step_model_seconds, before)
+
+        before = snapshot()
+        rep = uncond_hook(Ap, f, star, active.mask)
+        it_stats.uncond_hooks = rep.count
+        in_cols = nonstar_active if active.mask is not None else None
+        charge_hook(rep, in_cols, "uncond_hook", iteration)
+        add_step_delta(it_stats.step_model_seconds, before)
+
+        before = snapshot()
+        star = starcheck(f, active.mask)
+        charge_starcheck("starcheck", iteration)
+        # convergence detection (strengthened Lemma 1): min and max
+        # neighbouring parent fuse into one semiring pass, so charge one mxv
+        if use_sparsity:
+            conv = converged_star_vertices(Ap, f, star, active.mask)
+            dmat.charge_mxv(cost, active_bitmap(), "starcheck")
+            active.retire(conv)
+        it_stats.converged_vertices = active.converged_count
+        sv, sp_ = star.dense_arrays()
+        it_stats.star_vertices = int(np.count_nonzero(sv & sp_))
+        add_step_delta(it_stats.step_model_seconds, before)
+
+        before = snapshot()
+        nonstar = sp_ & ~sv
+        scope = nonstar & active._active if use_sparsity else nonstar
+        scope_idx = np.flatnonzero(scope)
+        if scope_idx.size:
+            fv = f.to_numpy()
+            rep2 = charge_extract(grid, cost, fv[scope_idx], scope_idx, "shortcut", **route_kw)
+            routing.append((iteration, "shortcut", rep2))
+            cost.charge_compute(scope_idx.size / max(nprocs, 1), "shortcut")
+        shortcut(f, scope)
+        add_step_delta(it_stats.step_model_seconds, before)
+
+        it_stats.words_communicated = int(cost.total_words)
+        it_stats.messages_sent = int(cost.total_messages)
+        stats.iterations.append(it_stats)
+
+        hooked = it_stats.cond_hooks + it_stats.uncond_hooks
+        all_stars = not nonstar.any()
+        if active.all_converged() or (hooked == 0 and all_stars):
+            break
+        star = starcheck(f, active.mask)
+
+    labels = dmat.to_original_labels(f.to_numpy())
+    return DistLACCResult(
+        labels,
+        int(np.unique(labels).size),
+        iteration,
+        stats,
+        cost,
+        machine,
+        nodes,
+        nprocs,
+        routing,
+    )

@@ -1,0 +1,120 @@
+"""The simplified, unoptimised LACC the paper contributed to LAGraph.
+
+    "A simplified unoptimized serial GraphBLAS implementation is also
+    committed to the LAGraph Library for educational purposes." (§I)
+
+This module is that artefact's counterpart: a *direct transcription* of
+Algorithms 1–6 with no convergence tracking, no active-set scoping and no
+SpMV/SpMSpV dispatch tricks — every iteration runs over dense full-pattern
+vectors like the original PRAM formulation.  It exists to
+
+* teach: the code reads top-to-bottom like the paper's listings;
+* cross-check: the test suite verifies the optimised
+  :func:`repro.core.lacc` against this reference on every fuzzed graph.
+
+Unlike the optimised variant it keeps the paper's per-iteration schedule
+(`CondHook; StarCheck; UncondHook; StarCheck; Shortcut`) but terminates on
+the AS criterion alone: the parent vector stabilised and every tree is a
+star.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.graphblas import Matrix, Vector
+from repro.graphblas import binaryops as bop
+from repro.graphblas import semirings as sr
+
+__all__ = ["lacc_lagraph"]
+
+
+def _starcheck(f: Vector) -> Vector:
+    """Algorithm 6, dense and unscoped."""
+    n = f.size
+    star = Vector.full(n, True, dtype=np.bool_)
+    # gf = f[f]
+    _, fv = f.extract_tuples()
+    gf = Vector.empty(n, f.dtype)
+    gb.extract(gf, None, None, f, fv)
+    # h: vertices whose parent and grandparent differ, carrying gf
+    neq = Vector.empty(n, np.bool_)
+    gb.ewise_mult(neq, None, None, bop.NE, f, gf)
+    h = Vector.empty(n, f.dtype)
+    gb.extract(h, neq, None, gf, None)
+    idx, val = h.extract_tuples()
+    gb.assign_scalar(star, None, None, False, idx)
+    gb.assign_scalar(star, None, None, False, val)
+    # star[v] &= star[f[v]]
+    pstar = Vector.empty(n, np.bool_)
+    gb.extract(pstar, None, None, star, fv)
+    gb.ewise_mult(star, None, None, bop.LAND, star, pstar)
+    return star
+
+
+def _hook(A: Matrix, f: Vector, star: Vector, conditional: bool) -> int:
+    """Algorithms 3 and 4 without sparsity scoping."""
+    n = f.size
+    fn = Vector.empty(n, f.dtype)
+    if conditional:
+        gb.mxv(fn, star, None, sr.SEL2ND_MIN_INT64, A, f)
+        keep = Vector.empty(n, np.bool_)
+        gb.ewise_mult(keep, None, None, bop.LT, fn, f)
+    else:
+        # parents of nonstar vertices only (Lemma 2)
+        fns = Vector.empty(n, f.dtype)
+        gb.extract(fns, star, None, f, None, gb.SCMP)
+        if fns.nvals == 0:
+            return 0
+        gb.mxv(fn, star, None, sr.SEL2ND_MIN_INT64, A, fns)
+        keep = Vector.empty(n, np.bool_)
+        gb.ewise_mult(keep, None, None, bop.NE, fn, f)
+    hooks = Vector.empty(n, f.dtype)
+    gb.extract(hooks, keep, None, fn, None)
+    # roots of the hooked stars and their new parents
+    fh = Vector.empty(n, f.dtype)
+    gb.ewise_mult(fh, None, None, bop.FIRST, f, hooks)
+    _, roots = fh.extract_tuples()
+    _, newpar = hooks.extract_tuples()
+    if roots.size == 0:
+        return 0
+    merged = Vector.sparse(n, roots, newpar, dedup="min")
+    idx, vals = merged.extract_tuples()
+    gb.assign(f, None, None, Vector.dense(vals), idx)
+    return int(idx.size)
+
+
+def lacc_lagraph(A: Matrix, max_iterations: int = 10_000) -> np.ndarray:
+    """Unoptimised LACC; returns the final parent vector as an array.
+
+    Educational variant: O(m + n) work in *every* iteration regardless of
+    convergence — see :func:`repro.core.lacc` for the paper's optimised
+    algorithm (identical output, tested).
+    """
+    if A.nrows != A.ncols or not A.is_symmetric:
+        raise ValueError("LACC requires a square symmetric adjacency matrix")
+    n = A.nrows
+    f = Vector.iota(n)
+    if n == 0 or A.nvals == 0:
+        return f.to_numpy()
+
+    for _ in range(max_iterations):
+        star = _starcheck(f)
+        hooks = _hook(A, f, star, conditional=True)
+        star = _starcheck(f)
+        hooks += _hook(A, f, star, conditional=False)
+        star = _starcheck(f)
+        # Shortcut (Algorithm 5), dense
+        _, fv = f.extract_tuples()
+        gf = Vector.empty(n, f.dtype)
+        gb.extract(gf, None, None, f, fv)
+        changed = int(np.count_nonzero(gf.to_numpy() != fv))
+        gb.assign(f, None, None, gf, None)
+
+        sv, _ = star.dense_arrays()
+        if hooks == 0 and changed == 0 and sv.all():
+            break
+    else:
+        raise RuntimeError("unoptimised LACC failed to converge (bug)")
+    return f.to_numpy()

@@ -1,0 +1,54 @@
+"""Shortcut — Algorithm 5: one pointer-jumping step.
+
+Every (scoped) vertex replaces its parent by its grandparent,
+``f[v] = f[f[v]]``, halving the depth of every nonstar tree.  Per Table I
+the step only needs to touch nonstars after unconditional hooking — star
+vertices already point at their root, so jumping them is a no-op the
+optimised variant skips entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.graphblas import Vector
+
+__all__ = ["shortcut"]
+
+
+def shortcut(f: Vector, scope: Optional[np.ndarray] = None) -> int:
+    """Replace parents by grandparents; returns #vertices whose parent
+    changed.
+
+    Parameters
+    ----------
+    f:
+        Parent vector, updated in place.
+    scope:
+        Optional boolean bitmap restricting the jump to those vertices
+        (the optimised algorithm passes "active nonstars"); ``None``
+        follows the unoptimised Algorithm 1 and jumps everyone.
+    """
+    n = f.size
+    if n == 0:
+        return 0
+    if scope is None:
+        idx = np.arange(n, dtype=np.int64)
+    else:
+        idx = np.flatnonzero(scope)
+        if idx.size == 0:
+            return 0
+
+    fv = f.to_numpy()
+    # gf = f[f] on the scope (GrB_extract with f-values as indices)
+    parents = fv[idx]
+    gf = Vector.empty(idx.size, f.dtype)
+    gb.extract(gf, None, None, f, parents)
+    gi, gv = gf.sparse_arrays()
+    changed = int(np.count_nonzero(gv != parents[gi]))
+    # f ← gf on the scope (GrB_assign)
+    gb.assign(f, None, None, Vector.sparse(idx.size, gi, gv), idx)
+    return changed

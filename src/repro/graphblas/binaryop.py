@@ -1,0 +1,142 @@
+"""Binary operators (``GrB_BinaryOp``).
+
+A :class:`BinaryOp` wraps a NumPy ufunc (or a vectorised callable) together
+with algebraic metadata the rest of the substrate relies on:
+
+* whether the operator is associative / commutative (so it can serve as the
+  combining operation of a :class:`~repro.graphblas.monoid.Monoid`),
+* an optional *scatter* implementation (``ufunc.at``-style) used by the
+  sparse matrix-vector products to reduce products into the output vector.
+
+The registry exposes every operator LACC and the MCL application need:
+``MIN``, ``MAX``, ``PLUS``, ``TIMES``, ``FIRST``, ``SECOND``, ``LOR``,
+``LAND``, ``LXOR``, ``EQ``, ``NE``, ``ANY``.  ``SECOND`` is the multiply
+operator of the paper's *(Select2nd, min)* semiring: it ignores the matrix
+entry and returns the vector value, which is how ``GrB_mxv`` propagates
+parent ids along edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "BinaryOp",
+    "MIN",
+    "MAX",
+    "PLUS",
+    "TIMES",
+    "FIRST",
+    "SECOND",
+    "LOR",
+    "LAND",
+    "LXOR",
+    "EQ",
+    "NE",
+    "LT",
+    "GT",
+    "LE",
+    "GE",
+    "ANY",
+    "by_name",
+]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary scalar operator lifted to NumPy arrays.
+
+    Parameters
+    ----------
+    name:
+        Registry name, e.g. ``"min"``.
+    fn:
+        Vectorised two-argument callable: ``fn(x, y) -> z`` with broadcasting.
+    associative, commutative:
+        Algebraic flags; a monoid requires both.
+    scatter:
+        Optional in-place scatter-reduce ``scatter(target, idx, values)``
+        implementing ``target[idx] = fn(target[idx], values)`` with repeated
+        indices combined.  NumPy ufuncs provide this via ``ufunc.at``.
+    bool_result:
+        True when the operator always produces booleans (comparisons).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    associative: bool = False
+    commutative: bool = False
+    scatter: Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = field(
+        default=None, compare=False
+    )
+    bool_result: bool = False
+
+    def __call__(self, x, y):
+        return self.fn(x, y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+def _ufunc_scatter(ufunc: np.ufunc):
+    def scatter(target: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+        ufunc.at(target, idx, values)
+
+    return scatter
+
+
+def _first(x, y):
+    x, y = np.broadcast_arrays(np.asarray(x), np.asarray(y))
+    return x.copy()
+
+
+def _second(x, y):
+    x, y = np.broadcast_arrays(np.asarray(x), np.asarray(y))
+    return y.copy()
+
+
+def _second_scatter(target: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    # "any/last wins": repeated indices keep the final write, which is a valid
+    # implementation of a nondeterministic ANY reduction.
+    target[idx] = values
+
+
+MIN = BinaryOp("min", np.minimum, True, True, _ufunc_scatter(np.minimum))
+MAX = BinaryOp("max", np.maximum, True, True, _ufunc_scatter(np.maximum))
+PLUS = BinaryOp("plus", np.add, True, True, _ufunc_scatter(np.add))
+TIMES = BinaryOp("times", np.multiply, True, True, _ufunc_scatter(np.multiply))
+FIRST = BinaryOp("first", _first, True, False, None)
+SECOND = BinaryOp("second", _second, True, False, _second_scatter)
+LOR = BinaryOp("lor", np.logical_or, True, True, _ufunc_scatter(np.logical_or), True)
+LAND = BinaryOp("land", np.logical_and, True, True, _ufunc_scatter(np.logical_and), True)
+LXOR = BinaryOp("lxor", np.logical_xor, True, True, _ufunc_scatter(np.logical_xor), True)
+EQ = BinaryOp("eq", np.equal, False, True, None, True)
+NE = BinaryOp("ne", np.not_equal, False, True, None, True)
+LT = BinaryOp("lt", np.less, False, False, None, True)
+GT = BinaryOp("gt", np.greater, False, False, None, True)
+LE = BinaryOp("le", np.less_equal, False, False, None, True)
+GE = BinaryOp("ge", np.greater_equal, False, False, None, True)
+# GxB_ANY: returns either argument; associative and commutative by fiat, which
+# lets implementations pick whichever value is cheapest (used for tie-breaks).
+ANY = BinaryOp("any", _second, True, True, _second_scatter)
+
+_REGISTRY = {
+    op.name: op
+    for op in (
+        MIN, MAX, PLUS, TIMES, FIRST, SECOND, LOR, LAND, LXOR,
+        EQ, NE, LT, GT, LE, GE, ANY,
+    )
+}
+
+
+def by_name(name: str) -> BinaryOp:
+    """Look an operator up by its registry name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown BinaryOp {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,109 @@
+"""Masks and descriptors.
+
+GraphBLAS operations take an optional *mask* controlling which output
+positions may be written, and a *descriptor* adjusting operation semantics.
+LACC uses three descriptor features:
+
+* plain (value) masks — e.g. the ``star`` vector restricts conditional
+  hooking to star vertices (Algorithm 3, line 4);
+* ``GrB_SCMP`` — the *structural complement* of the mask — e.g.
+  unconditional hooking extracts the parents of **non**-star vertices
+  (Algorithm 4, line 4);
+* ``GrB_REPLACE`` — clear the unmasked part of the output instead of
+  leaving it untouched.
+
+:class:`Mask` normalises all mask variants into a dense boolean *allow*
+array so the operation kernels in :mod:`repro.graphblas.ops` only ever deal
+with one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vector import Vector
+
+__all__ = ["Mask", "Descriptor", "NULL", "SCMP", "REPLACE", "SCMP_REPLACE"]
+
+
+@dataclass(frozen=True)
+class Mask:
+    """A mask over a vector operation's output.
+
+    Parameters
+    ----------
+    vector:
+        The mask vector.  ``None`` means "no mask" (all positions allowed).
+    structural:
+        When True, a position is allowed iff the mask vector *stores* an
+        element there (``GrB_STRUCTURE``); when False the stored value must
+        also be truthy.
+    complement:
+        Invert the allowed set (``GrB_COMP`` / the paper's ``GrB_SCMP``).
+    """
+
+    vector: Optional["Vector"] = None
+    structural: bool = False
+    complement: bool = False
+
+    def allow(self, size: int) -> np.ndarray:
+        """Dense boolean array: which of the *size* outputs may be written."""
+        if self.vector is None:
+            base = np.ones(size, dtype=bool)
+            return ~base if self.complement else base
+        if self.vector.size != size:
+            raise ValueError(
+                f"mask size {self.vector.size} != output size {size}"
+            )
+        if self.structural:
+            base = self.vector.present_array().copy()
+        else:
+            vals, present = self.vector.dense_arrays()
+            base = present & (vals.astype(bool))
+        if self.complement:
+            base = ~base
+        return base
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Operation descriptor.
+
+    ``replace`` implements ``GrB_REPLACE``: before the masked write, every
+    output entry *outside* the allowed set is deleted.  ``mask_structural``
+    and ``mask_complement`` apply when the mask is passed as a bare vector
+    rather than a prebuilt :class:`Mask`.
+    """
+
+    replace: bool = False
+    mask_structural: bool = False
+    mask_complement: bool = False
+
+    def wrap(self, mask) -> Mask:
+        """Normalise a ``Vector | Mask | None`` mask argument."""
+        from .vector import Vector
+
+        if mask is None:
+            return Mask(None, self.mask_structural, self.mask_complement)
+        if isinstance(mask, Mask):
+            if self.mask_complement or self.mask_structural:
+                return Mask(
+                    mask.vector,
+                    mask.structural or self.mask_structural,
+                    mask.complement ^ self.mask_complement,
+                )
+            return mask
+        if isinstance(mask, Vector):
+            return Mask(mask, self.mask_structural, self.mask_complement)
+        raise TypeError(f"mask must be Vector, Mask or None, got {type(mask)!r}")
+
+
+# Common descriptor instances, named after the GraphBLAS constants.
+NULL = Descriptor()
+SCMP = Descriptor(mask_complement=True)
+REPLACE = Descriptor(replace=True)
+SCMP_REPLACE = Descriptor(replace=True, mask_complement=True)

@@ -1,0 +1,121 @@
+"""Index-unary operators (``GrB_IndexUnaryOp``) and the standard select
+operator registry.
+
+GraphBLAS v2.0 selects entries with *index-unary* predicates — functions
+of ``(value, row, col, thunk)``.  This module provides the standard family
+(``TRIL``/``TRIU``/``DIAG``/``OFFDIAG``, ``VALUEEQ``/``VALUENE``/
+``VALUELT``/``VALUEGT``/``VALUELE``/``VALUEGE``, ``ROWINDEX``-style
+positional tests) for both vectors and matrices, bridging to the
+callable-based :func:`repro.graphblas.ops.select` /
+:func:`repro.graphblas.ops_matrix.matrix_select` kernels.
+
+Example — MCL's threshold prune with the standard operator::
+
+    from repro.graphblas import indexunary as iu
+    pruned = iu.matrix_select_op(iu.VALUEGE, M, 1e-4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .matrix import Matrix
+from .ops import select as _vector_select
+from .ops_matrix import matrix_select as _matrix_select
+from .vector import Vector
+
+__all__ = [
+    "IndexUnaryOp",
+    "TRIL",
+    "TRIU",
+    "DIAG",
+    "OFFDIAG",
+    "VALUEEQ",
+    "VALUENE",
+    "VALUELT",
+    "VALUELE",
+    "VALUEGT",
+    "VALUEGE",
+    "COLLE",
+    "COLGT",
+    "ROWLE",
+    "ROWGT",
+    "INDEXLE",
+    "INDEXGT",
+    "by_name",
+    "vector_select_op",
+    "matrix_select_op",
+]
+
+
+@dataclass(frozen=True)
+class IndexUnaryOp:
+    """A predicate over ``(values, rows, cols, thunk)`` (vectorised).
+
+    For vectors, ``rows`` carries the element indices and ``cols`` is
+    zero.  ``positional`` ops ignore the values entirely (usable on any
+    type); value ops compare against the *thunk* scalar.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
+    positional: bool
+
+    def __call__(self, values, rows, cols, thunk):
+        return np.asarray(self.fn(values, rows, cols, thunk), dtype=bool)
+
+
+TRIL = IndexUnaryOp("tril", lambda v, i, j, t: j <= i + t, True)
+TRIU = IndexUnaryOp("triu", lambda v, i, j, t: j >= i + t, True)
+DIAG = IndexUnaryOp("diag", lambda v, i, j, t: j == i + t, True)
+OFFDIAG = IndexUnaryOp("offdiag", lambda v, i, j, t: j != i + t, True)
+VALUEEQ = IndexUnaryOp("valueeq", lambda v, i, j, t: v == t, False)
+VALUENE = IndexUnaryOp("valuene", lambda v, i, j, t: v != t, False)
+VALUELT = IndexUnaryOp("valuelt", lambda v, i, j, t: v < t, False)
+VALUELE = IndexUnaryOp("valuele", lambda v, i, j, t: v <= t, False)
+VALUEGT = IndexUnaryOp("valuegt", lambda v, i, j, t: v > t, False)
+VALUEGE = IndexUnaryOp("valuege", lambda v, i, j, t: v >= t, False)
+ROWLE = IndexUnaryOp("rowle", lambda v, i, j, t: i <= t, True)
+ROWGT = IndexUnaryOp("rowgt", lambda v, i, j, t: i > t, True)
+COLLE = IndexUnaryOp("colle", lambda v, i, j, t: j <= t, True)
+COLGT = IndexUnaryOp("colgt", lambda v, i, j, t: j > t, True)
+# vector spellings of the positional tests
+INDEXLE = IndexUnaryOp("indexle", lambda v, i, j, t: i <= t, True)
+INDEXGT = IndexUnaryOp("indexgt", lambda v, i, j, t: i > t, True)
+
+_REGISTRY = {
+    op.name: op
+    for op in (
+        TRIL, TRIU, DIAG, OFFDIAG,
+        VALUEEQ, VALUENE, VALUELT, VALUELE, VALUEGT, VALUEGE,
+        ROWLE, ROWGT, COLLE, COLGT, INDEXLE, INDEXGT,
+    )
+}
+
+
+def by_name(name: str) -> IndexUnaryOp:
+    """Look up a standard operator (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown IndexUnaryOp {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def vector_select_op(op: IndexUnaryOp, u: Vector, thunk=0) -> Vector:
+    """``GrB_select`` on a vector with a standard operator."""
+    out = Vector.empty(u.size, u.dtype)
+    zeros_like = lambda i: np.zeros(i.size, dtype=np.int64)
+    _vector_select(
+        out, None, None, lambda i, v: op(v, i, zeros_like(i), thunk), u
+    )
+    return out
+
+
+def matrix_select_op(op: IndexUnaryOp, A: Matrix, thunk=0) -> Matrix:
+    """``GrB_select`` on a matrix with a standard operator."""
+    return _matrix_select(lambda i, j, v: op(v, i, j, thunk), A)

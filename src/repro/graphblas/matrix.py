@@ -1,0 +1,352 @@
+"""``GrB_Matrix``: sparse matrices in CSR, with a DCSC variant.
+
+The serial substrate stores matrices in CSR (compressed sparse row) because
+``GrB_mxv`` over a dense-ish vector streams rows.  For the sparse-vector
+product (SpMSpV) we need column access, so a CSC view is built lazily and
+cached; for symmetric matrices (undirected adjacency — LACC's only input)
+the CSR arrays double as CSC.
+
+:class:`DCSC` implements CombBLAS's *doubly compressed sparse columns*
+(Buluç & Gilbert): on a ``√p × √p`` grid each local block has ``n/√p``
+columns but only ``O(nnz)`` of them are non-empty, so the column pointer
+array itself is compressed.  The distributed layer
+(:mod:`repro.combblas.distmatrix`) stores its local blocks in this format,
+and the tests verify it round-trips against CSR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse as sp
+
+from .types import BOOL, normalize_dtype
+
+__all__ = ["Matrix", "DCSC"]
+
+
+class Matrix:
+    """A sparse ``nrows × ncols`` matrix over a GraphBLAS value type.
+
+    Immutable after construction (LACC never mutates the adjacency matrix);
+    use the constructors below.
+    """
+
+    __slots__ = ("nrows", "ncols", "dtype", "indptr", "indices", "values", "_csc", "_symmetric")
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        symmetric: Optional[bool] = None,
+    ):
+        if nrows < 0 or ncols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if indptr.shape != (nrows + 1,):
+            raise ValueError("indptr must have nrows+1 entries")
+        if indices.shape != values.shape:
+            raise ValueError("indices/values shape mismatch")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.dtype = normalize_dtype(values.dtype)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.values = np.ascontiguousarray(values)
+        self._csc: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._symmetric = symmetric
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        nrows: int,
+        ncols: int,
+        rows,
+        cols,
+        values=True,
+        dedup: str = "last",
+        symmetric: Optional[bool] = None,
+    ) -> "Matrix":
+        """Build from COO triples; duplicates resolved per *dedup* (see
+        :meth:`Vector.sparse`).  Scalar *values* broadcast."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError("rows/cols shape mismatch")
+        if rows.size and (
+            rows.min() < 0 or rows.max() >= nrows or cols.min() < 0 or cols.max() >= ncols
+        ):
+            raise IndexError("edge endpoint out of range")
+        if np.isscalar(values) or (isinstance(values, np.ndarray) and values.ndim == 0):
+            vals = np.full(rows.shape, values)
+        else:
+            vals = np.asarray(values)
+            if vals.shape != rows.shape:
+                raise ValueError("values shape mismatch")
+        if rows.size == 0:
+            return cls(
+                nrows,
+                ncols,
+                np.zeros(nrows + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.asarray(vals).dtype),
+                symmetric=symmetric,
+            )
+        coo = sp.coo_matrix(
+            (vals.astype(np.float64, copy=False), (rows, cols)), shape=(nrows, ncols)
+        )
+        if dedup == "plus":
+            csr = coo.tocsr()  # scipy sums duplicates
+        else:
+            # keep-last / min need manual dedup on sorted (row, col) keys
+            order = np.lexsort((cols, rows))
+            r, c, v = rows[order], cols[order], vals[order]
+            key_change = np.r_[True, (r[1:] != r[:-1]) | (c[1:] != c[:-1])]
+            if dedup == "error" and not key_change.all():
+                raise ValueError("duplicate edges in build")
+            if dedup == "min" and not key_change.all():
+                starts = np.flatnonzero(key_change)
+                v = np.minimum.reduceat(v, starts)
+                r, c = r[key_change], c[key_change]
+            else:  # last occurrence wins
+                last = np.r_[key_change[1:], True]
+                r, c, v = r[last], c[last], v[last]
+            csr = sp.csr_matrix(
+                (np.ones(r.size), (r, c)), shape=(nrows, ncols)
+            )
+            csr.data = np.asarray(v, dtype=np.float64)
+        csr.sort_indices()
+        return cls(
+            nrows,
+            ncols,
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.data.astype(np.asarray(vals).dtype),
+            symmetric=symmetric,
+        )
+
+    @classmethod
+    def from_scipy(cls, m: sp.spmatrix, symmetric: Optional[bool] = None) -> "Matrix":
+        """Adopt a SciPy sparse matrix (converted to CSR)."""
+        csr = m.tocsr()
+        csr.sort_indices()
+        return cls(
+            csr.shape[0],
+            csr.shape[1],
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.data.copy(),
+            symmetric=symmetric,
+        )
+
+    @classmethod
+    def adjacency(cls, n: int, u, v, symmetrize: bool = True) -> "Matrix":
+        """Boolean adjacency matrix of an undirected graph.
+
+        Self-loops are dropped (they never affect connectivity and the AS
+        hooking conditions ignore them); when *symmetrize* both edge
+        directions are stored, as LACC requires.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError(
+                f"endpoint arrays must have equal length, got {u.shape} vs {v.shape}"
+            )
+        keep = u != v
+        u, v = u[keep], v[keep]
+        if symmetrize:
+            u, v = np.r_[u, v], np.r_[v, u]
+        return cls.from_edges(n, n, u, v, values=True, symmetric=True)
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """CSR copy as a SciPy matrix (bool data promoted to int8)."""
+        data = self.values
+        if data.dtype == BOOL:
+            data = data.astype(np.int8)
+        return sp.csr_matrix(
+            (data.copy(), self.indices.copy(), self.indptr.copy()),
+            shape=(self.nrows, self.ncols),
+        )
+
+    # ------------------------------------------------------------------
+    # properties & access
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        """Stored entries (``GrB_Matrix_nvals``)."""
+        return int(self.indices.size)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Whether the sparsity pattern+values equal the transpose (cached)."""
+        if self._symmetric is None:
+            s = self.to_scipy()
+            self._symmetric = bool(
+                self.nrows == self.ncols and (s != s.T).nnz == 0
+            )
+        return self._symmetric
+
+    def row_degrees(self) -> np.ndarray:
+        """Entries per row — vertex degrees for an adjacency matrix."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of row *i*."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def csc_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, row_indices, values)`` in CSC order, cached.
+
+        For symmetric matrices this is the CSR data itself (no copy).
+        """
+        if self._symmetric:
+            return self.indptr, self.indices, self.values
+        if self._csc is None:
+            csc = self.to_scipy().tocsc()
+            csc.sort_indices()
+            self._csc = (
+                csc.indptr.astype(np.int64),
+                csc.indices.astype(np.int64),
+                csc.data.astype(self.dtype),
+            )
+        return self._csc
+
+    def transpose(self) -> "Matrix":
+        """Transposed copy (cheap for symmetric matrices)."""
+        if self.is_symmetric:
+            return self
+        indptr, indices, values = self.csc_arrays()
+        return Matrix(self.ncols, self.nrows, indptr, indices, values)
+
+    def extract_tuples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO copies ``(rows, cols, values)`` in row-major order."""
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_degrees())
+        return rows, self.indices.copy(), self.values.copy()
+
+    def isequal(self, other: "Matrix") -> bool:
+        return (
+            isinstance(other, Matrix)
+            and self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Matrix({self.nrows}x{self.ncols}, dtype={self.dtype.name}, "
+            f"nvals={self.nvals})"
+        )
+
+
+class DCSC:
+    """Doubly compressed sparse columns — CombBLAS's local block format.
+
+    Stores only the ``nzc`` non-empty columns:
+
+    * ``jc[k]``  — column id of the *k*-th non-empty column (sorted),
+    * ``cp[k]:cp[k+1]`` — slice of ``ir``/``num`` holding that column,
+    * ``ir``     — row ids,
+    * ``num``    — values.
+
+    Memory is ``O(nnz + nzc)`` rather than CSC's ``O(nnz + ncols)``, which
+    is what makes hypersparse 2D blocks affordable on large grids (§V).
+    """
+
+    __slots__ = ("nrows", "ncols", "jc", "cp", "ir", "num")
+
+    def __init__(self, nrows, ncols, jc, cp, ir, num):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.jc = np.ascontiguousarray(jc, dtype=np.int64)
+        self.cp = np.ascontiguousarray(cp, dtype=np.int64)
+        self.ir = np.ascontiguousarray(ir, dtype=np.int64)
+        self.num = np.ascontiguousarray(num)
+        if self.cp.shape != (self.jc.size + 1,):
+            raise ValueError("cp must have len(jc)+1 entries")
+        if self.ir.shape != self.num.shape:
+            raise ValueError("ir/num shape mismatch")
+
+    @classmethod
+    def from_coo(cls, nrows: int, ncols: int, rows, cols, values) -> "DCSC":
+        """Build from COO triples (duplicates must already be resolved)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values)
+        order = np.lexsort((rows, cols))
+        rows, cols, values = rows[order], cols[order], values[order]
+        jc, counts = np.unique(cols, return_counts=True)
+        cp = np.zeros(jc.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=cp[1:])
+        return cls(nrows, ncols, jc, cp, rows, values)
+
+    @classmethod
+    def from_matrix(cls, m: Matrix) -> "DCSC":
+        rows, cols, vals = m.extract_tuples()
+        return cls.from_coo(m.nrows, m.ncols, rows, cols, vals)
+
+    @property
+    def nvals(self) -> int:
+        return int(self.ir.size)
+
+    @property
+    def nzc(self) -> int:
+        """Number of non-empty columns."""
+        return int(self.jc.size)
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(row ids, values) of column *j* (empty arrays when absent)."""
+        k = int(np.searchsorted(self.jc, j))
+        if k < self.jc.size and self.jc[k] == j:
+            lo, hi = self.cp[k], self.cp[k + 1]
+            return self.ir[lo:hi], self.num[lo:hi]
+        return self.ir[:0], self.num[:0]
+
+    def columns_of(self, cols: np.ndarray):
+        """Vectorised multi-column gather used by SpMSpV.
+
+        Returns ``(rows, vals, src)`` where ``src[k]`` is the position in
+        *cols* that produced ``rows[k]`` — i.e. the flattened union of the
+        requested columns with provenance, letting the caller apply the
+        semiring multiply against the input vector's values.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        if self.jc.size == 0 or cols.size == 0:
+            return self.ir[:0], self.num[:0], np.empty(0, dtype=np.int64)
+        k = np.searchsorted(self.jc, cols)
+        hit = (k < self.jc.size) & (self.jc[np.minimum(k, self.jc.size - 1)] == cols)
+        k = k[hit]
+        src_ids = np.flatnonzero(hit)
+        lo, hi = self.cp[k], self.cp[k + 1]
+        lengths = hi - lo
+        total = int(lengths.sum())
+        if total == 0:
+            return self.ir[:0], self.num[:0], src_ids[:0]
+        # Build a flat gather index: concatenate ranges [lo_i, hi_i).
+        out_starts = np.zeros(lengths.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=out_starts[1:])
+        flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
+        src = np.repeat(src_ids, lengths)
+        return self.ir[flat], self.num[flat], src
+
+    def to_matrix(self) -> Matrix:
+        """Expand back to a CSR :class:`Matrix` (tests/round-trips)."""
+        cols = np.repeat(self.jc, np.diff(self.cp))
+        return Matrix.from_edges(self.nrows, self.ncols, self.ir, cols, self.num)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DCSC({self.nrows}x{self.ncols}, nvals={self.nvals}, nzc={self.nzc})"
+        )

@@ -1,0 +1,136 @@
+"""Monoids (``GrB_Monoid``): an associative, commutative binary operator
+with an identity element.
+
+Monoids are the *add* component of a semiring: they combine the partial
+products a matrix-vector multiplication generates for the same output index.
+LACC uses ``MIN_INT64`` (hooking picks the neighbour with the *minimum*
+parent id) and ``LOR_BOOL`` (star-membership propagation); the Markov
+clustering application adds ``PLUS_FP64`` and ``MAX_FP64``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from . import binaryop as bop
+from .binaryop import BinaryOp
+from .types import BOOL, FP64, INT64, normalize_dtype
+
+__all__ = [
+    "Monoid",
+    "MIN_INT64",
+    "MAX_INT64",
+    "PLUS_INT64",
+    "PLUS_FP64",
+    "MIN_FP64",
+    "MAX_FP64",
+    "LOR_BOOL",
+    "LAND_BOOL",
+    "ANY_INT64",
+    "monoid_for",
+]
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative commutative :class:`BinaryOp` plus its identity.
+
+    ``identity`` must satisfy ``op(identity, x) == x`` for every ``x`` of the
+    monoid's domain; ``terminal`` (if set) is an absorbing element that lets
+    reductions stop early (e.g. ``False`` for logical-and).
+    """
+
+    op: BinaryOp
+    identity: Any
+    dtype: np.dtype
+    terminal: Any = None
+
+    def __post_init__(self):
+        if not (self.op.associative and self.op.commutative):
+            raise ValueError(
+                f"monoid requires an associative+commutative op, got {self.op.name}"
+            )
+        object.__setattr__(self, "dtype", normalize_dtype(self.dtype))
+
+    @property
+    def name(self) -> str:
+        return f"{self.op.name}_{self.dtype.name}"
+
+    def __call__(self, x, y):
+        return self.op(x, y)
+
+    def reduce(self, values: np.ndarray):
+        """Reduce a 1-D array to a scalar, returning identity when empty."""
+        if values.size == 0:
+            return self.dtype.type(self.identity)
+        ufunc = getattr(self.op.fn, "reduce", None)
+        if callable(ufunc):
+            return self.op.fn.reduce(values)
+        out = values[0]
+        for v in values[1:]:
+            out = self.op(out, v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name})"
+
+
+_I64_MAX = np.iinfo(np.int64).max
+_I64_MIN = np.iinfo(np.int64).min
+
+MIN_INT64 = Monoid(bop.MIN, _I64_MAX, INT64, terminal=_I64_MIN)
+MAX_INT64 = Monoid(bop.MAX, _I64_MIN, INT64, terminal=_I64_MAX)
+PLUS_INT64 = Monoid(bop.PLUS, 0, INT64)
+PLUS_FP64 = Monoid(bop.PLUS, 0.0, FP64)
+MIN_FP64 = Monoid(bop.MIN, np.inf, FP64, terminal=-np.inf)
+MAX_FP64 = Monoid(bop.MAX, -np.inf, FP64, terminal=np.inf)
+LOR_BOOL = Monoid(bop.LOR, False, BOOL, terminal=True)
+LAND_BOOL = Monoid(bop.LAND, True, BOOL, terminal=False)
+# ANY has no true identity; GraphBLAS treats it as "pick any input".  We use
+# the int64 max sentinel so an empty reduction is recognisable.
+ANY_INT64 = Monoid(bop.ANY, _I64_MAX, INT64)
+
+_REGISTRY = {
+    m.name: m
+    for m in (
+        MIN_INT64,
+        MAX_INT64,
+        PLUS_INT64,
+        PLUS_FP64,
+        MIN_FP64,
+        MAX_FP64,
+        LOR_BOOL,
+        LAND_BOOL,
+        ANY_INT64,
+    )
+}
+
+
+def monoid_for(op_name: str, dtype) -> Monoid:
+    """Return the registered monoid for ``(op_name, dtype)``.
+
+    Falls back to constructing one on the fly for supported combinations
+    (e.g. ``min`` over ``int32``) so callers are not restricted to the
+    pre-registered table.
+    """
+    dtype = normalize_dtype(dtype)
+    key = f"{op_name.lower()}_{dtype.name}"
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    op = bop.by_name(op_name)
+    identities = {
+        "min": np.inf if dtype.kind == "f" else np.iinfo(dtype).max,
+        "max": -np.inf if dtype.kind == "f" else np.iinfo(dtype).min,
+        "plus": 0,
+        "times": 1,
+        "lor": False,
+        "land": True,
+        "lxor": False,
+        "any": 0,
+    }
+    if op.name not in identities:
+        raise KeyError(f"no identity known for monoid op {op_name!r}")
+    return Monoid(op, identities[op.name], dtype)

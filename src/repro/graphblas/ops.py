@@ -1,0 +1,505 @@
+"""GraphBLAS operations over :class:`Vector` and :class:`Matrix`.
+
+These are the primitives Algorithms 3–6 of the paper are written in:
+``GrB_mxv``, ``GrB_eWiseMult``, ``GrB_extract``, ``GrB_assign``,
+``GrB_Vector_nvals`` and ``GrB_Vector_extractTuples`` (the last two live on
+:class:`Vector` directly).  The signatures mirror the C API's order —
+*(output, mask, accumulator, operator, inputs…, descriptor)* — so the LACC
+code in :mod:`repro.core` reads like the paper's listings.
+
+Every operation follows the standard GraphBLAS write semantics::
+
+    T              = computed result
+    Z              = T                     (no accumulator)
+                   = union_merge(W, T)    (with accumulator)
+    W⟨mask⟩        = Z   i.e.  W = (Z ∩ allow) ∪ (W ∩ ¬allow)
+    W⟨mask,repl⟩   = Z ∩ allow
+
+``GrB_mxv`` dispatches between a row-streaming SpMV kernel (dense-ish input
+vector) and a column-gather SpMSpV kernel (sparse input vector), the same
+runtime decision CombBLAS makes (§V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+from scipy import sparse as sp
+
+from .binaryop import BinaryOp
+from .descriptor import NULL, Descriptor, Mask
+from .matrix import Matrix
+from .monoid import Monoid
+from .semiring import Semiring
+from .types import promote
+from .vector import Vector
+
+__all__ = [
+    "mxv",
+    "vxm",
+    "mxm",
+    "ewise_mult",
+    "ewise_add",
+    "extract",
+    "assign",
+    "assign_scalar",
+    "apply",
+    "select",
+    "reduce_vector",
+    "reduce_matrix",
+    "SPMSPV_DENSITY_THRESHOLD",
+]
+
+# Input-vector density above which mxv streams rows (SpMV) instead of
+# gathering columns (SpMSpV).  Mirrors CombBLAS's dispatch.
+SPMSPV_DENSITY_THRESHOLD = 0.10
+
+IndexArray = Union[None, Sequence[int], np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _segment_reduce(values: np.ndarray, seg_ids: np.ndarray, monoid: Monoid):
+    """Reduce *values* grouped by sorted *seg_ids* with the monoid.
+
+    Returns ``(unique_ids, reduced)``.  Uses ``ufunc.reduceat`` when the
+    monoid's op is a NumPy ufunc, else a keep-last scatter (valid for ANY).
+    """
+    if seg_ids.size == 0:
+        return seg_ids[:0], values[:0]
+    boundaries = np.flatnonzero(np.r_[True, seg_ids[1:] != seg_ids[:-1]])
+    uniq = seg_ids[boundaries]
+    fn = monoid.op.fn
+    if isinstance(fn, np.ufunc):
+        return uniq, fn.reduceat(values, boundaries)
+    # keep-last semantics (ANY / SECOND): last element of each segment
+    last = np.r_[boundaries[1:], values.size] - 1
+    return uniq, values[last]
+
+
+def _merge_union(
+    ai: np.ndarray, av: np.ndarray, bi: np.ndarray, bv: np.ndarray, op: BinaryOp, dtype
+):
+    """Union-merge two sorted sparse patterns, combining overlaps with *op*."""
+    if ai.size == 0:
+        return bi.copy(), bv.astype(dtype, copy=True)
+    if bi.size == 0:
+        return ai.copy(), av.astype(dtype, copy=True)
+    all_idx = np.union1d(ai, bi)
+    out = np.zeros(all_idx.size, dtype=dtype)
+    a_pos = np.searchsorted(all_idx, ai)
+    b_pos = np.searchsorted(all_idx, bi)
+    in_a = np.zeros(all_idx.size, dtype=bool)
+    in_b = np.zeros(all_idx.size, dtype=bool)
+    in_a[a_pos] = True
+    in_b[b_pos] = True
+    out[a_pos] = av
+    only_b = in_b & ~in_a
+    both = in_a & in_b
+    b_vals_at = np.zeros(all_idx.size, dtype=dtype)
+    b_vals_at[b_pos] = bv
+    out[only_b] = b_vals_at[only_b]
+    if both.any():
+        out[both] = op(out[both], b_vals_at[both])
+    return all_idx, out
+
+
+def _masked_write(
+    w: Vector,
+    t_idx: np.ndarray,
+    t_vals: np.ndarray,
+    mask,
+    accum: Optional[BinaryOp],
+    desc: Descriptor,
+) -> Vector:
+    """Apply the standard GraphBLAS mask/accumulate/replace write to *w*."""
+    allow = desc.wrap(mask).allow(w.size)
+    if accum is not None:
+        wi, wv = w.sparse_arrays()
+        z_idx, z_vals = _merge_union(wi, wv, t_idx, t_vals.astype(w.dtype), accum, w.dtype)
+    else:
+        z_idx, z_vals = t_idx, t_vals.astype(w.dtype, copy=False)
+
+    # Dense formulation of: W = (Z ∩ allow) ∪ (W ∩ ¬allow)  [∪ nothing if replace]
+    w_vals, w_present = w.dense_arrays()
+    new_vals = w_vals.copy() if w.mode == "dense" else w_vals
+    new_present = w_present.copy() if w.mode == "dense" else w_present
+    if desc.replace:
+        # W = Z ∩ allow: everything outside the mask is deleted too
+        new_present = np.zeros_like(new_present)
+    else:
+        # inside the mask, W becomes exactly Z: clear then write
+        new_present[allow] = False
+    if z_idx.size:
+        sel = allow[z_idx]
+        zi, zv = z_idx[sel], z_vals[sel]
+        new_vals[zi] = zv
+        new_present[zi] = True
+    w._set_dense(new_vals, new_present)
+    return w
+
+
+def _as_index_array(indices: IndexArray, bound: int, what: str) -> Optional[np.ndarray]:
+    """Validate an explicit index list (``None`` means ``GrB_ALL``)."""
+    if indices is None:
+        return None
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.ndim != 1:
+        raise ValueError(f"{what} indices must be one-dimensional")
+    if idx.size and (idx.min() < 0 or idx.max() >= bound):
+        raise IndexError(f"{what} index out of range [0, {bound})")
+    return idx
+
+
+# ----------------------------------------------------------------------
+# matrix-vector product
+# ----------------------------------------------------------------------
+
+def mxv(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    semiring: Semiring,
+    A: Matrix,
+    u: Vector,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_mxv``: ``w⟨mask⟩ = accum(w, A ⊕.⊗ u)``.
+
+    Dispatches to SpMV (row streaming) when *u* is dense-ish and SpMSpV
+    (column gather, work ∝ active edges) when sparse — the crossover the
+    paper exploits once components start converging.
+    """
+    if A.ncols != u.size:
+        raise ValueError(f"A is {A.nrows}x{A.ncols} but u has size {u.size}")
+    if A.nrows != w.size:
+        raise ValueError(f"A is {A.nrows}x{A.ncols} but w has size {w.size}")
+    if u.density > SPMSPV_DENSITY_THRESHOLD:
+        t_idx, t_vals = _spmv(semiring, A, u)
+    else:
+        t_idx, t_vals = _spmspv(semiring, A, u)
+    return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+
+
+def _spmv(semiring: Semiring, A: Matrix, u: Vector):
+    """Row-streaming kernel: work ∝ nnz(A) restricted to present u entries."""
+    u_vals, u_present = u.dense_arrays()
+    cols = A.indices
+    keep = u_present[cols]
+    if not keep.all():
+        cols = cols[keep]
+        a_vals = A.values[keep]
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())[keep]
+    else:
+        a_vals = A.values
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())
+    prods = semiring.multiply(a_vals, u_vals[cols])
+    return _segment_reduce(np.asarray(prods), rows, semiring.add)
+
+
+def _spmspv(semiring: Semiring, A: Matrix, u: Vector):
+    """Column-gather kernel: work ∝ sum of degrees of present u entries."""
+    ui, uv = u.sparse_arrays()
+    if ui.size == 0:
+        return ui[:0], uv[:0]
+    indptr, rowids, vals = A.csc_arrays()
+    lo, hi = indptr[ui], indptr[ui + 1]
+    lengths = hi - lo
+    total = int(lengths.sum())
+    if total == 0:
+        return ui[:0], uv[:0]
+    out_starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=out_starts[1:])
+    flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
+    rows = rowids[flat]
+    prods = np.asarray(semiring.multiply(vals[flat], np.repeat(uv, lengths)))
+    order = np.argsort(rows, kind="stable")
+    return _segment_reduce(prods[order], rows[order], semiring.add)
+
+
+def vxm(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    semiring: Semiring,
+    u: Vector,
+    A: Matrix,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_vxm``: row-vector times matrix, i.e. ``mxv`` with ``Aᵀ``."""
+    return mxv(w, mask, accum, semiring, A.transpose(), u, desc)
+
+
+def mxm(semiring: Semiring, A: Matrix, B: Matrix) -> Matrix:
+    """``GrB_mxm`` (unmasked, no accumulator): ``C = A ⊕.⊗ B``.
+
+    The conventional *(plus, times)* semiring takes a SciPy fast path (the
+    Markov-clustering expansion step is a plain sparse GEMM); other
+    semirings run a column-at-a-time generic kernel built on :func:`mxv`.
+    """
+    if A.ncols != B.nrows:
+        raise ValueError(f"inner dimensions differ: {A.ncols} vs {B.nrows}")
+    if semiring.add.op.name == "plus" and semiring.multiply.name == "times":
+        c = (A.to_scipy().astype(np.float64) @ B.to_scipy().astype(np.float64)).tocsr()
+        c.sort_indices()
+        out_dtype = promote(A.dtype, B.dtype)
+        return Matrix(
+            A.nrows,
+            B.ncols,
+            c.indptr.astype(np.int64),
+            c.indices.astype(np.int64),
+            c.data.astype(out_dtype),
+        )
+    # Generic path: C[:, j] = A ⊕.⊗ B[:, j] for each non-empty column.
+    b_indptr, b_rows, b_vals = B.csc_arrays()
+    rows_out, cols_out, vals_out = [], [], []
+    for j in range(B.ncols):
+        lo, hi = b_indptr[j], b_indptr[j + 1]
+        if lo == hi:
+            continue
+        col = Vector.sparse(B.nrows, b_rows[lo:hi], b_vals[lo:hi])
+        out = Vector.empty(A.nrows, promote(A.dtype, B.dtype))
+        mxv(out, None, None, semiring, A, col)
+        oi, ov = out.sparse_arrays()
+        rows_out.append(oi)
+        cols_out.append(np.full(oi.size, j, dtype=np.int64))
+        vals_out.append(ov)
+    if not rows_out:
+        return Matrix.from_edges(A.nrows, B.ncols, [], [], values=np.empty(0))
+    return Matrix.from_edges(
+        A.nrows,
+        B.ncols,
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+    )
+
+
+# ----------------------------------------------------------------------
+# element-wise operations
+# ----------------------------------------------------------------------
+
+def ewise_mult(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    op: Union[BinaryOp, Semiring],
+    u: Vector,
+    v: Vector,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_eWiseMult``: apply *op* on the **intersection** of patterns."""
+    if u.size != v.size or u.size != w.size:
+        raise ValueError("eWiseMult operands must have equal size")
+    if isinstance(op, Semiring):
+        op = op.multiply
+    ui, uv = u.sparse_arrays()
+    vi, vv = v.sparse_arrays()
+    common, u_pos, v_pos = np.intersect1d(ui, vi, assume_unique=True, return_indices=True)
+    out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
+    t_vals = np.asarray(op(uv[u_pos], vv[v_pos])).astype(out_dtype)
+    return _masked_write(w, common, t_vals, mask, accum, desc)
+
+
+def ewise_add(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    op: Union[BinaryOp, Monoid],
+    u: Vector,
+    v: Vector,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_eWiseAdd``: apply *op* on the **union** of patterns."""
+    if u.size != v.size or u.size != w.size:
+        raise ValueError("eWiseAdd operands must have equal size")
+    if isinstance(op, Monoid):
+        op = op.op
+    ui, uv = u.sparse_arrays()
+    vi, vv = v.sparse_arrays()
+    out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
+    t_idx, t_vals = _merge_union(
+        ui, uv.astype(out_dtype), vi, vv.astype(out_dtype), op, out_dtype
+    )
+    return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+
+
+# ----------------------------------------------------------------------
+# extract / assign
+# ----------------------------------------------------------------------
+
+def extract(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    u: Vector,
+    indices: IndexArray,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_extract`` (vector variant): ``w⟨mask⟩ = u[indices]``.
+
+    ``indices=None`` means ``GrB_ALL``.  Result position *k* holds
+    ``u[indices[k]]`` when that element is stored, else nothing.  This is the
+    primitive LACC uses to read grandparents: ``gf = f[f]`` passes the parent
+    values as the index list (Algorithm 5).
+    """
+    idx = _as_index_array(indices, u.size, "extract")
+    if idx is None:
+        if w.size != u.size:
+            raise ValueError("GrB_ALL extract requires w.size == u.size")
+        t_idx, t_vals = u.sparse_arrays()
+        return _masked_write(w, t_idx.copy(), t_vals.copy(), mask, accum, desc)
+    if w.size != idx.size:
+        raise ValueError(f"w.size {w.size} != number of extract indices {idx.size}")
+    u_vals, u_present = u.dense_arrays()
+    hit = u_present[idx]
+    t_idx = np.flatnonzero(hit)
+    t_vals = u_vals[idx[hit]]
+    return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+
+
+def assign(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    u: Vector,
+    indices: IndexArray,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_assign`` (vector variant): ``w⟨mask⟩[indices] = u``.
+
+    Only positions named by *indices* are touched; the mask is over *w*'s
+    index space.  With duplicate target indices the last stored element of
+    *u* wins (matching a sequential scatter).  LACC's hooking step is this
+    primitive: ``f[f_h] = f_n`` scatters new parents onto the star roots.
+    """
+    idx = _as_index_array(indices, w.size, "assign")
+    if idx is None:
+        if u.size != w.size:
+            raise ValueError("GrB_ALL assign requires u.size == w.size")
+        ui, uv = u.sparse_arrays()
+        t_idx, t_vals = ui.copy(), uv.copy()
+        touched = None
+    else:
+        if u.size != idx.size:
+            raise ValueError(f"u.size {u.size} != number of assign indices {idx.size}")
+        ui, uv = u.sparse_arrays()
+        if ui.size == 0:
+            t_idx, t_vals = ui, uv
+        else:
+            targets = idx[ui]
+            order = np.argsort(targets, kind="stable")
+            t_sorted = targets[order]
+            v_sorted = uv[order]
+            last = np.r_[t_sorted[1:] != t_sorted[:-1], True]
+            t_idx, t_vals = t_sorted[last], v_sorted[last]
+        touched = idx
+
+    allow = desc.wrap(mask).allow(w.size)
+    if touched is not None and not desc.replace:
+        # restrict the write region to the named indices: positions outside
+        # `indices` keep their current w entries regardless of the mask
+        region = np.zeros(w.size, dtype=bool)
+        region[touched] = True
+        allow = allow & region
+    restricted = Descriptor(
+        replace=desc.replace, mask_structural=False, mask_complement=False
+    )
+    return _masked_write(
+        w, t_idx, t_vals, Mask(_bool_vector(allow), structural=False), accum, restricted
+    )
+
+
+def assign_scalar(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    value,
+    indices: IndexArray,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_assign`` scalar variant: ``w⟨mask⟩[indices] = value``.
+
+    Unlike the vector variant, the scalar is written to *every* named
+    position allowed by the mask (starcheck uses this to flag nonstars).
+    """
+    idx = _as_index_array(indices, w.size, "assign")
+    if idx is None:
+        idx = np.arange(w.size, dtype=np.int64)
+    else:
+        idx = np.unique(idx)
+    t_vals = np.full(idx.size, value, dtype=w.dtype)
+
+    allow = desc.wrap(mask).allow(w.size)
+    region = np.zeros(w.size, dtype=bool)
+    region[idx] = True
+    if not desc.replace:
+        allow = allow & region
+    restricted = Descriptor(replace=desc.replace)
+    return _masked_write(
+        w, idx, t_vals, Mask(_bool_vector(allow), structural=False), accum, restricted
+    )
+
+
+def _bool_vector(allow: np.ndarray) -> Vector:
+    """Wrap a dense boolean array as a full mask vector."""
+    return Vector.dense(allow)
+
+
+# ----------------------------------------------------------------------
+# apply / select / reduce
+# ----------------------------------------------------------------------
+
+def apply(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    fn: Callable[[np.ndarray], np.ndarray],
+    u: Vector,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GrB_apply``: map *fn* over u's stored values (pattern unchanged)."""
+    ui, uv = u.sparse_arrays()
+    t_vals = np.asarray(fn(uv))
+    if t_vals.shape != uv.shape:
+        raise ValueError("apply fn must be elementwise (shape-preserving)")
+    return _masked_write(w, ui.copy(), t_vals, mask, accum, desc)
+
+
+def select(
+    w: Vector,
+    mask,
+    accum: Optional[BinaryOp],
+    keep: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    u: Vector,
+    desc: Descriptor = NULL,
+) -> Vector:
+    """``GxB_select``: keep u's elements where ``keep(indices, values)``."""
+    ui, uv = u.sparse_arrays()
+    sel = np.asarray(keep(ui, uv), dtype=bool)
+    if sel.shape != ui.shape:
+        raise ValueError("select predicate must return one bool per element")
+    return _masked_write(w, ui[sel].copy(), uv[sel].copy(), mask, accum, desc)
+
+
+def reduce_vector(monoid: Monoid, u: Vector):
+    """``GrB_reduce`` to scalar: fold u's stored values with the monoid."""
+    _, vals = u.sparse_arrays()
+    return monoid.reduce(vals)
+
+
+def reduce_matrix(monoid: Monoid, A: Matrix, axis: int = 1) -> Vector:
+    """``GrB_reduce`` matrix→vector: fold rows (axis=1) or columns (axis=0)."""
+    if axis == 1:
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())
+        idx, vals = _segment_reduce(A.values, rows, monoid)
+        return Vector.sparse(A.nrows, idx, vals)
+    if axis == 0:
+        indptr, rowids, vals = A.csc_arrays()
+        cols = np.repeat(np.arange(A.ncols, dtype=np.int64), np.diff(indptr))
+        idx, out = _segment_reduce(vals, cols, monoid)
+        return Vector.sparse(A.ncols, idx, out)
+    raise ValueError("axis must be 0 (columns) or 1 (rows)")

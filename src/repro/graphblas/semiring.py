@@ -1,0 +1,74 @@
+"""Semirings (``GrB_Semiring``): an *add* monoid paired with a *multiply*
+binary operator.
+
+The paper's central semiring is **(Select2nd, min)** — registered here as
+:data:`SEL2ND_MIN_INT64`.  During ``GrB_mxv`` over this semiring, the
+multiply step ``Select2nd(A[i,j], f[j])`` forwards the parent id ``f[j]``
+along edge *(i, j)* and the add step keeps the minimum over all neighbours,
+i.e. each star vertex finds the neighbouring parent with the smallest id —
+exactly the hooking rule of Algorithms 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import binaryop as bop
+from . import monoid as mon
+from .binaryop import BinaryOp
+from .monoid import Monoid
+from .types import normalize_dtype
+
+__all__ = [
+    "Semiring",
+    "SEL2ND_MIN_INT64",
+    "SEL2ND_MAX_INT64",
+    "MIN_SECOND_INT64",
+    "PLUS_TIMES_FP64",
+    "MAX_TIMES_FP64",
+    "LOR_LAND_BOOL",
+    "MIN_FIRST_INT64",
+    "ANY_SECOND_INT64",
+    "PLUS_PAIR_INT64",
+    "semiring",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """``(add, multiply)`` pair used by matrix products.
+
+    ``add`` combines partial products landing on the same output index;
+    ``multiply`` combines a matrix entry with a vector (or matrix) entry.
+    """
+
+    add: Monoid
+    multiply: BinaryOp
+
+    @property
+    def name(self) -> str:
+        return f"{self.add.op.name}_{self.multiply.name}_{self.add.dtype.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+# The paper's (Select2nd, min) semiring.  GraphBLAS naming puts the add
+# monoid first, hence min_second; we also export the paper's spelling.
+MIN_SECOND_INT64 = Semiring(mon.MIN_INT64, bop.SECOND)
+SEL2ND_MIN_INT64 = MIN_SECOND_INT64
+SEL2ND_MAX_INT64 = Semiring(mon.MAX_INT64, bop.SECOND)
+ANY_SECOND_INT64 = Semiring(mon.ANY_INT64, bop.SECOND)
+MIN_FIRST_INT64 = Semiring(mon.MIN_INT64, bop.FIRST)
+PLUS_TIMES_FP64 = Semiring(mon.PLUS_FP64, bop.TIMES)
+MAX_TIMES_FP64 = Semiring(mon.MAX_FP64, bop.TIMES)
+LOR_LAND_BOOL = Semiring(mon.LOR_BOOL, bop.LAND)
+# plus_pair counts set intersections (pair(x, y) == 1); useful for degree
+# and triangle-style computations in the test suite.
+PLUS_PAIR_INT64 = Semiring(mon.PLUS_INT64, bop.ANY)
+
+
+def semiring(add_name: str, mul_name: str, dtype) -> Semiring:
+    """Construct (or fetch) the semiring ``(add_name, mul_name)`` on *dtype*."""
+    dtype = normalize_dtype(dtype)
+    return Semiring(mon.monoid_for(add_name, dtype), bop.by_name(mul_name))

@@ -1,0 +1,12 @@
+"""HipMCL-lite: Markov clustering with LACC cluster extraction (§VI-F)."""
+
+from .mcl import MCLResult, markov_clustering
+from .pipeline import PipelineResult, cluster_network, preprocess_similarities
+
+__all__ = [
+    "markov_clustering",
+    "MCLResult",
+    "cluster_network",
+    "PipelineResult",
+    "preprocess_similarities",
+]

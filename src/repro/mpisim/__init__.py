@@ -1,0 +1,32 @@
+"""Simulated distributed-memory runtime.
+
+The paper's experiments ran on Cray XC30/XC40 machines that are not
+available here, so scaling behaviour is reproduced with a deterministic
+simulator: :class:`~repro.mpisim.machine.MachineModel` carries Table II's
+hardware constants, :class:`~repro.mpisim.costmodel.CostModel` accumulates
+the §V-A quantities (scalar ops *F*, words *W*, messages *S*) and prices
+them as ``T = F·t_mem + β·W + α·S``, and
+:mod:`~repro.mpisim.collectives` prices each MPI collective — including
+the hypercube and sparse all-to-alls of §V-B.
+:class:`~repro.mpisim.comm.SimComm` additionally performs literal per-rank
+data movement so tests can validate the analytic accounting against a real
+execution.
+"""
+
+from . import collectives
+from .comm import SimComm
+from .costmodel import CostModel, PhaseCost
+from .grid import ProcessGrid
+from .machine import CORI_KNL, EDISON, LAPTOP, MachineModel
+
+__all__ = [
+    "MachineModel",
+    "EDISON",
+    "CORI_KNL",
+    "LAPTOP",
+    "CostModel",
+    "PhaseCost",
+    "ProcessGrid",
+    "SimComm",
+    "collectives",
+]

@@ -1,0 +1,112 @@
+"""SimComm — a functional simulated communicator that *actually moves
+data* between per-rank NumPy buffers.
+
+The cost-accounted scaling sweeps use the analytic formulas in
+:mod:`repro.mpisim.collectives`; this module provides the semantic ground
+truth those formulas price.  A :class:`SimComm` holds no processes — each
+collective is a pure function from a list of per-rank send buffers to a
+list of per-rank receive buffers, mirroring mpi4py's buffer interface
+closely enough that the test suite can validate the distributed layer's
+ownership arithmetic (who gets which words) against a literal execution.
+
+Used by the distributed-LACC validation tests and the
+``examples/simulated_cluster.py`` walk-through.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SimComm"]
+
+
+class SimComm:
+    """A world of *p* simulated ranks.
+
+    All collectives take ``bufs`` — one entry per rank — and return one
+    result per rank, performing the same data movement their MPI
+    counterparts would.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = int(size)
+
+    def _check(self, bufs: Sequence) -> None:
+        if len(bufs) != self.size:
+            raise ValueError(
+                f"expected one buffer per rank ({self.size}), got {len(bufs)}"
+            )
+
+    # ------------------------------------------------------------------
+    def bcast(self, bufs: List[Optional[np.ndarray]], root: int = 0) -> List[np.ndarray]:
+        """Every rank receives a copy of the root's buffer."""
+        self._check(bufs)
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range")
+        data = np.asarray(bufs[root])
+        return [data.copy() for _ in range(self.size)]
+
+    def allgather(self, bufs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Every rank receives the concatenation of all buffers."""
+        self._check(bufs)
+        out = np.concatenate([np.asarray(b) for b in bufs])
+        return [out.copy() for _ in range(self.size)]
+
+    def gather(self, bufs: Sequence[np.ndarray], root: int = 0) -> List[Optional[np.ndarray]]:
+        """Root receives the concatenation; others receive ``None``."""
+        self._check(bufs)
+        out: List[Optional[np.ndarray]] = [None] * self.size
+        out[root] = np.concatenate([np.asarray(b) for b in bufs])
+        return out
+
+    def scatter(self, chunks: Optional[Sequence[np.ndarray]], root: int = 0) -> List[np.ndarray]:
+        """Root's *chunks* (one per rank) are distributed."""
+        if chunks is None or len(chunks) != self.size:
+            raise ValueError("scatter needs exactly one chunk per rank")
+        return [np.asarray(c).copy() for c in chunks]
+
+    def alltoallv(
+        self, send: Sequence[Sequence[np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """``send[i][j]`` is what rank *i* sends to rank *j*; the result's
+        ``recv[j][i]`` is what rank *j* received from rank *i*."""
+        self._check(send)
+        for i, row in enumerate(send):
+            if len(row) != self.size:
+                raise ValueError(f"rank {i} must provide {self.size} send buffers")
+        return [
+            [np.asarray(send[i][j]).copy() for i in range(self.size)]
+            for j in range(self.size)
+        ]
+
+    def reduce_scatter_block(
+        self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> List[np.ndarray]:
+        """Element-wise reduce all equal-length buffers then split the
+        result into *p* contiguous blocks, block *i* to rank *i*."""
+        self._check(bufs)
+        arrs = [np.asarray(b) for b in bufs]
+        length = arrs[0].size
+        if any(a.size != length for a in arrs):
+            raise ValueError("reduce_scatter requires equal-length buffers")
+        if length % self.size:
+            raise ValueError("buffer length must divide evenly among ranks")
+        total = arrs[0]
+        for a in arrs[1:]:
+            total = op(total, a)
+        blk = length // self.size
+        return [total[r * blk : (r + 1) * blk].copy() for r in range(self.size)]
+
+    def allreduce(
+        self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> List[np.ndarray]:
+        """Element-wise reduction visible on every rank."""
+        self._check(bufs)
+        total = np.asarray(bufs[0])
+        for b in bufs[1:]:
+            total = op(total, np.asarray(b))
+        return [total.copy() for _ in range(self.size)]

@@ -1,0 +1,136 @@
+"""Tests for the serial baselines: union-find, Shiloach-Vishkin, BFS,
+label propagation / Multistep, and FastSV — cross-checked against scipy
+and against each other."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import bfs_cc, fastsv, label_prop, shiloach_vishkin, union_find
+from repro.graphs import generators as gen
+from repro.graphs import validate
+
+ALGOS = {
+    "union_find": union_find.connected_components,
+    "sv": shiloach_vishkin.connected_components,
+    "bfs": bfs_cc.connected_components,
+    "label_prop": label_prop.connected_components,
+    "multistep": label_prop.multistep,
+    "fastsv": fastsv.connected_components,
+}
+
+
+def graphs():
+    return [
+        gen.path_graph(17),
+        gen.cycle_graph(10),
+        gen.star_graph(12),
+        gen.binary_tree(4),
+        gen.component_mixture([4, 9, 1, 6], seed=1),
+        gen.erdos_renyi(120, 2.0, seed=2),
+        gen.rmat(7, 6, seed=3),
+        gen.EdgeList(6, [], [], "empty"),
+        gen.EdgeList(1, [], [], "one"),
+    ]
+
+
+@pytest.mark.parametrize("name,algo", ALGOS.items(), ids=list(ALGOS))
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("g", graphs(), ids=lambda g: f"{g.name}-{g.n}")
+    def test_matches_ground_truth(self, name, algo, g):
+        labels = algo(g.n, g.u, g.v)
+        assert validate.same_partition(labels, validate.ground_truth(g))
+
+    def test_handles_self_loops(self, name, algo):
+        labels = algo(3, [0, 1], [0, 2])
+        assert validate.same_partition(labels, np.array([0, 1, 1]))
+
+    def test_handles_duplicate_edges(self, name, algo):
+        labels = algo(4, [0, 0, 0], [1, 1, 1])
+        assert np.unique(validate.canonical_labels(labels)).size == 3
+
+
+class TestUnionFind:
+    def test_find_path_halving(self):
+        ds = union_find.DisjointSet(5)
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(2, 3)
+        assert ds.find(3) == ds.find(0)
+        assert ds.n_sets == 2
+
+    def test_union_returns_false_on_same_set(self):
+        ds = union_find.DisjointSet(3)
+        assert ds.union(0, 1)
+        assert not ds.union(1, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            union_find.DisjointSet(-1)
+
+    def test_labels_are_min_ids(self):
+        labels = union_find.connected_components(5, [4, 2], [2, 1])
+        np.testing.assert_array_equal(labels, [0, 1, 1, 3, 1])
+
+    def test_count_components(self):
+        assert union_find.count_components(5, [0, 2], [1, 3]) == 3
+
+    def test_empty(self):
+        ds = union_find.DisjointSet(0)
+        assert ds.labels().size == 0
+
+
+class TestIterationCounts:
+    def test_sv_logarithmic_on_path(self):
+        n = 512
+        g = gen.path_graph(n)
+        iters = shiloach_vishkin.sv_iterations(g.n, g.u, g.v)
+        assert iters <= 2 * int(np.log2(n)) + 4
+
+    def test_fastsv_logarithmic_on_path(self):
+        n = 512
+        g = gen.path_graph(n)
+        iters = fastsv.fastsv_iterations(g.n, g.u, g.v)
+        assert iters <= int(np.log2(n)) + 4
+
+    def test_label_prop_needs_diameter_iterations(self):
+        g = gen.path_graph(64)
+        iters = label_prop.label_prop_iterations(g.n, g.u, g.v)
+        assert iters >= 63  # min-label travels one hop per iteration
+
+    def test_multistep_beats_label_prop_on_giant_plus_fringe(self):
+        giant = gen.path_graph(200)
+        fringe = gen.component_mixture([3] * 5, seed=1)
+        g = gen.disjoint_union([giant, fringe])
+        labels = label_prop.multistep(g.n, g.u, g.v)
+        assert validate.same_partition(labels, validate.ground_truth(g))
+
+
+class TestBFS:
+    def test_bfs_from_reaches_component(self):
+        g = gen.component_mixture([5, 5], seed=0)
+        adj = bfs_cc._csr(g.n, g.u, g.v)
+        visited = np.zeros(g.n, dtype=bool)
+        reached = bfs_cc.bfs_from(adj, 0, visited)
+        gt = validate.ground_truth(g)
+        expected = np.flatnonzero(gt == gt[0])
+        assert set(reached.tolist()) == set(expected.tolist())
+
+    def test_largest_component_seed_picks_max_degree(self):
+        g = gen.star_graph(10, center=3)
+        assert bfs_cc.largest_component_seed(g.n, g.u, g.v) == 3
+
+
+class TestHypothesis:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_all_algorithms_agree(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=60))
+        m = data.draw(st.integers(min_value=0, max_value=150))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        u, v = rng.integers(0, n, m), rng.integers(0, n, m)
+        reference = union_find.connected_components(n, u, v)
+        for name, algo in ALGOS.items():
+            assert validate.same_partition(algo(n, u, v), reference), name

@@ -1,0 +1,121 @@
+"""Tests for the PRAM-era baselines: the plain Awerbuch–Shiloach
+reference (Algorithm 1) and Reif's random-mate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import awerbuch_shiloach as AS
+from repro.baselines import random_mate as RM
+from repro.core import lacc
+from repro.graphs import generators as gen
+from repro.graphs import validate
+
+
+class TestAwerbuchShiloach:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            gen.path_graph(33),
+            gen.cycle_graph(12),
+            gen.star_graph(20),
+            gen.binary_tree(5),
+            gen.component_mixture([9, 4, 4, 1], seed=1),
+            gen.erdos_renyi(150, 2.5, seed=2),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_matches_ground_truth(self, g):
+        labels = AS.connected_components(g.n, g.u, g.v)
+        assert validate.same_partition(labels, validate.ground_truth(g))
+
+    def test_matches_lacc(self):
+        """LACC is the GraphBLAS mapping of this algorithm; the partitions
+        must agree."""
+        g = gen.erdos_renyi(120, 1.6, seed=3)
+        a = AS.connected_components(g.n, g.u, g.v)
+        b = lacc(g.to_matrix()).parents
+        assert validate.same_partition(a, b)
+
+    def test_output_is_root_fixed_point(self):
+        g = gen.erdos_renyi(80, 2.0, seed=4)
+        f = AS.connected_components(g.n, g.u, g.v)
+        np.testing.assert_array_equal(f[f], f)
+
+    def test_log_iterations_on_path(self):
+        g = gen.path_graph(1024)
+        assert AS.as_iterations(g.n, g.u, g.v) <= 2 * 10 + 4
+
+    def test_empty(self):
+        labels = AS.connected_components(5, [], [])
+        np.testing.assert_array_equal(labels, np.arange(5))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_fuzz(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 80))
+        m = int(rng.integers(0, 250))
+        g = gen.EdgeList(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        labels = AS.connected_components(g.n, g.u, g.v)
+        assert validate.same_partition(labels, validate.ground_truth(g))
+
+
+class TestStarcheckArrays:
+    def test_singletons(self):
+        assert AS.starcheck_arrays(np.arange(4)).all()
+
+    def test_perfect_star(self):
+        assert AS.starcheck_arrays(np.zeros(5, dtype=np.int64)).all()
+
+    def test_chain_depth3(self):
+        star = AS.starcheck_arrays(np.array([0, 0, 1]))
+        assert not star.any()
+
+    def test_height3_level3_not_resurrected(self):
+        # root 0, child 1, grandchild 2 plus wide level-2: the fixup must
+        # not resurrect vertex 2 through its still-flagged parent 1
+        star = AS.starcheck_arrays(np.array([0, 0, 1, 0, 0]))
+        assert not star.any()
+
+    def test_mixed_forest(self):
+        star = AS.starcheck_arrays(np.array([0, 0, 2, 2, 3]))
+        np.testing.assert_array_equal(star, [True, True, False, False, False])
+
+
+class TestRandomMate:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_ground_truth(self, seed):
+        g = gen.component_mixture([25, 7, 3], seed=seed)
+        labels = RM.connected_components(g.n, g.u, g.v, seed=seed)
+        assert validate.same_partition(labels, validate.ground_truth(g))
+
+    def test_deterministic_given_seed(self):
+        g = gen.erdos_renyi(100, 2.0, seed=5)
+        a = RM.connected_components(g.n, g.u, g.v, seed=9)
+        b = RM.connected_components(g.n, g.u, g.v, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_expected_log_rounds(self):
+        g = gen.path_graph(512)
+        rounds = RM.rm_rounds(g.n, g.u, g.v, seed=1)
+        assert rounds <= 8 * 9  # generous constant over log2(512)=9
+
+    def test_empty(self):
+        labels = RM.connected_components(4, [], [])
+        np.testing.assert_array_equal(labels, np.arange(4))
+
+    def test_self_loops(self):
+        labels = RM.connected_components(3, [0, 1], [0, 2])
+        assert validate.same_partition(labels, np.array([0, 1, 1]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_fuzz(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        m = int(rng.integers(0, 150))
+        g = gen.EdgeList(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        labels = RM.connected_components(g.n, g.u, g.v, seed=seed % 100)
+        assert validate.same_partition(labels, validate.ground_truth(g))

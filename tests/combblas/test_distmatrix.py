@@ -1,0 +1,177 @@
+"""Tests for the 2D-distributed matrix and the indexing/routing layer."""
+
+import numpy as np
+import pytest
+
+from repro.combblas import DistMatrix, route_requests
+from repro.combblas.indexing import RoutingReport, charge_extract
+from repro.graphblas import Matrix
+from repro.graphs import generators as gen
+from repro.mpisim import EDISON, CostModel, ProcessGrid
+
+
+def dist(n=64, avg_deg=4.0, p=16, permute=True, seed=0):
+    g = gen.erdos_renyi(n, avg_deg, seed=seed)
+    A = g.to_matrix()
+    return DistMatrix(A, ProcessGrid(p, n), permute=permute, seed=seed), A
+
+
+class TestDistMatrix:
+    def test_grid_matrix_size_mismatch(self):
+        A = Matrix.adjacency(10, [0], [1])
+        with pytest.raises(ValueError):
+            DistMatrix(A, ProcessGrid(4, 11))
+
+    def test_rectangular_rejected(self):
+        m = Matrix.from_edges(2, 3, [0], [1], [1])
+        with pytest.raises(ValueError):
+            DistMatrix(m, ProcessGrid(1, 2))
+
+    def test_nvals_preserved_by_permutation(self):
+        d, A = dist()
+        assert d.nvals == A.nvals
+
+    def test_edges_partition_among_ranks(self):
+        d, A = dist()
+        assert d.edges_per_rank.sum() == A.nvals
+        assert d.edges_per_rank.size == 16
+
+    def test_permutation_improves_balance_on_skewed_graph(self):
+        # a star graph puts all edges in the hub's block row without
+        # permutation; the random permutation spreads the hub's column
+        g = gen.star_graph(256)
+        A = g.to_matrix()
+        grid = ProcessGrid(16, 256)
+        raw = DistMatrix(A, grid, permute=False)
+        perm = DistMatrix(A, grid, permute=True, seed=1)
+        assert perm.load_imbalance() <= raw.load_imbalance()
+
+    def test_to_original_labels_inverts_permutation(self):
+        from repro.baselines.union_find import connected_components
+
+        g = gen.component_mixture([5, 7, 3], seed=2)
+        A = g.to_matrix()
+        d = DistMatrix(A, ProcessGrid(4, g.n), permute=True, seed=3)
+        # labels computed in permuted space
+        rows, cols, _ = d.A.extract_tuples()
+        permuted_labels = connected_components(g.n, rows, cols)
+        back = d.to_original_labels(permuted_labels)
+        from repro.graphs.validate import ground_truth, same_partition
+
+        assert same_partition(back, ground_truth(g))
+
+    def test_local_blocks_cover_matrix(self):
+        d, A = dist(p=4)
+        total = sum(d.local_block(r).nvals for r in range(4))
+        assert total == A.nvals
+
+    def test_local_block_indices_in_range(self):
+        d, _ = dist(p=16)
+        blk = d.grid.block
+        for r in range(16):
+            b = d.local_block(r)
+            if b.nvals:
+                assert b.ir.max() < blk
+                assert b.jc.max() < blk
+
+    def test_identity_permutation_when_disabled(self):
+        d, _ = dist(permute=False)
+        np.testing.assert_array_equal(d.perm, np.arange(64))
+
+
+class TestChargeMxv:
+    def test_dense_input_charges_all_edges(self):
+        d, A = dist(p=4)
+        cost = CostModel(EDISON, 4, 1)
+        d.charge_mxv(cost, None, "mxv")
+        assert cost.phases["mxv"].flops >= d.edges_per_rank.max()
+
+    def test_sparse_input_charges_proportionally(self):
+        d, _ = dist(n=256, p=4)
+        dense_cost = CostModel(EDISON, 4, 1)
+        d.charge_mxv(dense_cost, None, "mxv")
+        sparse_cost = CostModel(EDISON, 4, 1)
+        few = np.zeros(256, dtype=bool)
+        few[:8] = True
+        d.charge_mxv(sparse_cost, few, "mxv")
+        assert sparse_cost.total_seconds < dense_cost.total_seconds
+
+    def test_empty_active_set_is_free(self):
+        d, _ = dist()
+        cost = CostModel(EDISON, 16, 4)
+        d.charge_mxv(cost, np.zeros(64, dtype=bool), "mxv")
+        assert cost.total_seconds == 0.0
+
+
+class TestRouting:
+    def grid(self, p=16, n=1600):
+        return ProcessGrid(p, n)
+
+    def test_counts_are_exact_bincount(self):
+        g = self.grid()
+        cost = CostModel(EDISON, 16, 4)
+        targets = np.array([0, 1, 100, 100, 1599])
+        rep = route_requests(g, cost, targets, None, "x")
+        assert rep.received_per_rank.sum() == 5
+        assert rep.received_per_rank[0] == 2  # indices 0, 1
+        assert rep.received_per_rank[1] == 2  # both 100s
+        assert rep.received_per_rank[15] == 1
+
+    def test_empty_targets(self):
+        g = self.grid()
+        cost = CostModel(EDISON, 16, 4)
+        rep = route_requests(g, cost, np.empty(0, dtype=np.int64), None, "x")
+        assert rep.seconds == 0.0 and cost.total_seconds == 0.0
+
+    def test_skew_metric(self):
+        g = self.grid()
+        cost = CostModel(EDISON, 16, 4)
+        # all requests hit rank 0 — maximal skew, like conditional hooking
+        rep = route_requests(g, cost, np.zeros(1000, dtype=np.int64), None, "x")
+        assert rep.skew == pytest.approx(16.0)
+
+    def test_broadcast_offload_triggers_on_hot_rank(self):
+        g = self.grid()
+        cost = CostModel(EDISON, 16, 4)
+        hot = np.zeros(5000, dtype=np.int64)  # 50x rank 0's 100 elements
+        rep = route_requests(g, cost, hot, None, "x", h=4.0)
+        assert 0 in rep.broadcast_ranks
+
+    def test_broadcast_offload_reduces_cost_under_skew(self):
+        g = self.grid()
+        hot = np.zeros(50_000, dtype=np.int64)
+        c_on = CostModel(EDISON, 16, 4)
+        on = route_requests(g, c_on, hot, None, "x", use_broadcast_offload=True)
+        c_off = CostModel(EDISON, 16, 4)
+        route_requests(g, c_off, hot, None, "x", use_broadcast_offload=False)
+        assert c_on.total_seconds < c_off.total_seconds
+        assert on.broadcast_ranks.size > 0
+
+    def test_no_offload_on_balanced_traffic(self):
+        g = self.grid()
+        cost = CostModel(EDISON, 16, 4)
+        balanced = np.arange(1600, dtype=np.int64)
+        rep = route_requests(g, cost, balanced, None, "x")
+        assert rep.broadcast_ranks.size == 0
+        assert rep.skew == pytest.approx(1.0)
+
+    def test_hypercube_beats_pairwise_at_scale(self):
+        g = ProcessGrid(4096, 409600)
+        targets = np.arange(0, 409600, 7, dtype=np.int64)
+        c_h = CostModel(EDISON, 4096, 1024)
+        route_requests(g, c_h, targets, None, "x", use_hypercube=True)
+        c_p = CostModel(EDISON, 4096, 1024)
+        route_requests(g, c_p, targets, None, "x", use_hypercube=False)
+        assert c_h.total_seconds < c_p.total_seconds
+
+    def test_charge_extract_alias(self):
+        g = self.grid()
+        cost = CostModel(EDISON, 16, 4)
+        rep = charge_extract(g, cost, np.array([3, 5]), np.array([0, 1]), "x")
+        assert isinstance(rep, RoutingReport)
+
+    def test_single_rank_is_free(self):
+        g = ProcessGrid(1, 100)
+        cost = CostModel(EDISON, 1, 1)
+        rep = route_requests(g, cost, np.arange(100), None, "x")
+        assert cost.total_words == 0

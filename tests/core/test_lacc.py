@@ -1,0 +1,216 @@
+"""End-to-end tests for serial LACC (both sparsity modes) against the
+scipy ground truth and the union-find oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import union_find
+from repro.core import lacc
+from repro.graphs import generators as gen
+from repro.graphs import validate
+
+
+def check(g, use_sparsity=True):
+    A = g.to_matrix()
+    res = lacc(A, use_sparsity=use_sparsity)
+    gt = validate.ground_truth(g)
+    assert validate.same_partition(res.parents, gt), g.name
+    assert res.n_components == np.unique(gt).size
+    return res
+
+
+NAMED_GRAPHS = [
+    gen.path_graph(2),
+    gen.path_graph(10),
+    gen.path_graph(257),
+    gen.cycle_graph(3),
+    gen.cycle_graph(100),
+    gen.star_graph(50),
+    gen.star_graph(9, center=4),
+    gen.binary_tree(7),
+    gen.mesh3d(4, 5, 6),
+    gen.component_mixture([1] * 20),
+    gen.component_mixture([7, 1, 19, 2, 2], seed=3),
+    gen.erdos_renyi(300, 0.5, seed=11),
+    gen.erdos_renyi(300, 8.0, seed=12),
+    gen.rmat(9, 8, seed=13),
+    gen.clustered_graph(80, 5.0, giant_fraction=0.3, seed=14),
+]
+
+
+@pytest.mark.parametrize("g", NAMED_GRAPHS, ids=lambda g: f"{g.name}-{g.n}")
+@pytest.mark.parametrize("sparsity", [True, False], ids=["sparse", "dense"])
+class TestCorrectness:
+    def test_partition_matches_ground_truth(self, g, sparsity):
+        check(g, sparsity)
+
+    def test_labels_are_roots(self, g, sparsity):
+        res = check(g, sparsity)
+        # every label is a fixed point of the final parent vector
+        assert np.array_equal(res.parents[res.parents], res.parents)
+
+    def test_canonical_labels_are_min_ids(self, g, sparsity):
+        res = check(g, sparsity)
+        assert validate.is_min_label(res.labels)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = gen.EdgeList(7, [], [], "empty")
+        res = check(g)
+        assert res.n_components == 7
+        assert res.n_iterations == 0
+
+    def test_zero_vertices(self):
+        from repro.graphblas import Matrix
+
+        res = lacc(Matrix.from_edges(0, 0, [], []))
+        assert res.n_components == 0
+        assert res.parents.size == 0
+
+    def test_single_vertex(self):
+        res = check(gen.EdgeList(1, [], [], "v1"))
+        assert res.n_components == 1
+
+    def test_single_edge(self):
+        res = check(gen.EdgeList(2, [0], [1], "e1"))
+        assert res.n_components == 1
+
+    def test_self_loops_only(self):
+        g = gen.EdgeList(4, [0, 1], [0, 1], "loops")
+        res = check(g)
+        assert res.n_components == 4
+
+    def test_isolated_vertices_plus_edge(self):
+        g = gen.EdgeList(10, [3], [7], "sparse")
+        res = check(g)
+        assert res.n_components == 9
+
+    def test_rejects_rectangular_matrix(self):
+        from repro.graphblas import Matrix
+
+        m = Matrix.from_edges(2, 3, [0], [1], [1])
+        with pytest.raises(ValueError):
+            lacc(m)
+
+    def test_rejects_asymmetric_matrix(self):
+        from repro.graphblas import Matrix
+
+        m = Matrix.from_edges(3, 3, [0], [1], [1])
+        with pytest.raises(ValueError):
+            lacc(m)
+
+    def test_max_iterations_guard(self):
+        g = gen.path_graph(64)
+        with pytest.raises(RuntimeError):
+            lacc(g.to_matrix(), max_iterations=1)
+
+
+class TestAgainstBaselines:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_union_find(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 150
+        m = int(rng.integers(0, 400))
+        u, v = rng.integers(0, n, m), rng.integers(0, n, m)
+        g = gen.EdgeList(n, u, v)
+        res = lacc(g.to_matrix())
+        uf = union_find.connected_components(n, u, v)
+        assert validate.same_partition(res.parents, uf)
+
+    def test_sparse_and_dense_modes_agree(self):
+        g = gen.erdos_renyi(250, 2.0, seed=9)
+        a = lacc(g.to_matrix(), use_sparsity=True)
+        b = lacc(g.to_matrix(), use_sparsity=False)
+        assert validate.same_partition(a.parents, b.parents)
+        assert a.n_components == b.n_components
+
+
+class TestIterationComplexity:
+    def test_log_bound_on_path(self):
+        """AS converges in O(log n) iterations; the constant is small."""
+        for k in (6, 8, 10):
+            n = 1 << k
+            res = lacc(gen.path_graph(n).to_matrix())
+            assert res.n_iterations <= 2 * k + 4
+
+    def test_star_converges_fast(self):
+        res = lacc(gen.star_graph(1000).to_matrix())
+        assert res.n_iterations <= 3
+
+    def test_iterations_grow_with_diameter(self):
+        short = lacc(gen.star_graph(256).to_matrix()).n_iterations
+        long_ = lacc(gen.path_graph(256).to_matrix()).n_iterations
+        assert long_ > short
+
+
+class TestStats:
+    def test_stats_populated(self):
+        g = gen.component_mixture([20, 30, 5], seed=4)
+        res = lacc(g.to_matrix())
+        assert res.stats.n_iterations == res.n_iterations
+        for it in res.stats.iterations:
+            assert it.active_vertices >= 0
+            assert set(it.step_seconds) >= {"cond_hook", "uncond_hook", "shortcut"}
+
+    def test_converged_fraction_monotone(self):
+        g = gen.component_mixture([5] * 40, seed=5)
+        res = lacc(g.to_matrix())
+        fracs = res.stats.converged_fraction()
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] == 1.0
+
+    def test_converged_fraction_zero_without_sparsity(self):
+        g = gen.component_mixture([5] * 10, seed=6)
+        res = lacc(g.to_matrix(), use_sparsity=False)
+        assert all(f == 0.0 for f in res.stats.converged_fraction())
+
+    def test_collect_stats_off(self):
+        g = gen.path_graph(20)
+        res = lacc(g.to_matrix(), collect_stats=False)
+        assert res.stats.n_iterations == 0
+        assert res.n_iterations > 0
+
+
+class TestHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_graphs_match_ground_truth(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=80))
+        m = data.draw(st.integers(min_value=0, max_value=200))
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        g = gen.EdgeList(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        res = lacc(g.to_matrix())
+        assert validate.same_partition(res.parents, validate.ground_truth(g))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_invariant_under_relabelling(self, seed):
+        """CC structure is invariant under vertex permutation."""
+        g = gen.erdos_renyi(60, 1.5, seed=seed % 1000)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.n)
+        g2 = gen.EdgeList(g.n, perm[g.u], perm[g.v])
+        r1 = lacc(g.to_matrix())
+        r2 = lacc(g2.to_matrix())
+        assert r1.n_components == r2.n_components
+        # permuted labels of g must partition identically to labels of g2
+        lifted = np.empty(g.n, dtype=np.int64)
+        lifted[perm] = r1.labels
+        assert validate.same_partition(lifted, r2.labels)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=1000))
+    def test_adding_edge_never_increases_components(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(0, 3 * n))
+        u, v = rng.integers(0, n, m), rng.integers(0, n, m)
+        base = lacc(gen.EdgeList(n, u, v).to_matrix()).n_components
+        eu, ev = rng.integers(0, n, 2)
+        more = lacc(
+            gen.EdgeList(n, np.r_[u, eu], np.r_[v, ev]).to_matrix()
+        ).n_components
+        assert more <= base

@@ -1,0 +1,66 @@
+"""Tests for the educational (LAGraph-style) unoptimised LACC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import lacc
+from repro.core.lacc_lagraph import lacc_lagraph
+from repro.graphblas import Matrix
+from repro.graphs import generators as gen
+from repro.graphs import validate
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            gen.path_graph(20),
+            gen.cycle_graph(9),
+            gen.star_graph(15),
+            gen.binary_tree(5),
+            gen.component_mixture([6, 1, 11, 3], seed=1),
+            gen.erdos_renyi(150, 2.0, seed=2),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_matches_ground_truth(self, g):
+        f = lacc_lagraph(g.to_matrix())
+        assert validate.same_partition(f, validate.ground_truth(g))
+
+    def test_matches_optimised_lacc(self):
+        g = gen.erdos_renyi(200, 1.5, seed=3)
+        A = g.to_matrix()
+        assert validate.same_partition(lacc_lagraph(A), lacc(A).parents)
+
+    def test_empty(self):
+        f = lacc_lagraph(Matrix.adjacency(5, [], []))
+        np.testing.assert_array_equal(f, np.arange(5))
+
+    def test_zero_vertices(self):
+        assert lacc_lagraph(Matrix.from_edges(0, 0, [], [])).size == 0
+
+    def test_output_is_fixed_point(self):
+        g = gen.erdos_renyi(100, 3.0, seed=4)
+        f = lacc_lagraph(g.to_matrix())
+        np.testing.assert_array_equal(f[f], f)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            lacc_lagraph(Matrix.from_edges(3, 3, [0], [1], [1]))
+
+    def test_iteration_guard(self):
+        g = gen.path_graph(100)
+        with pytest.raises(RuntimeError):
+            lacc_lagraph(g.to_matrix(), max_iterations=1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_fuzz_against_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        m = int(rng.integers(0, 150))
+        g = gen.EdgeList(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        f = lacc_lagraph(g.to_matrix())
+        assert validate.same_partition(f, validate.ground_truth(g))

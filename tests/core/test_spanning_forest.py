@@ -1,0 +1,106 @@
+"""Tests for spanning-forest extraction via witness-carrying hooking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.union_find import DisjointSet
+from repro.core.spanning_forest import spanning_forest
+from repro.graphblas import Matrix
+from repro.graphs import generators as gen
+from repro.graphs import validate
+
+
+def graph_edge_set(g):
+    return set(zip(g.u.tolist(), g.v.tolist())) | set(zip(g.v.tolist(), g.u.tolist()))
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            gen.path_graph(15),
+            gen.cycle_graph(9),
+            gen.star_graph(11),
+            gen.binary_tree(4),
+            gen.component_mixture([8, 3, 1, 12], seed=1),
+            gen.erdos_renyi(120, 3.0, seed=2),
+            gen.barbell(6, bridge=2),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_spanning_invariants(self, g):
+        sf = spanning_forest(g.to_matrix())
+        assert sf.is_spanning()
+        assert validate.same_partition(sf.parents, validate.ground_truth(g))
+
+    def test_edge_count_formula(self):
+        g = gen.component_mixture([10, 5, 3], seed=3)
+        sf = spanning_forest(g.to_matrix())
+        assert sf.n_edges == g.n - 3
+
+    def test_edges_are_graph_edges(self):
+        g = gen.erdos_renyi(80, 4.0, seed=4)
+        sf = spanning_forest(g.to_matrix())
+        edges = graph_edge_set(g)
+        for a, b in zip(sf.edges_u.tolist(), sf.edges_v.tolist()):
+            assert (a, b) in edges
+
+    def test_forest_is_acyclic(self):
+        g = gen.erdos_renyi(100, 5.0, seed=5)
+        sf = spanning_forest(g.to_matrix())
+        ds = DisjointSet(g.n)
+        for a, b in zip(sf.edges_u.tolist(), sf.edges_v.tolist()):
+            assert ds.union(a, b), "cycle edge in forest"
+
+    def test_tree_on_tree_input(self):
+        """On a tree input the forest must be the whole edge set."""
+        g = gen.binary_tree(5)
+        sf = spanning_forest(g.to_matrix())
+        assert sf.n_edges == g.nedges
+        assert set(
+            frozenset(e) for e in zip(sf.edges_u.tolist(), sf.edges_v.tolist())
+        ) == set(frozenset(e) for e in zip(g.u.tolist(), g.v.tolist()))
+
+    def test_empty_graph(self):
+        sf = spanning_forest(Matrix.adjacency(5, [], []))
+        assert sf.n_edges == 0 and sf.n_components == 5
+
+    def test_zero_vertices(self):
+        sf = spanning_forest(Matrix.from_edges(0, 0, [], []))
+        assert sf.n == 0 and sf.n_components == 0
+
+    def test_isolated_vertices(self):
+        g = gen.EdgeList(10, [0], [1])
+        sf = spanning_forest(g.to_matrix())
+        assert sf.n_edges == 1 and sf.n_components == 9
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            spanning_forest(Matrix.from_edges(3, 3, [0], [1], [1]))
+
+    def test_sparsity_modes_agree_on_structure(self):
+        g = gen.erdos_renyi(150, 2.0, seed=6)
+        a = spanning_forest(g.to_matrix(), use_sparsity=True)
+        b = spanning_forest(g.to_matrix(), use_sparsity=False)
+        assert a.n_edges == b.n_edges
+        assert validate.same_partition(a.parents, b.parents)
+
+
+class TestHypothesis:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_fuzz_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 80))
+        m = int(rng.integers(0, 200))
+        g = gen.EdgeList(n, rng.integers(0, n, m), rng.integers(0, n, m))
+        sf = spanning_forest(g.to_matrix())
+        assert sf.is_spanning()
+        assert validate.same_partition(sf.parents, validate.ground_truth(g))
+        edges = graph_edge_set(g)
+        assert all(
+            (a, b) in edges
+            for a, b in zip(sf.edges_u.tolist(), sf.edges_v.tolist())
+        )

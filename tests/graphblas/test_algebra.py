@@ -1,0 +1,154 @@
+"""Tests for binary ops, monoids and semirings — including algebraic laws
+verified with hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphblas import binaryops as bop
+from repro.graphblas import monoids as mon
+from repro.graphblas import semirings as sr
+from repro.graphblas.monoid import Monoid, monoid_for
+from repro.graphblas.semiring import semiring
+
+i64 = st.integers(min_value=-(2**31), max_value=2**31)
+
+
+class TestBinaryOps:
+    def test_min(self):
+        assert bop.MIN(3, 5) == 3
+
+    def test_max(self):
+        assert bop.MAX(3, 5) == 5
+
+    def test_plus(self):
+        assert bop.PLUS(3, 5) == 8
+
+    def test_first_second(self):
+        assert bop.FIRST(3, 5) == 3
+        assert bop.SECOND(3, 5) == 5
+
+    def test_second_on_arrays(self):
+        x = np.array([1, 2, 3])
+        y = np.array([4, 5, 6])
+        np.testing.assert_array_equal(bop.SECOND(x, y), y)
+
+    def test_first_broadcasts(self):
+        out = bop.FIRST(np.array([1, 2]), 9)
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_second_broadcasts(self):
+        out = bop.SECOND(np.array([True, True]), np.int64(7))
+        np.testing.assert_array_equal(out, [7, 7])
+
+    def test_comparison_ops_are_bool(self):
+        assert bop.EQ.bool_result and bop.NE.bool_result
+        assert bop.EQ(2, 2) and bop.NE(2, 3)
+
+    def test_logical_ops(self):
+        assert bop.LOR(False, True)
+        assert not bop.LAND(False, True)
+        assert bop.LXOR(False, True)
+
+    def test_by_name(self):
+        assert bop.by_name("MIN") is bop.MIN
+        assert bop.by_name("second") is bop.SECOND
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            bop.by_name("frobnicate")
+
+    def test_min_scatter_combines_duplicates(self):
+        target = np.array([10, 10, 10], dtype=np.int64)
+        bop.MIN.scatter(target, np.array([0, 0, 2]), np.array([5, 3, 7]))
+        np.testing.assert_array_equal(target, [3, 10, 7])
+
+    def test_second_scatter_last_wins(self):
+        target = np.zeros(3, dtype=np.int64)
+        bop.SECOND.scatter(target, np.array([1, 1]), np.array([5, 9]))
+        assert target[1] == 9
+
+
+class TestMonoids:
+    def test_min_identity(self):
+        assert mon.MIN_INT64.identity == np.iinfo(np.int64).max
+
+    def test_requires_associative_commutative(self):
+        with pytest.raises(ValueError):
+            Monoid(bop.FIRST, 0, np.int64)
+
+    def test_reduce_empty_returns_identity(self):
+        assert mon.PLUS_INT64.reduce(np.empty(0, dtype=np.int64)) == 0
+        assert mon.MIN_INT64.reduce(np.empty(0, dtype=np.int64)) == np.iinfo(np.int64).max
+
+    def test_reduce(self):
+        assert mon.MIN_INT64.reduce(np.array([5, 2, 9])) == 2
+        assert mon.PLUS_FP64.reduce(np.array([1.5, 2.5])) == 4.0
+        assert mon.LOR_BOOL.reduce(np.array([False, True]))
+
+    def test_monoid_for_registered(self):
+        assert monoid_for("min", np.int64) is mon.MIN_INT64
+
+    def test_monoid_for_constructed(self):
+        m = monoid_for("min", np.int32)
+        assert m.identity == np.iinfo(np.int32).max
+        assert m(np.int32(4), np.int32(2)) == 2
+
+    def test_monoid_for_unknown(self):
+        with pytest.raises(KeyError):
+            monoid_for("eq", np.int64)
+
+    @given(st.lists(i64, min_size=1, max_size=30))
+    def test_min_reduce_matches_python(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        assert mon.MIN_INT64.reduce(arr) == min(xs)
+
+    @given(i64, i64, i64)
+    def test_min_associative(self, a, b, c):
+        m = mon.MIN_INT64
+        assert m(m(a, b), c) == m(a, m(b, c))
+
+    @given(i64, i64)
+    def test_min_commutative(self, a, b):
+        assert mon.MIN_INT64(a, b) == mon.MIN_INT64(b, a)
+
+    @given(i64)
+    def test_min_identity_law(self, a):
+        assert mon.MIN_INT64(mon.MIN_INT64.identity, a) == a
+
+    @given(i64)
+    def test_plus_identity_law(self, a):
+        assert mon.PLUS_INT64(0, a) == a
+
+
+class TestSemirings:
+    def test_sel2nd_min_name(self):
+        assert sr.SEL2ND_MIN_INT64.name == "min_second_int64"
+
+    def test_sel2nd_min_multiply_selects_second(self):
+        s = sr.SEL2ND_MIN_INT64
+        assert s.multiply(True, 42) == 42
+
+    def test_plus_times(self):
+        s = sr.PLUS_TIMES_FP64
+        assert s.multiply(2.0, 3.0) == 6.0
+        assert s.add(2.0, 3.0) == 5.0
+
+    def test_semiring_factory(self):
+        s = semiring("max", "second", np.int64)
+        assert s.add.op.name == "max"
+        assert s.multiply.name == "second"
+
+    def test_semiring_factory_rejects_non_monoid_add(self):
+        with pytest.raises(KeyError):
+            semiring("ne", "second", np.int64)
+
+    @given(i64, i64, i64)
+    def test_select2nd_min_distributes(self, a, b, x):
+        """min(second(e, a), second(e, b)) == second(e, min(a, b)) — the
+        distributivity that makes (Select2nd, min) a valid semiring for mxv."""
+        s = sr.SEL2ND_MIN_INT64
+        lhs = s.add(s.multiply(x, a), s.multiply(x, b))
+        rhs = s.multiply(x, s.add(a, b))
+        assert lhs == rhs

@@ -1,0 +1,98 @@
+"""Tests for the index-unary select operator registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix, Vector
+from repro.graphblas import indexunary as iu
+
+
+def tri_matrix():
+    # full 3x3 with values = 10*i + j
+    rows, cols = np.meshgrid(np.arange(3), np.arange(3), indexing="ij")
+    return Matrix.from_edges(
+        3, 3, rows.ravel(), cols.ravel(), (10 * rows + cols).ravel()
+    )
+
+
+def md(m):
+    r, c, v = m.extract_tuples()
+    return dict(zip(zip(r.tolist(), c.tolist()), v.tolist()))
+
+
+class TestPositional:
+    def test_tril(self):
+        out = iu.matrix_select_op(iu.TRIL, tri_matrix())
+        assert set(md(out)) == {(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)}
+
+    def test_tril_with_offset(self):
+        out = iu.matrix_select_op(iu.TRIL, tri_matrix(), thunk=-1)
+        assert set(md(out)) == {(1, 0), (2, 0), (2, 1)}
+
+    def test_triu(self):
+        out = iu.matrix_select_op(iu.TRIU, tri_matrix(), thunk=1)
+        assert set(md(out)) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_diag_offdiag_partition(self):
+        A = tri_matrix()
+        d = iu.matrix_select_op(iu.DIAG, A)
+        o = iu.matrix_select_op(iu.OFFDIAG, A)
+        assert d.nvals + o.nvals == A.nvals
+        assert set(md(d)) == {(0, 0), (1, 1), (2, 2)}
+
+    def test_row_col_tests(self):
+        A = tri_matrix()
+        assert set(md(iu.matrix_select_op(iu.ROWLE, A, 0))) == {(0, 0), (0, 1), (0, 2)}
+        assert set(md(iu.matrix_select_op(iu.COLGT, A, 1))) == {(0, 2), (1, 2), (2, 2)}
+
+
+class TestValue:
+    def test_valuege_threshold(self):
+        out = iu.matrix_select_op(iu.VALUEGE, tri_matrix(), thunk=20)
+        assert all(v >= 20 for v in md(out).values())
+        assert out.nvals == 3
+
+    def test_valueeq_ne(self):
+        A = tri_matrix()
+        eq = iu.matrix_select_op(iu.VALUEEQ, A, 11)
+        ne = iu.matrix_select_op(iu.VALUENE, A, 11)
+        assert eq.nvals == 1 and ne.nvals == A.nvals - 1
+
+    def test_lt_le_gt_partition(self):
+        A = tri_matrix()
+        lt = iu.matrix_select_op(iu.VALUELT, A, 11).nvals
+        eq = iu.matrix_select_op(iu.VALUEEQ, A, 11).nvals
+        gt = iu.matrix_select_op(iu.VALUEGT, A, 11).nvals
+        assert lt + eq + gt == A.nvals
+        le = iu.matrix_select_op(iu.VALUELE, A, 11).nvals
+        assert le == lt + eq
+
+
+class TestVectorSelect:
+    def test_value_threshold(self):
+        u = Vector.sparse(6, [0, 2, 4], [5, -1, 9])
+        out = iu.vector_select_op(iu.VALUEGT, u, 0)
+        assert dict(out) == {0: 5, 4: 9}
+
+    def test_index_tests(self):
+        u = Vector.dense(np.arange(6, dtype=np.int64) * 10)
+        out = iu.vector_select_op(iu.INDEXLE, u, 2)
+        assert sorted(dict(out)) == [0, 1, 2]
+        out = iu.vector_select_op(iu.INDEXGT, u, 3)
+        assert sorted(dict(out)) == [4, 5]
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert iu.by_name("TRIL") is iu.TRIL
+        assert iu.by_name("valuege") is iu.VALUEGE
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            iu.by_name("banana")
+
+    def test_mcl_prune_idiom(self):
+        """matrix_select_op(VALUEGE) is MCL's threshold prune."""
+        m = Matrix.from_edges(2, 2, [0, 1], [0, 1], [1e-6, 0.5])
+        out = iu.matrix_select_op(iu.VALUEGE, m, 1e-4)
+        assert md(out) == {(1, 1): 0.5}

@@ -1,0 +1,95 @@
+"""Tests for GrB_kronecker and Kronecker-power graphs."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+import repro.graphblas as gb
+from repro.graphblas import Matrix
+from repro.graphblas import binaryops as bop
+
+
+def small(vals):
+    return Matrix.from_edges(2, 2, [0, 1], [1, 0], vals)
+
+
+class TestKronecker:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        A = Matrix.from_edges(3, 4, rng.integers(0, 3, 5), rng.integers(0, 4, 5), rng.random(5))
+        B = Matrix.from_edges(2, 3, rng.integers(0, 2, 4), rng.integers(0, 3, 4), rng.random(4))
+        C = gb.kronecker(bop.TIMES, A, B)
+        expected = sp.kron(A.to_scipy(), B.to_scipy()).toarray()
+        np.testing.assert_allclose(C.to_scipy().toarray(), expected)
+
+    def test_shape(self):
+        A = small([1.0, 2.0])
+        B = Matrix.from_edges(3, 5, [0], [4], [1.0])
+        C = gb.kronecker(bop.TIMES, A, B)
+        assert C.shape == (6, 10)
+        assert C.nvals == 2
+
+    def test_semiring_argument_uses_multiply(self):
+        from repro.graphblas import semirings as sr
+
+        A = small([True, True])
+        B = small([7, 9])
+        C = gb.kronecker(sr.SEL2ND_MIN_INT64, A, B)  # SECOND: takes B's values
+        _, _, vals = C.extract_tuples()
+        assert sorted(vals.tolist()) == [7, 7, 9, 9]
+
+    def test_empty_operand(self):
+        A = small([1.0, 1.0])
+        E = Matrix.from_edges(2, 2, [], [])
+        C = gb.kronecker(bop.TIMES, A, E)
+        assert C.nvals == 0 and C.shape == (4, 4)
+
+    def test_min_combiner(self):
+        A = small([5, 2])
+        B = small([3, 9])
+        C = gb.kronecker(bop.MIN, A, B)
+        _, _, vals = C.extract_tuples()
+        assert sorted(vals.tolist()) == [2, 2, 3, 5]
+
+
+class TestKroneckerPower:
+    def test_power_one_is_seed(self):
+        A = small([1.0, 1.0])
+        assert gb.kronecker_power_graph(A, 1).isequal(A)
+
+    def test_power_sizes(self):
+        A = small([1.0, 1.0])
+        C = gb.kronecker_power_graph(A, 4)
+        assert C.shape == (16, 16)
+        assert C.nvals == 2 ** 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gb.kronecker_power_graph(Matrix.from_edges(2, 3, [], []), 2)
+        with pytest.raises(ValueError):
+            gb.kronecker_power_graph(small([1.0, 1.0]), 0)
+
+    def test_lacc_on_kronecker_power(self):
+        """The Kronecker power of a connected seed with self-loops stays
+        connected; LACC must agree with scipy on the component count."""
+        from repro.core import lacc
+        from scipy.sparse import csgraph
+
+        seed = Matrix.from_edges(
+            2, 2, [0, 0, 1, 1], [0, 1, 0, 1], [1.0, 1.0, 1.0, 1.0]
+        )
+        K = gb.kronecker_power_graph(seed, 5)  # 32 vertices, all-ones
+        rows, cols, _ = K.extract_tuples()
+        A = Matrix.adjacency(32, rows, cols)
+        res = lacc(A)
+        ncc, _ = csgraph.connected_components(K.to_scipy(), directed=False)
+        assert res.n_components == ncc == 1
+
+    def test_star_seed_structure(self):
+        """Kronecker square of a star has the block structure the R-MAT
+        recursion produces (hubs of hubs)."""
+        seed = Matrix.from_edges(2, 2, [0, 0, 1], [0, 1, 0], [1.0, 1.0, 1.0])
+        K2 = gb.kronecker_power_graph(seed, 2)
+        rows, cols, _ = K2.extract_tuples()
+        deg = np.bincount(np.r_[rows, cols], minlength=4)
+        assert deg[0] == deg.max()  # vertex 0 is the hub of hubs

@@ -1,0 +1,108 @@
+"""Round-trip tests for .npz serialization of GraphBLAS objects."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix, Vector, serialize
+from repro.graphs import generators as gen
+
+
+class TestMatrix:
+    def test_roundtrip(self, tmp_path):
+        g = gen.erdos_renyi(50, 3.0, seed=1)
+        m = g.to_matrix()
+        p = tmp_path / "m.npz"
+        serialize.save_matrix(p, m)
+        back = serialize.load_matrix(p)
+        assert back.isequal(m)
+        assert back.dtype == m.dtype
+
+    def test_symmetry_flag_preserved(self, tmp_path):
+        m = Matrix.adjacency(4, [0, 1], [1, 2])
+        p = tmp_path / "m.npz"
+        serialize.save_matrix(p, m)
+        assert serialize.load_matrix(p)._symmetric is True
+
+    def test_unknown_symmetry_preserved(self, tmp_path):
+        m = Matrix.from_edges(3, 3, [0], [1], [1.5])
+        p = tmp_path / "m.npz"
+        serialize.save_matrix(p, m)
+        assert serialize.load_matrix(p)._symmetric is None
+
+    def test_float_values(self, tmp_path):
+        m = Matrix.from_edges(2, 3, [0, 1], [2, 0], [0.25, -1.5])
+        p = tmp_path / "m.npz"
+        serialize.save_matrix(p, m)
+        back = serialize.load_matrix(p)
+        np.testing.assert_array_equal(back.values, m.values)
+
+    def test_empty_matrix(self, tmp_path):
+        m = Matrix.from_edges(5, 5, [], [])
+        p = tmp_path / "m.npz"
+        serialize.save_matrix(p, m)
+        assert serialize.load_matrix(p).nvals == 0
+
+    def test_kind_check(self, tmp_path):
+        v = Vector.iota(3)
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        with pytest.raises(ValueError):
+            serialize.load_matrix(p)
+
+
+class TestVector:
+    def test_roundtrip_sparse(self, tmp_path):
+        v = Vector.sparse(100, [3, 50, 99], [7, -2, 9])
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        assert serialize.load_vector(p).isequal(v)
+
+    def test_roundtrip_dense(self, tmp_path):
+        v = Vector.iota(20)
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        assert serialize.load_vector(p).isequal(v)
+
+    def test_bool_vector(self, tmp_path):
+        v = Vector.sparse(5, [1, 3], [True, False], dtype=np.bool_)
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        back = serialize.load_vector(p)
+        assert back.dtype == np.bool_ and back.isequal(v)
+
+    def test_empty(self, tmp_path):
+        v = Vector.empty(7)
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        back = serialize.load_vector(p)
+        assert back.size == 7 and back.nvals == 0
+
+    def test_kind_check(self, tmp_path):
+        m = Matrix.from_edges(2, 2, [0], [1], [1])
+        p = tmp_path / "m.npz"
+        serialize.save_matrix(p, m)
+        with pytest.raises(ValueError):
+            serialize.load_vector(p)
+
+
+class TestDispatch:
+    def test_load_dispatches(self, tmp_path):
+        m = Matrix.from_edges(2, 2, [0], [1], [1])
+        v = Vector.iota(4)
+        mp, vp = tmp_path / "m.npz", tmp_path / "v.npz"
+        serialize.save_matrix(mp, m)
+        serialize.save_vector(vp, v)
+        assert isinstance(serialize.load(mp), Matrix)
+        assert isinstance(serialize.load(vp), Vector)
+
+    def test_checkpoint_resume_workflow(self, tmp_path):
+        """Save a graph, reload it, run LACC — results unchanged."""
+        from repro.core import lacc
+
+        g = gen.component_mixture([8, 4], seed=2)
+        A = g.to_matrix()
+        p = tmp_path / "ckpt.npz"
+        serialize.save_matrix(p, A)
+        r1 = lacc(A)
+        r2 = lacc(serialize.load_matrix(p))
+        np.testing.assert_array_equal(r1.parents, r2.parents)

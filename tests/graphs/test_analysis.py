@@ -1,0 +1,97 @@
+"""Tests for the structural-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import corpus, generators as gen
+from repro.graphs.analysis import (
+    GraphSummary,
+    degree_histogram,
+    estimate_diameter,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_path(self):
+        s = summarize(gen.path_graph(10))
+        assert s.n == 10 and s.m_undirected == 9
+        assert s.n_components == 1 and s.largest_component == 10
+        assert s.max_degree == 2 and s.isolated_vertices == 0
+
+    def test_duplicate_edges_deduped(self):
+        g = gen.EdgeList(3, [0, 0, 1], [1, 1, 0])
+        s = summarize(g)
+        assert s.m_undirected == 1
+
+    def test_self_loops_dropped(self):
+        g = gen.EdgeList(3, [0, 1], [0, 2])
+        s = summarize(g)
+        assert s.m_undirected == 1
+        assert s.isolated_vertices == 1
+
+    def test_isolated_count(self):
+        g = gen.EdgeList(10, [0], [1])
+        assert summarize(g).isolated_vertices == 8
+
+    def test_empty(self):
+        s = summarize(gen.EdgeList(0, [], []))
+        assert s.n == 0 and s.regime() == "empty"
+
+    def test_mixture_components(self):
+        g = gen.component_mixture([5, 5, 5], seed=1)
+        s = summarize(g)
+        assert s.n_components == 3 and s.largest_component == 5
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(gen.star_graph(6))
+        assert hist == {1: 5, 5: 1}
+
+    def test_cycle(self):
+        hist = degree_histogram(gen.cycle_graph(8))
+        assert hist == {2: 8}
+
+    def test_counts_sum_to_n(self):
+        g = gen.erdos_renyi(100, 3.0, seed=2)
+        assert sum(degree_histogram(g).values()) == 100
+
+
+class TestDiameter:
+    def test_path_exact(self):
+        # double-sweep BFS is exact on trees
+        assert estimate_diameter(gen.path_graph(25)) == 24
+
+    def test_star_exact(self):
+        assert estimate_diameter(gen.star_graph(20)) == 2
+
+    def test_cycle(self):
+        assert estimate_diameter(gen.cycle_graph(12)) == 6
+
+    def test_lower_bound(self):
+        g = gen.grid2d(6, 7)
+        d = estimate_diameter(g)
+        assert d <= 6 + 7 - 2
+        assert d >= (6 + 7 - 2) // 2
+
+    def test_no_edges(self):
+        assert estimate_diameter(gen.EdgeList(5, [], [])) == 0
+
+    def test_uses_largest_component(self):
+        g = gen.disjoint_union([gen.path_graph(30), gen.path_graph(3)])
+        assert estimate_diameter(g) == 29
+
+
+class TestRegime:
+    def test_protein_like(self):
+        assert "protein" in summarize(corpus.load("archaea")).regime()
+
+    def test_m3_like(self):
+        assert "M3-like" in summarize(corpus.load("M3")).regime()
+
+    def test_queen_like(self):
+        assert "queen" in summarize(corpus.load("queen_4147")).regime()
+
+    def test_crawl_like(self):
+        assert "crawl" in summarize(corpus.load("uk-2002")).regime()

@@ -1,0 +1,117 @@
+"""Round-trip tests for MatrixMarket and edge-list I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs import io as gio
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        g = gen.erdos_renyi(40, 2.0, seed=0)
+        p = tmp_path / "g.mtx"
+        gio.write_matrix_market(p, g, comment="test graph")
+        h = gio.read_matrix_market(p)
+        assert h.n == g.n
+        np.testing.assert_array_equal(h.u, g.u)
+        np.testing.assert_array_equal(h.v, g.v)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        g = gen.path_graph(10)
+        p = tmp_path / "g.mtx.gz"
+        gio.write_matrix_market(p, g)
+        h = gio.read_matrix_market(p)
+        assert h.nedges == g.nedges
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("hello\n1 1 0\n")
+        with pytest.raises(ValueError):
+            gio.read_matrix_market(p)
+
+    def test_rejects_array_format(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            gio.read_matrix_market(p)
+
+    def test_rejects_rectangular(self, tmp_path):
+        p = tmp_path / "rect.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n")
+        with pytest.raises(ValueError):
+            gio.read_matrix_market(p)
+
+    def test_rejects_truncated(self, tmp_path):
+        p = tmp_path / "trunc.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n")
+        with pytest.raises(ValueError):
+            gio.read_matrix_market(p)
+
+    def test_skips_comment_lines(self, tmp_path):
+        p = tmp_path / "c.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% a comment\n% another\n3 3 1\n3 1\n"
+        )
+        g = gio.read_matrix_market(p)
+        assert g.n == 3 and g.nedges == 1
+        assert g.u[0] == 2 and g.v[0] == 0  # converted to 0-based
+
+    def test_real_values_ignored(self, tmp_path):
+        p = tmp_path / "w.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 0.5\n2 1 1.5\n"
+        )
+        g = gio.read_matrix_market(p)
+        assert g.nedges == 2
+
+    def test_empty_matrix(self, tmp_path):
+        p = tmp_path / "e.mtx"
+        gio.write_matrix_market(p, gen.EdgeList(4, [], []))
+        g = gio.read_matrix_market(p)
+        assert g.n == 4 and g.nedges == 0
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = gen.erdos_renyi(30, 2.0, seed=1)
+        p = tmp_path / "g.txt"
+        gio.write_edge_list(p, g)
+        h = gio.read_edge_list(p, n=g.n)
+        np.testing.assert_array_equal(h.u, g.u)
+        np.testing.assert_array_equal(h.v, g.v)
+
+    def test_infers_n(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 5\n2 3\n")
+        g = gio.read_edge_list(p)
+        assert g.n == 6
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        g = gio.read_edge_list(p)
+        assert g.nedges == 2
+
+    def test_gzip(self, tmp_path):
+        p = tmp_path / "g.txt.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write("0 1\n")
+        g = gio.read_edge_list(p)
+        assert g.nedges == 1
+
+    def test_lacc_on_loaded_graph(self, tmp_path):
+        """End-to-end: write, read, run LACC, check against ground truth."""
+        from repro.core import lacc
+        from repro.graphs import validate
+
+        g = gen.component_mixture([6, 4, 10], seed=2)
+        p = tmp_path / "g.mtx"
+        gio.write_matrix_market(p, g)
+        h = gio.read_matrix_market(p)
+        res = lacc(h.to_matrix())
+        assert res.n_components == 3
+        assert validate.same_partition(res.parents, validate.ground_truth(h))

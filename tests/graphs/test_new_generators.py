@@ -1,0 +1,110 @@
+"""Tests for the extended generator set (grid2d, watts_strogatz, barbell,
+caterpillar) and their interaction with LACC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.union_find import count_components
+from repro.core import lacc
+from repro.graphs import generators as gen
+from repro.graphs import validate
+
+
+class TestGrid2D:
+    def test_structure(self):
+        g = gen.grid2d(4, 6)
+        assert g.n == 24
+        assert g.nedges == 3 * 6 + 4 * 5
+        assert count_components(g.n, g.u, g.v) == 1
+
+    def test_degenerate_row(self):
+        g = gen.grid2d(1, 5)
+        assert g.nedges == 4
+
+
+class TestWattsStrogatz:
+    def test_single_component(self):
+        g = gen.watts_strogatz(200, k=4, beta=0.2, seed=1)
+        assert count_components(g.n, g.u, g.v) == 1
+
+    def test_ring_when_beta_zero(self):
+        g = gen.watts_strogatz(10, k=2, beta=0.0)
+        assert g.nedges == 10  # pure cycle
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, k=3)
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, k=4, beta=1.5)
+
+    def test_deterministic(self):
+        a = gen.watts_strogatz(50, seed=3)
+        b = gen.watts_strogatz(50, seed=3)
+        np.testing.assert_array_equal(a.v, b.v)
+
+    def test_small_world_diameter(self):
+        """Rewiring shortens the diameter vs the pure ring."""
+        from repro.baselines.label_prop import label_prop_iterations
+
+        ring = gen.watts_strogatz(400, k=2, beta=0.0)
+        ws = gen.watts_strogatz(400, k=4, beta=0.3, seed=4)
+        assert label_prop_iterations(ws.n, ws.u, ws.v) < label_prop_iterations(
+            ring.n, ring.u, ring.v
+        )
+
+
+class TestBarbell:
+    def test_structure(self):
+        g = gen.barbell(5, bridge=2)
+        assert g.n == 12
+        assert count_components(g.n, g.u, g.v) == 1
+        deg = np.bincount(np.r_[g.u, g.v], minlength=g.n)
+        assert deg.max() >= 4  # clique interiors
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.barbell(1)
+
+    def test_zero_bridge(self):
+        g = gen.barbell(4, bridge=0)
+        assert count_components(g.n, g.u, g.v) == 1
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = gen.caterpillar(5, 3)
+        assert g.n == 20
+        assert g.nedges == 19  # a tree
+        assert count_components(g.n, g.u, g.v) == 1
+
+    def test_no_legs_is_path(self):
+        g = gen.caterpillar(7, 0)
+        assert g.nedges == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gen.caterpillar(0, 2)
+        with pytest.raises(ValueError):
+            gen.caterpillar(3, -1)
+
+
+@pytest.mark.parametrize(
+    "g",
+    [
+        gen.grid2d(9, 11),
+        gen.watts_strogatz(150, k=6, beta=0.2, seed=5),
+        gen.barbell(8, bridge=3),
+        gen.caterpillar(12, 4),
+    ],
+    ids=lambda g: g.name,
+)
+class TestLACCOnNewShapes:
+    def test_lacc_correct(self, g):
+        res = lacc(g.to_matrix())
+        assert validate.same_partition(res.parents, validate.ground_truth(g))
+
+    def test_spmd_correct(self, g):
+        from repro.core.lacc_spmd import lacc_spmd
+
+        r = lacc_spmd(g, ranks=3)
+        assert validate.same_partition(r.parents, validate.ground_truth(g))

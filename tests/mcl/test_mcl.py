@@ -1,0 +1,126 @@
+"""Tests for HipMCL-lite Markov clustering (§VI-F application)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import Matrix
+from repro.graphs import generators as gen
+from repro.mcl import markov_clustering
+
+
+def cliques(k, count, bridge=True):
+    """`count` k-cliques, optionally chained by single weak edges."""
+    us, vs = [], []
+    for c in range(count):
+        off = c * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                us.append(off + i)
+                vs.append(off + j)
+        if bridge and c:
+            us.append(off - k)
+            vs.append(off)
+    return gen.EdgeList(k * count, us, vs, f"{count}x{k}-clique")
+
+
+class TestClustering:
+    def test_two_bridged_cliques_split(self):
+        g = cliques(8, 2)
+        res = markov_clustering(g.to_matrix())
+        assert res.converged
+        assert res.n_clusters == 2
+        # each clique is one cluster
+        assert res.labels[0] == res.labels[7]
+        assert res.labels[8] == res.labels[15]
+        assert res.labels[0] != res.labels[8]
+
+    def test_chain_of_cliques(self):
+        g = cliques(6, 5)
+        res = markov_clustering(g.to_matrix())
+        assert res.n_clusters == 5
+
+    def test_disconnected_components_stay_separate(self):
+        g = cliques(5, 3, bridge=False)
+        res = markov_clustering(g.to_matrix())
+        assert res.n_clusters == 3
+
+    def test_single_clique_one_cluster(self):
+        g = cliques(10, 1)
+        res = markov_clustering(g.to_matrix())
+        assert res.n_clusters == 1
+
+    def test_isolated_vertices_are_singletons(self):
+        A = Matrix.adjacency(4, [0], [1])
+        res = markov_clustering(A)
+        assert res.n_clusters == 3
+
+    def test_higher_inflation_finer_clusters(self):
+        g = gen.erdos_renyi(60, 6.0, seed=4)
+        lo = markov_clustering(g.to_matrix(), inflation=1.5)
+        hi = markov_clustering(g.to_matrix(), inflation=4.0)
+        assert hi.n_clusters >= lo.n_clusters
+
+    def test_empty_graph(self):
+        res = markov_clustering(Matrix.adjacency(0, [], []))
+        assert res.n_clusters == 0 and res.converged
+
+    def test_clusters_method_ordering(self):
+        g = cliques(8, 2)
+        res = markov_clustering(g.to_matrix())
+        groups = res.clusters()
+        assert len(groups) == 2
+        assert len(groups[0]) >= len(groups[1])
+        assert sum(len(c) for c in groups) == 16
+
+
+class TestValidation:
+    def test_rejects_rectangular(self):
+        m = Matrix.from_edges(2, 3, [0], [1], [1])
+        with pytest.raises(ValueError):
+            markov_clustering(m)
+
+    def test_rejects_inflation_leq_1(self):
+        A = Matrix.adjacency(3, [0], [1])
+        with pytest.raises(ValueError):
+            markov_clustering(A, inflation=1.0)
+
+    def test_rejects_expansion_lt_2(self):
+        A = Matrix.adjacency(3, [0], [1])
+        with pytest.raises(ValueError):
+            markov_clustering(A, expansion=1)
+
+
+class TestMechanics:
+    def test_chaos_decreases_to_zero(self):
+        g = cliques(6, 3)
+        res = markov_clustering(g.to_matrix())
+        assert res.chaos_history[-1] < 1e-8
+        # broadly decreasing (not necessarily monotone early on)
+        assert res.chaos_history[-1] < res.chaos_history[0]
+
+    def test_lacc_extraction_recorded(self):
+        g = cliques(6, 2)
+        res = markov_clustering(g.to_matrix())
+        assert res.lacc_iterations >= 1
+
+    def test_unconverged_flag_when_budget_exhausted(self):
+        g = gen.erdos_renyi(50, 4.0, seed=7)
+        res = markov_clustering(g.to_matrix(), max_iterations=1)
+        assert not res.converged
+
+    def test_pruning_controls_density(self):
+        g = gen.erdos_renyi(80, 8.0, seed=8)
+        res = markov_clustering(g.to_matrix(), max_per_column=5)
+        # still returns a valid clustering (labels cover all vertices)
+        assert res.labels.size == 80
+
+    def test_labels_partition_refines_components(self):
+        """MCL clusters never span connected components."""
+        from repro.graphs import validate
+
+        g = gen.disjoint_union([cliques(5, 2), cliques(4, 2)])
+        res = markov_clustering(g.to_matrix())
+        gt = validate.ground_truth(g)
+        for lbl in np.unique(res.labels):
+            members = np.flatnonzero(res.labels == lbl)
+            assert np.unique(gt[members]).size == 1

@@ -1,0 +1,142 @@
+"""Tests for the HipMCL-lite pipeline (weighted preprocessing + MCL +
+reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.mcl import cluster_network, preprocess_similarities
+
+
+def two_families(strong=5.0, weak=0.1):
+    """Two 5-cliques with strong internal and one weak cross similarity."""
+    us, vs, ws = [], [], []
+    for off in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                us.append(off + i)
+                vs.append(off + j)
+                ws.append(strong)
+    us.append(0)
+    vs.append(5)
+    ws.append(weak)
+    return 10, np.array(us), np.array(vs), np.array(ws)
+
+
+class TestPreprocess:
+    def test_symmetrises_with_max(self):
+        m = preprocess_similarities(
+            3, np.array([0, 1]), np.array([1, 0]), np.array([2.0, 7.0])
+        )
+        rows, cols, vals = m.extract_tuples()
+        d = dict(zip(zip(rows.tolist(), cols.tolist()), vals.tolist()))
+        assert d == {(0, 1): 7.0, (1, 0): 7.0}
+
+    def test_drops_self_similarities(self):
+        m = preprocess_similarities(2, np.array([0, 0]), np.array([0, 1]), None)
+        assert m.nvals == 2  # only the 0-1 pair, both directions
+
+    def test_duplicate_pairs_keep_max(self):
+        m = preprocess_similarities(
+            2, np.array([0, 0]), np.array([1, 1]), np.array([1.0, 9.0])
+        )
+        _, _, vals = m.extract_tuples()
+        assert set(vals.tolist()) == {9.0}
+
+    def test_default_unit_weights(self):
+        m = preprocess_similarities(3, np.array([0]), np.array([1]), None)
+        _, _, vals = m.extract_tuples()
+        assert (vals == 1.0).all()
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            preprocess_similarities(2, np.array([0]), np.array([1]), np.array([-1.0]))
+
+    def test_rejects_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            preprocess_similarities(2, np.array([0]), np.array([1]), np.array([1.0, 2.0]))
+
+    def test_top_k_reduces_and_keeps_strongest(self):
+        # complete graph with distinct weights: top-k must shrink the
+        # matrix while every vertex keeps its single strongest neighbour
+        n = 8
+        ii, jj = np.triu_indices(n, 1)
+        rng = np.random.default_rng(3)
+        w = rng.permutation(ii.size) + 1.0
+        full = preprocess_similarities(n, ii, jj, w)
+        pruned = preprocess_similarities(n, ii, jj, w, top_k=2)
+        assert pruned.nvals < full.nvals
+        # strongest neighbour of each row survives (it is that row's top-1)
+        rows, cols, vals = full.extract_tuples()
+        kept = set(zip(*pruned.extract_tuples()[:2]))
+        for r in range(n):
+            sel = rows == r
+            best_col = cols[sel][np.argmax(vals[sel])]
+            assert (r, best_col) in {(int(a), int(b)) for a, b in kept}
+
+    def test_top_k_pattern_stays_symmetric(self):
+        rng = np.random.default_rng(1)
+        u = rng.integers(0, 20, 60)
+        v = rng.integers(0, 20, 60)
+        w = rng.random(60)
+        m = preprocess_similarities(20, u, v, w, top_k=3)
+        assert m.is_symmetric or (m.to_scipy() != m.to_scipy().T).nnz == 0
+
+
+class TestPipeline:
+    def test_two_families_split(self):
+        n, u, v, w = two_families()
+        res = cluster_network(n, u, v, w)
+        assert res.n_clusters == 2
+        assert res.singletons == 0
+        assert res.mcl.converged
+
+    def test_weights_matter(self):
+        """With a *strong* bridge the families merge; weak keeps them apart."""
+        n, u, v, w = two_families(weak=5.0)
+        merged = cluster_network(n, u, v, w, inflation=1.6)
+        n, u, v, w = two_families(weak=0.01)
+        split = cluster_network(n, u, v, w, inflation=1.6)
+        assert split.n_clusters >= merged.n_clusters
+
+    def test_size_histogram(self):
+        n, u, v, w = two_families()
+        res = cluster_network(n, u, v, w)
+        assert res.size_histogram == [(5, 2)]
+
+    def test_counts(self):
+        n, u, v, w = two_families()
+        res = cluster_network(n, u, v, w)
+        assert res.n_proteins == 10
+        assert res.n_similarities_in == u.size
+        assert res.n_similarities_used == 21  # 2*C(5,2) + bridge
+
+    def test_write_clusters(self, tmp_path):
+        n, u, v, w = two_families()
+        res = cluster_network(n, u, v, w)
+        p = tmp_path / "clusters.txt"
+        res.write_clusters(p)
+        lines = p.read_text().strip().splitlines()
+        assert len(lines) == 2
+        members = sorted(int(x) for x in lines[0].split())
+        assert members in ([0, 1, 2, 3, 4], [5, 6, 7, 8, 9])
+
+    def test_weighted_mtx_roundtrip(self, tmp_path):
+        from repro.graphs import generators as gen
+        from repro.graphs import io as gio
+
+        n, u, v, w = two_families()
+        g = gen.EdgeList(n, u, v)
+        p = tmp_path / "sim.mtx"
+        gio.write_matrix_market(p, g, weights=w)
+        g2, w2 = gio.read_matrix_market(p, return_weights=True)
+        np.testing.assert_allclose(w2, w)
+        res = cluster_network(g2.n, g2.u, g2.v, w2)
+        assert res.n_clusters == 2
+
+    def test_weight_count_validation_in_writer(self, tmp_path):
+        from repro.graphs import generators as gen
+        from repro.graphs import io as gio
+
+        g = gen.path_graph(3)
+        with pytest.raises(ValueError):
+            gio.write_matrix_market(tmp_path / "x.mtx", g, weights=[1.0])

@@ -1,0 +1,96 @@
+"""Property tests on the collective cost formulas: monotonicity,
+additivity, and the latency/bandwidth trade-offs the §V-B optimisations
+exploit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import EDISON, CostModel, collectives
+
+ranks = st.sampled_from([2, 4, 16, 64, 256, 1024])
+words = st.floats(min_value=1.0, max_value=1e7)
+
+
+def fresh(p=64):
+    return CostModel(EDISON, p, max(p // 4, 2))
+
+
+class TestMonotonicity:
+    @settings(max_examples=30)
+    @given(ranks, words)
+    def test_more_words_cost_more(self, p, w):
+        c1, c2 = fresh(), fresh()
+        collectives.allgather(c1, p, w)
+        collectives.allgather(c2, p, 2 * w)
+        assert c2.total_seconds > c1.total_seconds
+
+    @settings(max_examples=30)
+    @given(words)
+    def test_more_ranks_cost_more_pairwise(self, w):
+        c1, c2 = fresh(), fresh()
+        collectives.alltoallv_pairwise(c1, 16, w)
+        collectives.alltoallv_pairwise(c2, 1024, w)
+        assert c2.total_seconds > c1.total_seconds
+
+    @settings(max_examples=30)
+    @given(ranks, words)
+    def test_bcast_no_cheaper_than_p2p(self, p, w):
+        """A broadcast reaches p ranks; it can't beat one point-to-point
+        message of the same payload."""
+        c1, c2 = fresh(), fresh()
+        collectives.bcast(c1, p, w)
+        c2.charge_comm(w, 1)
+        assert c1.total_seconds >= c2.total_seconds
+
+
+class TestAdditivity:
+    @settings(max_examples=20)
+    @given(ranks, words, words)
+    def test_charges_accumulate(self, p, w1, w2):
+        c_both = fresh()
+        collectives.allgather(c_both, p, w1)
+        collectives.allgather(c_both, p, w2)
+        c_a, c_b = fresh(), fresh()
+        collectives.allgather(c_a, p, w1)
+        collectives.allgather(c_b, p, w2)
+        assert c_both.total_seconds == pytest.approx(
+            c_a.total_seconds + c_b.total_seconds
+        )
+
+    @settings(max_examples=20)
+    @given(ranks, words)
+    def test_words_bookkeeping_matches(self, p, w):
+        c = fresh()
+        collectives.allgather(c, p, w)
+        assert c.total_words == pytest.approx((p - 1) * w)
+
+
+class TestTradeoffs:
+    @settings(max_examples=30)
+    @given(words)
+    def test_hypercube_vs_pairwise_crossover_in_p(self, w):
+        """At large p the hypercube always wins on latency-dominated
+        payloads; at tiny payload thresholds this must hold for p=1024."""
+        p = 1024
+        c_h, c_p = fresh(p), fresh(p)
+        collectives.alltoallv_hypercube(c_h, p, 1.0)
+        collectives.alltoallv_pairwise(c_p, p, 1.0)
+        assert c_h.total_seconds < c_p.total_seconds
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=2, max_value=64))
+    def test_sparse_alltoall_never_worse_than_full(self, active):
+        c_s, c_f = fresh(), fresh()
+        collectives.alltoallv_sparse(c_s, active, 100.0)
+        collectives.alltoallv_hypercube(c_f, 64, 100.0)
+        assert c_s.total_seconds <= c_f.total_seconds + 1e-12
+
+    def test_allreduce_decomposition_exact(self):
+        c1 = fresh()
+        collectives.allreduce(c1, 16, 1600.0)
+        c2 = fresh()
+        collectives.reduce_scatter(c2, 16, 1600.0)
+        collectives.allgather(c2, 16, 100.0)
+        assert c1.total_seconds == pytest.approx(c2.total_seconds)

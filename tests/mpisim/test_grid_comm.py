@@ -1,0 +1,175 @@
+"""Tests for ProcessGrid ownership maps and SimComm data movement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import ProcessGrid, SimComm
+
+
+class TestProcessGrid:
+    def test_square_enforced(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(6, 100)  # not a perfect square
+
+    def test_valid_sizes(self):
+        for p in (1, 4, 9, 16, 1024):
+            g = ProcessGrid(p, 100)
+            assert g.side ** 2 == p
+
+    def test_coords_roundtrip(self):
+        g = ProcessGrid(9, 90)
+        for r in range(9):
+            i, j = g.coords(r)
+            assert g.rank_of(i, j) == r
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(4, 10).coords(4)
+
+    def test_vec_owner_blocks(self):
+        g = ProcessGrid(4, 100)  # 25 elements per rank
+        np.testing.assert_array_equal(
+            g.vec_owner(np.array([0, 24, 25, 99])), [0, 0, 1, 3]
+        )
+
+    def test_vec_owner_clamped(self):
+        # n not divisible by p: trailing elements clamp to the last rank
+        g = ProcessGrid(4, 10)  # ceil(10/4)=3 per rank
+        assert g.vec_owner(np.array([9]))[0] == 3
+
+    def test_vec_counts(self):
+        g = ProcessGrid(4, 8)
+        counts = g.vec_counts(np.array([0, 0, 3, 7]))
+        np.testing.assert_array_equal(counts, [2, 1, 0, 1])
+
+    def test_edge_owner(self):
+        g = ProcessGrid(4, 8)  # 2x2 grid, 4-wide blocks
+        # edge (0, 5): block row 0, block col 1 -> rank 1
+        assert g.edge_owner(np.array([0]), np.array([5]))[0] == 1
+        # edge (6, 6): block (1,1) -> rank 3
+        assert g.edge_owner(np.array([6]), np.array([6]))[0] == 3
+
+    def test_local_range_partition(self):
+        g = ProcessGrid(4, 10)
+        ranges = [g.local_range(r) for r in range(4)]
+        covered = []
+        for lo, hi in ranges:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(10))
+
+    def test_single_rank(self):
+        g = ProcessGrid(1, 5)
+        assert g.vec_owner(np.arange(5)).max() == 0
+        assert g.local_range(0) == (0, 5)
+
+    @settings(max_examples=25)
+    @given(
+        st.sampled_from([1, 4, 9, 16, 25]),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_ownership_total(self, p, n):
+        """Every vector element is owned by exactly one rank and the
+        bincount over all indices equals the local range sizes."""
+        g = ProcessGrid(p, n)
+        counts = g.vec_counts(np.arange(n))
+        sizes = np.array([hi - lo for lo, hi in (g.local_range(r) for r in range(p))])
+        np.testing.assert_array_equal(counts, sizes)
+
+
+class TestSimComm:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_bcast(self):
+        c = SimComm(3)
+        out = c.bcast([np.array([1, 2]), None, None], root=0)
+        for o in out:
+            np.testing.assert_array_equal(o, [1, 2])
+
+    def test_bcast_root_range(self):
+        with pytest.raises(ValueError):
+            SimComm(2).bcast([None, None], root=5)
+
+    def test_bcast_copies(self):
+        c = SimComm(2)
+        src = np.array([1])
+        out = c.bcast([src, None])
+        out[1][0] = 99
+        assert src[0] == 1
+
+    def test_allgather(self):
+        c = SimComm(3)
+        out = c.allgather([np.array([0]), np.array([1, 1]), np.array([2])])
+        for o in out:
+            np.testing.assert_array_equal(o, [0, 1, 1, 2])
+
+    def test_gather(self):
+        c = SimComm(2)
+        out = c.gather([np.array([1]), np.array([2])], root=1)
+        assert out[0] is None
+        np.testing.assert_array_equal(out[1], [1, 2])
+
+    def test_scatter(self):
+        c = SimComm(2)
+        out = c.scatter([np.array([1]), np.array([2])])
+        np.testing.assert_array_equal(out[1], [2])
+
+    def test_scatter_validation(self):
+        with pytest.raises(ValueError):
+            SimComm(2).scatter([np.array([1])])
+
+    def test_alltoallv(self):
+        c = SimComm(2)
+        send = [
+            [np.array([0]), np.array([1])],  # rank0 -> (r0, r1)
+            [np.array([10]), np.array([11])],  # rank1 -> (r0, r1)
+        ]
+        recv = c.alltoallv(send)
+        np.testing.assert_array_equal(recv[0][1], [10])  # r0 got from r1
+        np.testing.assert_array_equal(recv[1][0], [1])  # r1 got from r0
+
+    def test_alltoallv_validation(self):
+        c = SimComm(2)
+        with pytest.raises(ValueError):
+            c.alltoallv([[np.array([0])], [np.array([1])]])
+
+    def test_buffer_count_validation(self):
+        with pytest.raises(ValueError):
+            SimComm(3).allgather([np.array([0])])
+
+    def test_reduce_scatter_block(self):
+        c = SimComm(2)
+        bufs = [np.array([1, 2, 3, 4]), np.array([10, 20, 30, 40])]
+        out = c.reduce_scatter_block(bufs, np.add)
+        np.testing.assert_array_equal(out[0], [11, 22])
+        np.testing.assert_array_equal(out[1], [33, 44])
+
+    def test_reduce_scatter_length_checks(self):
+        c = SimComm(2)
+        with pytest.raises(ValueError):
+            c.reduce_scatter_block([np.arange(3), np.arange(4)], np.add)
+        with pytest.raises(ValueError):
+            c.reduce_scatter_block([np.arange(3), np.arange(3)], np.add)
+
+    def test_allreduce(self):
+        c = SimComm(3)
+        out = c.allreduce([np.array([1]), np.array([2]), np.array([3])], np.maximum)
+        for o in out:
+            assert o[0] == 3
+
+    def test_distributed_spmv_matches_serial(self):
+        """End-to-end SimComm sanity: a literal 1D-distributed SpMV (row
+        blocks + allgather of x) equals the serial product."""
+        rng = np.random.default_rng(0)
+        n, p = 12, 4
+        A = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+        x = rng.random(n)
+        comm = SimComm(p)
+        blk = n // p
+        xg = comm.allgather([x[r * blk : (r + 1) * blk] for r in range(p)])
+        y_parts = [A[r * blk : (r + 1) * blk] @ xg[r] for r in range(p)]
+        y = np.concatenate(y_parts)
+        np.testing.assert_allclose(y, A @ x)

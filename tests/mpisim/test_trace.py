@@ -1,0 +1,69 @@
+"""Tests for the communication trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import generators as gen
+from repro.mpisim import EDISON, CostModel, collectives
+from repro.mpisim.costmodel import TraceEvent
+
+
+class TestTraceEvents:
+    def test_disabled_by_default(self):
+        c = CostModel(EDISON, 16, 4)
+        c.charge_compute(100, "x")
+        assert c.events == []
+
+    def test_compute_event(self):
+        c = CostModel(EDISON, 16, 4, trace=True)
+        c.charge_compute(100, "hook")
+        assert len(c.events) == 1
+        ev = c.events[0]
+        assert ev.kind == "compute" and ev.phase == "hook"
+        assert ev.words == 0 and ev.t_start == 0.0
+
+    def test_collective_kinds_recorded(self):
+        c = CostModel(EDISON, 16, 4, trace=True)
+        collectives.allgather(c, 16, 100, "p1")
+        collectives.alltoallv_hypercube(c, 16, 50, "p2")
+        collectives.bcast(c, 16, 10, "p3")
+        kinds = [e.kind for e in c.events]
+        assert kinds == ["allgather", "alltoallv_hypercube", "bcast"]
+
+    def test_timeline_is_monotone(self):
+        c = CostModel(EDISON, 16, 4, trace=True)
+        for _ in range(5):
+            collectives.allgather(c, 16, 100, "x")
+            c.charge_compute(1000, "x")
+        starts = [e.t_start for e in c.events]
+        assert starts == sorted(starts)
+        # events tile the whole simulated time
+        total = sum(e.seconds for e in c.events)
+        assert total == pytest.approx(c.total_seconds)
+
+    def test_reduce_scatter_produces_two_events(self):
+        c = CostModel(EDISON, 16, 4, trace=True)
+        collectives.reduce_scatter(c, 16, 1600, "x")
+        kinds = [e.kind for e in c.events]
+        assert kinds == ["reduce_scatter", "reduce_scatter"]  # comm + merge ops
+
+
+class TestTracedRun:
+    def test_lacc_dist_trace(self):
+        g = gen.component_mixture([20, 10, 5], seed=1)
+        r = lacc_dist(g.to_matrix(), EDISON, nodes=4, trace_comm=True)
+        assert len(r.cost.events) > 10
+        phases = {e.phase for e in r.cost.events}
+        assert {"cond_hook", "starcheck", "shortcut"} <= phases
+        kinds = {e.kind for e in r.cost.events}
+        assert "compute" in kinds
+        assert kinds & {"allgather", "alltoallv_hypercube", "reduce_scatter"}
+        # timeline consistency
+        total = sum(e.seconds for e in r.cost.events)
+        assert total == pytest.approx(r.simulated_seconds, rel=1e-9)
+
+    def test_untraced_run_has_no_events(self):
+        g = gen.path_graph(20)
+        r = lacc_dist(g.to_matrix(), EDISON, nodes=1)
+        assert r.cost.events == []

@@ -1,0 +1,59 @@
+"""Tests for the benchmark harness's ASCII chart renderer."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks"))
+
+from asciichart import line_chart  # noqa: E402
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 4], {"a": [1.0, 2.0, 4.0]})
+        assert "o = a" in out
+        assert out.count("\n") >= 12
+
+    def test_multiple_series_glyphs(self):
+        out = line_chart([1, 2], {"x": [1.0, 2.0], "y": [2.0, 1.0]})
+        assert "o = x" in out and "x = y" in out
+
+    def test_deterministic(self):
+        args = ([1, 2, 4, 8], {"s": [3.0, 2.0, 1.5, 1.0]})
+        assert line_chart(*args) == line_chart(*args)
+
+    def test_axis_labels(self):
+        out = line_chart([1, 2], {"a": [1.0, 2.0]}, ylabel="ms", xlabel="nodes")
+        assert "ms" in out and "nodes" in out
+
+    def test_linear_scale(self):
+        out = line_chart([0, 1], {"a": [0.0, 10.0]}, logy=False)
+        assert "10" in out
+
+    def test_constant_series_ok(self):
+        out = line_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in out
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1.0]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [1.0]})
+
+    def test_rejects_nonpositive_on_logy(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [0.0, 1.0]}, logy=True)
+
+    def test_extremes_on_correct_rows(self):
+        out = line_chart([1, 2], {"a": [1.0, 1000.0]}, height=10)
+        lines = out.splitlines()
+        assert "o" in lines[0]  # max lands on the top row
+        assert "o" in lines[9]  # min on the bottom row

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators as gen
+from repro.graphs import io as gio
+
+
+@pytest.fixture()
+def mtx(tmp_path):
+    g = gen.component_mixture([8, 5, 3], seed=1)
+    p = tmp_path / "g.mtx"
+    gio.write_matrix_market(p, g)
+    return str(p)
+
+
+class TestCC:
+    def test_basic(self, mtx, capsys):
+        assert main(["cc", mtx]) == 0
+        out = capsys.readouterr().out
+        assert "components: 3" in out
+
+    def test_all_methods(self, mtx, capsys):
+        for method in ("lacc", "union-find", "sv", "bfs", "label-prop", "fastsv"):
+            assert main(["cc", mtx, "--method", method]) == 0
+            assert "components: 3" in capsys.readouterr().out
+
+    def test_stats(self, mtx, capsys):
+        assert main(["cc", mtx, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "iterations:" in out and "iter 1:" in out
+
+    def test_labels_out(self, mtx, tmp_path, capsys):
+        out_file = tmp_path / "labels.txt"
+        assert main(["cc", mtx, "--out", str(out_file)]) == 0
+        labels = np.loadtxt(out_file, dtype=np.int64)
+        assert labels.size == 16
+        assert np.unique(labels).size == 3
+
+    def test_corpus_name_as_graph(self, capsys):
+        assert main(["cc", "queen_4147", "--method", "union-find"]) == 0
+        assert "components: 1" in capsys.readouterr().out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n2 3\n")
+        assert main(["cc", str(p)]) == 0
+        assert "components: 2" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_basic(self, mtx, capsys):
+        assert main(["simulate", mtx, "--nodes", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "LACC (ms)" in out and "simulated Edison" in out
+
+    def test_with_parconnect(self, mtx, capsys):
+        assert main(["simulate", mtx, "--nodes", "4", "--parconnect"]) == 0
+        out = capsys.readouterr().out
+        assert "ParConnect" in out and "x" in out
+
+    def test_cori(self, mtx, capsys):
+        assert main(["simulate", mtx, "--machine", "cori", "--nodes", "1"]) == 0
+        assert "Cori" in capsys.readouterr().out
+
+
+class TestCorpus:
+    def test_list(self, capsys):
+        assert main(["corpus", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "archaea" in out and "iso_m100" in out
+
+    def test_bare_command_lists(self, capsys):
+        assert main(["corpus"]) == 0
+        assert "eukarya" in capsys.readouterr().out
+
+    def test_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "q.mtx"
+        assert main(["corpus", "queen_4147", "--out", str(out_file)]) == 0
+        g = gio.read_matrix_market(out_file)
+        assert g.n == 4096
+
+
+class TestStats:
+    def test_basic(self, mtx, capsys):
+        assert main(["stats", mtx]) == 0
+        out = capsys.readouterr().out
+        assert "components" in out and "regime" in out
+
+    def test_degrees(self, mtx, capsys):
+        assert main(["stats", mtx, "--degrees", "3"]) == 0
+        assert "degree histogram" in capsys.readouterr().out
+
+    def test_corpus_name(self, capsys):
+        assert main(["stats", "M3"]) == 0
+        assert "M3-like" in capsys.readouterr().out
+
+
+class TestForest:
+    def test_basic(self, mtx, capsys):
+        assert main(["forest", mtx]) == 0
+        out = capsys.readouterr().out
+        assert "components: 3" in out
+        assert "spanning invariants hold: True" in out
+
+    def test_out_file(self, mtx, tmp_path, capsys):
+        f = tmp_path / "forest.txt"
+        assert main(["forest", mtx, "--out", str(f)]) == 0
+        edges = np.loadtxt(f, dtype=np.int64, ndmin=2)
+        assert edges.shape == (13, 2)  # 16 vertices - 3 components
+
+
+class TestMCL:
+    def test_basic(self, tmp_path, capsys):
+        # two bridged triangles
+        g = gen.EdgeList(6, [0, 1, 2, 3, 4, 5, 0], [1, 2, 0, 4, 5, 3, 3])
+        p = tmp_path / "g.mtx"
+        gio.write_matrix_market(p, g)
+        assert main(["mcl", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "2 clusters" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cc", "g.mtx", "--method", "magic"])

@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        r = run_example("quickstart.py")
+        assert r.returncode == 0, r.stderr
+        assert "12 components" in r.stdout
+        assert "labels identical to the serial run" in r.stdout
+
+    def test_protein_clustering(self):
+        r = run_example("protein_clustering.py")
+        assert r.returncode == 0, r.stderr
+        assert "MCL converged: True" in r.stdout
+        assert "purity" in r.stdout
+
+    def test_metagenome_assembly(self):
+        r = run_example("metagenome_assembly.py")
+        assert r.returncode == 0, r.stderr
+        assert "assembly subproblems" in r.stdout
+        assert "work queue" in r.stdout
+
+    def test_scaling_study(self):
+        r = run_example("scaling_study.py", "archaea", "edison", "1,16")
+        assert r.returncode == 0, r.stderr
+        assert "ParConnect" in r.stdout
+        assert "per-step breakdown" in r.stdout
+
+    def test_scaling_study_cori(self):
+        r = run_example("scaling_study.py", "queen_4147", "cori", "4")
+        assert r.returncode == 0, r.stderr
+        assert "Cori" in r.stdout
+
+    def test_simulated_cluster(self):
+        r = run_example("simulated_cluster.py")
+        assert r.returncode == 0, r.stderr
+        assert "matches serial" in r.stdout
+
+    def test_algorithm_walkthrough(self):
+        r = run_example("algorithm_walkthrough.py")
+        assert r.returncode == 0, r.stderr
+        assert "final components (2)" in r.stdout
+        assert "terminated" in r.stdout
+
+    def test_genomics_workflow(self, tmp_path):
+        r = run_example("genomics_workflow.py", str(tmp_path))
+        assert r.returncode == 0, r.stderr
+        assert "reload reproduces clusters: True" in r.stdout
+        assert (tmp_path / "clusters.txt").exists()

@@ -1,0 +1,155 @@
+"""Failure injection across the public API.
+
+DESIGN.md §7 commits to probing malformed inputs everywhere; this module
+centralises the negative-path coverage: every public entry point must
+reject bad input with a clear exception (never a wrong answer, never a
+numpy broadcast surprise)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import lacc
+from repro.core.lacc_dist import lacc_dist
+from repro.core.lacc_spmd import lacc_spmd
+from repro.core.spanning_forest import spanning_forest
+from repro.graphblas import Matrix, Vector
+from repro.graphs import generators as gen
+from repro.mcl import markov_clustering
+from repro.mpisim import EDISON, CostModel, ProcessGrid
+
+
+class TestTopLevelAPI:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            repro.connected_components([0], [1], 2, method="quantum")
+
+    def test_out_of_range_edges(self):
+        with pytest.raises(IndexError):
+            repro.connected_components([5], [0], 3)
+
+    def test_mismatched_edge_arrays(self):
+        with pytest.raises(ValueError):
+            repro.connected_components([0, 1], [1], 3)
+
+
+class TestAdjacencyValidation:
+    def test_lacc_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            lacc(Matrix.from_edges(2, 3, [], []))
+
+    def test_lacc_rejects_directed(self):
+        with pytest.raises(ValueError):
+            lacc(Matrix.from_edges(3, 3, [0, 1], [1, 2], [1, 1]))
+
+    def test_spanning_forest_rejects_directed(self):
+        with pytest.raises(ValueError):
+            spanning_forest(Matrix.from_edges(3, 3, [0], [2], [1]))
+
+    def test_dist_rejects_directed(self):
+        with pytest.raises(ValueError):
+            lacc_dist(Matrix.from_edges(3, 3, [0], [2], [1]), EDISON)
+
+    def test_mcl_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            markov_clustering(Matrix.from_edges(2, 3, [], []))
+
+
+class TestGraphBLASValidation:
+    def test_vector_negative_size(self):
+        with pytest.raises(ValueError):
+            Vector(-3)
+
+    def test_vector_bad_dtype(self):
+        with pytest.raises(TypeError):
+            Vector.empty(3, dtype=np.complex64)
+
+    def test_build_index_overflow(self):
+        with pytest.raises(IndexError):
+            Vector.sparse(4, [4], [1])
+
+    def test_matrix_indptr_shape(self):
+        with pytest.raises(ValueError):
+            Matrix(2, 2, np.zeros(2, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                   np.zeros(0))
+
+    def test_mxv_dim_mismatch(self):
+        import repro.graphblas as gb
+        from repro.graphblas import semirings as sr
+
+        A = Matrix.adjacency(3, [0], [1])
+        with pytest.raises(ValueError):
+            gb.mxv(Vector.empty(3), None, None, sr.SEL2ND_MIN_INT64, A, Vector.empty(4))
+
+    def test_extract_negative_index(self):
+        import repro.graphblas as gb
+
+        with pytest.raises(IndexError):
+            gb.extract(Vector.empty(1), None, None, Vector.empty(4), [-1])
+
+    def test_assign_index_out_of_bounds(self):
+        import repro.graphblas as gb
+
+        with pytest.raises(IndexError):
+            gb.assign(Vector.empty(2), None, None, Vector.empty(1), [2])
+
+
+class TestSimulatorValidation:
+    def test_non_square_grid(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(12, 100)
+
+    def test_cost_model_bad_ranks(self):
+        with pytest.raises(ValueError):
+            CostModel(EDISON, 0, 1)
+
+    def test_negative_charge(self):
+        c = CostModel(EDISON, 4, 1)
+        with pytest.raises(ValueError):
+            c.charge_comm(-5, 0)
+
+    def test_spmd_zero_ranks(self):
+        with pytest.raises(ValueError):
+            lacc_spmd(gen.path_graph(4), ranks=0)
+
+    def test_bad_vector_distribution(self):
+        g = gen.path_graph(4)
+        with pytest.raises(ValueError):
+            lacc_dist(g.to_matrix(), EDISON, vector_distribution="striped")
+
+
+class TestMCLParameterValidation:
+    def test_inflation_bounds(self):
+        A = Matrix.adjacency(3, [0], [1])
+        with pytest.raises(ValueError):
+            markov_clustering(A, inflation=0.9)
+
+    def test_expansion_bounds(self):
+        A = Matrix.adjacency(3, [0], [1])
+        with pytest.raises(ValueError):
+            markov_clustering(A, expansion=0)
+
+
+class TestDegenerateInputsStillCorrect:
+    """Degenerate-but-legal inputs must succeed, not crash."""
+
+    def test_all_self_loops(self):
+        labels = repro.connected_components([0, 1, 2], [0, 1, 2], 3)
+        assert np.unique(labels).size == 3
+
+    def test_multigraph(self):
+        labels = repro.connected_components([0] * 50, [1] * 50, 2)
+        assert np.unique(labels).size == 1
+
+    def test_single_vertex_every_api(self):
+        g = gen.EdgeList(1, [], [])
+        assert lacc(g.to_matrix()).n_components == 1
+        assert lacc_spmd(g, ranks=2).n_components == 1
+        assert spanning_forest(g.to_matrix()).n_components == 1
+        assert lacc_dist(g.to_matrix(), EDISON).n_components == 1
+
+    def test_huge_sparse_vertex_space(self):
+        # 1M vertices, 1 edge: must be fast and correct
+        g = gen.EdgeList(1_000_000, [5], [999_999])
+        res = lacc(g.to_matrix())
+        assert res.n_components == 999_999
