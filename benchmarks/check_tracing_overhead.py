@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Tracing-overhead smoke check (run by CI).
+
+The observability hooks in :mod:`repro.graphblas` / :mod:`repro.mpisim` are
+designed to be free when tracing is off: every instrumented call site costs
+one ``current()`` lookup, one ``NullTracer.span`` call returning the shared
+:class:`~repro.obs.tracer.NullSpan`, and a falsy ``if sp:`` guard — no
+allocation, no clock read.  This script pins that property on a
+50k+-vertex RMAT graph:
+
+* **baseline** — ``lacc(A, collect_stats=False)`` with nothing activated
+  (the module-global tracer is :data:`NULL_TRACER`; the disabled fast
+  path);
+* **probe** — the identical call under an explicitly activated
+  ``NullTracer`` (what ``--trace``-capable tools run when tracing is off).
+
+Both are timed best-of-``ROUNDS`` with interleaved rounds so drift hits
+both sides equally, and the probe must stay within ``TOLERANCE`` of the
+baseline (plus a small absolute floor so ~100 ms runs don't fail on
+scheduler noise).  If someone makes ``NullTracer.span`` allocate, read a
+clock, or accidentally routes the disabled path through a real tracer,
+this check fails.
+
+Usage:  PYTHONPATH=src python benchmarks/check_tracing_overhead.py
+Writes ``benchmarks/results/BENCH_tracing_overhead.json``.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+
+from tableio import RESULTS_DIR  # noqa: E402
+
+SCALE = 16  # 2**16 = 65536 vertices
+EDGE_FACTOR = 8
+ROUNDS = 5
+TOLERANCE = 0.05
+NOISE_FLOOR_S = 0.050
+
+
+def best_of(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), times
+
+
+def main() -> int:
+    from repro.core import lacc
+    from repro.graphs.generators import rmat
+    from repro.obs import NullTracer, activate
+
+    g = rmat(SCALE, edge_factor=EDGE_FACTOR, seed=7)
+    A = g.to_matrix()
+    print(f"RMAT scale {SCALE}: {g.n} vertices, {g.nedges} edges")
+    assert g.n >= 50_000
+
+    def baseline():
+        lacc(A, collect_stats=False)
+
+    null_tracer = NullTracer()
+
+    def probe():
+        with activate(null_tracer):
+            lacc(A, collect_stats=False)
+
+    baseline()  # warm caches before timing either side
+    base_times, probe_times = [], []
+    for _ in range(ROUNDS):  # interleave so drift hits both sides
+        t0 = time.perf_counter(); baseline(); base_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter(); probe(); probe_times.append(time.perf_counter() - t0)
+    base, probe_t = min(base_times), min(probe_times)
+
+    budget = base * (1 + TOLERANCE) + NOISE_FLOOR_S
+    overhead = probe_t / base - 1
+    record = {
+        "check": "tracing_overhead",
+        "graph": {"kind": "rmat", "scale": SCALE, "edge_factor": EDGE_FACTOR,
+                  "vertices": g.n, "edges": g.nedges},
+        "rounds": ROUNDS,
+        "baseline_seconds": base,
+        "nulltracer_seconds": probe_t,
+        "overhead_fraction": overhead,
+        "tolerance": TOLERANCE,
+        "baseline_times": base_times,
+        "nulltracer_times": probe_times,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_tracing_overhead.json")
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+
+    print(f"baseline (tracing off):   {base*1e3:8.1f} ms  (best of {ROUNDS})")
+    print(f"NullTracer activated:     {probe_t*1e3:8.1f} ms  (best of {ROUNDS})")
+    print(f"overhead:                 {overhead*100:+.2f}%  "
+          f"(budget {TOLERANCE*100:.0f}% + {NOISE_FLOOR_S*1e3:.0f} ms floor)")
+    print(f"[written to {os.path.relpath(out)}]")
+    if probe_t > budget:
+        print("FAIL: NullTracer-mode LACC exceeded the overhead budget")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ stable artefacts.  ``python benchmarks/run_all.py`` regenerates everything.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence
 
@@ -37,4 +38,15 @@ def emit(name: str, title: str, body: str) -> str:
         fh.write(text)
     print(f"\n{text}")
     print(f"[written to {os.path.relpath(path)}]")
+    return path
+
+
+def emit_json(name: str, record) -> str:
+    """Persist a machine-readable benchmark record as ``BENCH_<name>.json``
+    next to the plain-text table, for dashboards and run-to-run diffing."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+    print(f"[json record written to {os.path.relpath(path)}]")
     return path

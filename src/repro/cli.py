@@ -8,6 +8,9 @@ Commands
 ``simulate``
     Run simulated-distributed LACC (and optionally ParConnect) on a graph
     file or a named corpus analogue across a node sweep.
+``profile``
+    Run LACC under a :mod:`repro.obs` tracer and render/export the span
+    tree: top table, flamegraph, Chrome ``trace_event`` JSON, JSON lines.
 ``corpus``
     List the Table III corpus analogues or dump one to a file.
 ``mcl``
@@ -18,7 +21,10 @@ Examples
 ::
 
     python -m repro cc graph.mtx --method lacc --stats
+    python -m repro cc graph.mtx --json --trace cc.trace.json
     python -m repro simulate archaea --machine edison --nodes 1,16,64
+    python -m repro profile archaea --trace out.json --flame
+    python -m repro profile archaea --machine edison --nodes 16
     python -m repro corpus --list
     python -m repro corpus eukarya --out eukarya.mtx
     python -m repro mcl similarities.mtx --inflation 2.0
@@ -27,6 +33,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -48,33 +55,104 @@ def _load_graph(path: str):
     return io.read_edge_list(path)
 
 
+def _component_summary(labels: np.ndarray) -> dict:
+    """Method-agnostic component statistics — the ``--stats`` payload
+    shared by every ``cc`` method."""
+    _, sizes = np.unique(labels, return_counts=True)
+    return {
+        "components": int(sizes.size),
+        "largest_component": int(sizes.max()) if sizes.size else 0,
+        "singleton_components": int(np.count_nonzero(sizes == 1)),
+    }
+
+
+def _iteration_records(stats, model: bool = False) -> List[dict]:
+    """Per-iteration stats as plain dicts (the ``--json`` payload)."""
+    out = []
+    for it in stats.iterations:
+        rec = {
+            "iteration": it.iteration,
+            "active_vertices": it.active_vertices,
+            "cond_hooks": it.cond_hooks,
+            "uncond_hooks": it.uncond_hooks,
+            "converged_vertices": it.converged_vertices,
+            "step_seconds": dict(
+                it.step_model_seconds if model else it.step_seconds
+            ),
+        }
+        if model:
+            rec["words_communicated"] = it.words_communicated
+            rec["messages_sent"] = it.messages_sent
+        out.append(rec)
+    return out
+
+
 def _cmd_cc(args: argparse.Namespace) -> int:
     import repro
     from repro.core import lacc
 
     g = _load_graph(args.graph)
+    tracer = None
+    res = None
     t0 = time.perf_counter()
-    if args.method == "lacc" and args.stats:
-        res = lacc(g.to_matrix())
+    if args.method == "lacc":
+        if args.trace:
+            from repro.obs.profile import trace_lacc
+
+            res, tracer = trace_lacc(g.to_matrix())
+        else:
+            res = lacc(g.to_matrix())
         labels = res.labels
+    elif args.trace:
+        from repro.obs import Tracer, activate
+
+        tracer = Tracer()
+        with activate(tracer), tracer.span(args.method, "cc"):
+            labels = repro.connected_components(g.u, g.v, g.n, method=args.method)
     else:
         labels = repro.connected_components(g.u, g.v, g.n, method=args.method)
-        res = None
     dt = time.perf_counter() - t0
-    ncc = int(np.unique(labels).size)
-    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
-    print(f"components: {ncc}   [{args.method}, {dt*1e3:.1f} ms]")
+
+    record = {
+        "graph": g.name,
+        "vertices": g.n,
+        "edges": g.nedges,
+        "method": args.method,
+        "seconds": dt,
+        **_component_summary(labels),
+    }
     if res is not None:
-        print(f"iterations: {res.n_iterations}")
-        for it in res.stats.iterations:
-            print(
-                f"  iter {it.iteration}: active={it.active_vertices} "
-                f"hooks={it.cond_hooks}+{it.uncond_hooks} "
-                f"converged={it.converged_vertices}"
-            )
+        record["iterations"] = res.n_iterations
+        record["iteration_stats"] = _iteration_records(res.stats)
+
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+        print(f"components: {record['components']}   [{args.method}, {dt*1e3:.1f} ms]")
+        if args.stats:
+            print(f"largest component: {record['largest_component']}   "
+                  f"singletons: {record['singleton_components']}")
+        if res is not None:
+            print(f"iterations: {res.n_iterations}")
+            if args.stats:
+                for it in res.stats.iterations:
+                    print(
+                        f"  iter {it.iteration}: active={it.active_vertices} "
+                        f"hooks={it.cond_hooks}+{it.uncond_hooks} "
+                        f"converged={it.converged_vertices}"
+                    )
+        if args.trace:
+            print(f"trace written to {args.trace}")
     if args.out:
         np.savetxt(args.out, labels, fmt="%d")
-        print(f"labels written to {args.out}")
+        if not args.json:
+            print(f"labels written to {args.out}")
     return 0
 
 
@@ -87,20 +165,120 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     g = _load_graph(args.graph)
     A = g.to_matrix()
     nodes_list = [int(x) for x in args.nodes.split(",")]
+
+    records: List[dict] = []
+    traces: List[dict] = []
+    for nodes in nodes_list:
+        if args.trace:
+            from repro.obs import Tracer, activate, chrome_trace
+
+            tr = Tracer()
+            with activate(tr):
+                r = lacc_dist(A, machine, nodes=nodes, tracer=tr)
+            traces.append(
+                chrome_trace(tr, pid=nodes, process_name=f"{machine.name} nodes={nodes}")
+            )
+        else:
+            r = lacc_dist(A, machine, nodes=nodes)
+        rec = {
+            "nodes": nodes,
+            "ranks": r.ranks,
+            "seconds": r.simulated_seconds,
+            "iterations": r.n_iterations,
+            "components": r.n_components,
+            "words": r.cost.total_words,
+            "messages": r.cost.total_messages,
+            "step_seconds": r.stats.step_totals(model=True),
+            "iteration_stats": _iteration_records(r.stats, model=True),
+        }
+        if args.parconnect:
+            pc = parconnect(g.n, g.u, g.v, machine, nodes=nodes)
+            rec["parconnect_seconds"] = pc.simulated_seconds
+        records.append(rec)
+
+    if args.trace:
+        from repro.obs import merge_chrome_traces, write_chrome_trace
+
+        write_chrome_trace(merge_chrome_traces(traces), args.trace)
+
+    if args.json:
+        print(json.dumps({
+            "graph": g.name,
+            "vertices": g.n,
+            "edges": g.nedges,
+            "machine": machine.name,
+            "runs": records,
+        }, indent=2))
+        return 0
+
     print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges) "
           f"on simulated {machine.name}")
     hdr = f"{'nodes':>6} {'ranks':>6} {'LACC (ms)':>10}"
     if args.parconnect:
         hdr += f" {'ParConnect (ms)':>16} {'speedup':>8}"
     print(hdr)
-    for nodes in nodes_list:
-        r = lacc_dist(A, machine, nodes=nodes)
-        line = f"{nodes:6d} {r.ranks:6d} {r.simulated_seconds*1e3:10.3f}"
+    for rec in records:
+        line = f"{rec['nodes']:6d} {rec['ranks']:6d} {rec['seconds']*1e3:10.3f}"
         if args.parconnect:
-            pc = parconnect(g.n, g.u, g.v, machine, nodes=nodes)
-            line += (f" {pc.simulated_seconds*1e3:16.3f}"
-                     f" {pc.simulated_seconds/r.simulated_seconds:7.2f}x")
+            line += (f" {rec['parconnect_seconds']*1e3:16.3f}"
+                     f" {rec['parconnect_seconds']/rec['seconds']:7.2f}x")
         print(line)
+        if args.stats:
+            steps = rec["step_seconds"]
+            breakdown = "  ".join(f"{s}={t*1e3:.3f}ms" for s, t in steps.items())
+            print(f"       steps: {breakdown}")
+            for it in rec["iteration_stats"]:
+                print(
+                    f"       iter {it['iteration']}: "
+                    f"active={it['active_vertices']} "
+                    f"words={it['words_communicated']} "
+                    f"msgs={it['messages_sent']}"
+                )
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(one pid lane per node count)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import chrome_trace, flamegraph, top_table, write_chrome_trace, write_jsonl
+
+    g = _load_graph(args.graph)
+    A = g.to_matrix()
+    if args.machine:
+        from repro.mpisim.machine import load_machine
+        from repro.obs.profile import trace_lacc_dist
+
+        machine = load_machine(args.machine)
+        res, tracer = trace_lacc_dist(A, machine, nodes=args.nodes)
+        clock = f"α–β model seconds ({machine.name}, {args.nodes} nodes, {res.ranks} ranks)"
+        total = res.simulated_seconds
+    else:
+        from repro.obs.profile import trace_lacc
+
+        res, tracer = trace_lacc(A)
+        clock = "wall seconds"
+        total = sum(r.duration for r in tracer.roots)
+
+    n_spans = sum(1 for _ in tracer.walk())
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+    print(f"components: {res.n_components} in {res.n_iterations} iterations, "
+          f"{total*1e3:.3f} ms [{clock}]")
+    print(f"trace: {n_spans} spans, {tracer.max_depth()} levels deep")
+    print()
+    print(top_table(tracer, limit=args.top))
+    if args.flame:
+        print()
+        print(flamegraph(tracer))
+    if args.trace:
+        write_chrome_trace(
+            chrome_trace(tracer, process_name=f"repro {g.name}"), args.trace
+        )
+        print(f"\nChrome trace written to {args.trace} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"span records written to {args.jsonl}")
     return 0
 
 
@@ -186,7 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
     cc.add_argument("graph", help=".mtx / edge-list file or corpus name")
     cc.add_argument("--method", default="lacc",
                     choices=["lacc", "union-find", "sv", "bfs", "label-prop", "fastsv"])
-    cc.add_argument("--stats", action="store_true", help="per-iteration stats (lacc)")
+    cc.add_argument("--stats", action="store_true",
+                    help="component statistics (plus per-iteration detail for lacc)")
+    cc.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output on stdout")
+    cc.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome trace_event JSON of the run")
     cc.add_argument("--out", help="write labels to this file")
     cc.set_defaults(fn=_cmd_cc)
 
@@ -199,7 +382,33 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--nodes", default="1,4,16,64")
     sim.add_argument("--parconnect", action="store_true",
                      help="also run the ParConnect competitor")
+    sim.add_argument("--stats", action="store_true",
+                     help="per-step / per-iteration model breakdown per node count")
+    sim.add_argument("--json", action="store_true",
+                     help="machine-readable JSON output on stdout")
+    sim.add_argument("--trace", metavar="FILE",
+                     help="write a merged Chrome trace (one pid lane per node count)")
     sim.set_defaults(fn=_cmd_simulate)
+
+    prof = sub.add_parser(
+        "profile",
+        help="trace a LACC run (iteration → step → primitive spans)",
+    )
+    prof.add_argument("graph", help=".mtx / edge-list file or corpus name")
+    prof.add_argument("--machine", default=None,
+                      help="profile the simulated-distributed run on this machine "
+                           "(default: serial wall-clock run)")
+    prof.add_argument("--nodes", type=int, default=1,
+                      help="node count for --machine runs")
+    prof.add_argument("--trace", metavar="FILE",
+                      help="write Chrome trace_event JSON (chrome://tracing, Perfetto)")
+    prof.add_argument("--jsonl", metavar="FILE",
+                      help="write one JSON span record per line")
+    prof.add_argument("--top", type=int, default=15,
+                      help="rows in the hotspot table")
+    prof.add_argument("--flame", action="store_true",
+                      help="also print an ASCII flamegraph")
+    prof.set_defaults(fn=_cmd_profile)
 
     co = sub.add_parser("corpus", help="Table III corpus analogues")
     co.add_argument("name", nargs="?", help="corpus graph name")

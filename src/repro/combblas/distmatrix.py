@@ -23,6 +23,7 @@ from repro.graphblas import DCSC, Matrix
 from repro.mpisim import collectives
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.grid import ProcessGrid
+from repro.obs.tracer import current as _obs
 
 __all__ = ["DistMatrix"]
 
@@ -165,7 +166,11 @@ class DistMatrix:
                 g.block,
             )
 
-        with cost.phase(phase):
+        with _obs().span(
+            "mxv", "combblas", path="spmv" if dense else "spmspv"
+        ) as sp, cost.phase(phase):
+            if sp:
+                sp.add("flops", flops_rank)
             # stage 1: allgather within column groups (side ranks each)
             collectives.allgather(cost, side, gather_words / max(side, 1), phase)
             # local multiply

@@ -32,6 +32,7 @@ import numpy as np
 from repro.mpisim import collectives
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.grid import ProcessGrid
+from repro.obs.tracer import current as _obs
 
 __all__ = ["RoutingReport", "route_requests", "charge_assign", "charge_extract"]
 
@@ -145,7 +146,14 @@ def charge_extract(
     **kw,
 ) -> RoutingReport:
     """``GrB_extract w = u[indices]`` — cost driven by nnz(w) (§V-A)."""
-    return route_requests(grid, cost, index_values, requester_indices, phase, **kw)
+    with _obs().span("extract", "combblas") as sp:
+        rep = route_requests(grid, cost, index_values, requester_indices, phase, **kw)
+        if sp:
+            sp.add("requests", int(np.asarray(index_values).size))
+            sp.set("skew", rep.skew)
+            sp.set("received_per_rank", rep.received_per_rank.tolist())
+            sp.set("broadcast_ranks", rep.broadcast_ranks.tolist())
+        return rep
 
 
 def charge_assign(
@@ -157,4 +165,11 @@ def charge_assign(
     **kw,
 ) -> RoutingReport:
     """``GrB_assign w[indices] = u`` — cost driven by nnz(u) (§V-A)."""
-    return route_requests(grid, cost, target_indices, source_indices, phase, **kw)
+    with _obs().span("assign", "combblas") as sp:
+        rep = route_requests(grid, cost, target_indices, source_indices, phase, **kw)
+        if sp:
+            sp.add("requests", int(np.asarray(target_indices).size))
+            sp.set("skew", rep.skew)
+            sp.set("received_per_rank", rep.received_per_rank.tolist())
+            sp.set("broadcast_ranks", rep.broadcast_ranks.tolist())
+        return rep

@@ -22,18 +22,20 @@ sparsity benchmarks.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.graphblas import Matrix, Vector
+from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
 from .convergence import ActiveSet
 from .hooking import cond_hook, uncond_hook
 from .shortcut import shortcut
 from .starcheck import starcheck
-from .stats import IterationStats, LACCStats, StepTimer
+from .stats import IterationStats, LACCStats, steps_from_span
 
 __all__ = ["lacc", "LACCResult"]
 
@@ -70,6 +72,7 @@ def lacc(
     use_sparsity: bool = True,
     max_iterations: Optional[int] = None,
     collect_stats: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> LACCResult:
     """Run LACC on the adjacency matrix of an undirected graph.
 
@@ -88,7 +91,15 @@ def lacc(
         raises ``RuntimeError``.
     collect_stats:
         Fill per-iteration counters/timers (cheap; disable only for the
-        tightest micro-benchmarks).
+        tightest micro-benchmarks).  Timing rides on iteration/step spans
+        of a private :class:`repro.obs.Tracer`; ``LACCStats`` is derived
+        from those spans.
+    tracer:
+        Explicit :class:`repro.obs.Tracer` to record into.  It is
+        *activated* for the duration of the run, so every GraphBLAS
+        primitive nests its own span (with nvals/flops counters) under
+        the step spans — the ``python -m repro profile`` view.  Default:
+        a private step-level tracer (no primitive spans, near-zero cost).
 
     Returns
     -------
@@ -118,48 +129,66 @@ def lacc(
         if isolated.any():
             active._active &= ~isolated
 
+    # Tracing: an explicit tracer is activated so GraphBLAS primitives
+    # record leaf spans; the default private tracer stays inactive and
+    # only carries the iteration/step spans LACCStats is derived from.
+    tr = tracer if tracer is not None else (Tracer() if collect_stats else NULL_TRACER)
+    run_ctx = activate(tr) if tracer is not None else contextlib.nullcontext()
+
     iteration = 0
-    star = starcheck(f, active.mask)
-    while True:
-        iteration += 1
-        if iteration > max_iterations:
-            raise RuntimeError(
-                f"LACC did not converge within {max_iterations} iterations — "
-                "this indicates a forest-invariant violation"
-            )
-        it_stats = IterationStats(iteration=iteration, active_vertices=active.active_count)
-        timer = StepTimer(it_stats)
-
-        with timer.step("cond_hook"):
-            it_stats.cond_hooks = cond_hook(A, f, star, active.mask).count
-        with timer.step("starcheck"):
-            star = starcheck(f, active.mask)
-        with timer.step("uncond_hook"):
-            it_stats.uncond_hooks = uncond_hook(A, f, star, active.mask).count
-        with timer.step("starcheck"):
-            star = starcheck(f, active.mask)
-
-        # Lemma 1 (strengthened, see convergence module): stars surviving
-        # unconditional hooking with no external edges are converged
-        active.retire_converged_stars(A, f, star)
-        it_stats.converged_vertices = active.converged_count
-        sv, sp_ = star.dense_arrays()
-        it_stats.star_vertices = int(np.count_nonzero(sv & sp_))
-
-        with timer.step("shortcut"):
-            nonstar = sp_ & ~sv
-            scope = nonstar if not use_sparsity else (nonstar & active._active)
-            shortcut(f, scope if use_sparsity else nonstar)
-
-        if collect_stats:
-            stats.iterations.append(it_stats)
-
-        hooked = it_stats.cond_hooks + it_stats.uncond_hooks
-        all_stars = not (sp_ & ~sv).any()
-        if active.all_converged() or (hooked == 0 and all_stars):
-            break
-        # after shortcutting, star memberships may have changed
+    with run_ctx, tr.span("lacc", "run", n=n, nnz=A.nvals):
         star = starcheck(f, active.mask)
+        while True:
+            iteration += 1
+            if iteration > max_iterations:
+                raise RuntimeError(
+                    f"LACC did not converge within {max_iterations} iterations — "
+                    "this indicates a forest-invariant violation"
+                )
+            it_stats = IterationStats(
+                iteration=iteration, active_vertices=active.active_count
+            )
+
+            with tr.span("iteration", "iteration", iteration=iteration) as it_span:
+                with tr.span("cond_hook", "step"):
+                    it_stats.cond_hooks = cond_hook(A, f, star, active.mask).count
+                with tr.span("starcheck", "step"):
+                    star = starcheck(f, active.mask)
+                with tr.span("uncond_hook", "step"):
+                    it_stats.uncond_hooks = uncond_hook(A, f, star, active.mask).count
+                with tr.span("starcheck", "step"):
+                    star = starcheck(f, active.mask)
+
+                # Lemma 1 (strengthened, see convergence module): stars
+                # surviving unconditional hooking with no external edges
+                # are converged
+                active.retire_converged_stars(A, f, star)
+                it_stats.converged_vertices = active.converged_count
+                sv, sp_ = star.dense_arrays()
+                it_stats.star_vertices = int(np.count_nonzero(sv & sp_))
+
+                with tr.span("shortcut", "step"):
+                    nonstar = sp_ & ~sv
+                    scope = nonstar if not use_sparsity else (nonstar & active._active)
+                    shortcut(f, scope if use_sparsity else nonstar)
+
+                if it_span:
+                    it_span.set("active_vertices", it_stats.active_vertices)
+                    it_span.set("converged_vertices", it_stats.converged_vertices)
+                    it_span.set("cond_hooks", it_stats.cond_hooks)
+                    it_span.set("uncond_hooks", it_stats.uncond_hooks)
+
+            if it_span:
+                it_stats.step_seconds = steps_from_span(it_span)
+            if collect_stats:
+                stats.iterations.append(it_stats)
+
+            hooked = it_stats.cond_hooks + it_stats.uncond_hooks
+            all_stars = not (sp_ & ~sv).any()
+            if active.all_converged() or (hooked == 0 and all_stars):
+                break
+            # after shortcutting, star memberships may have changed
+            star = starcheck(f, active.mask)
 
     labels = f.to_numpy()
     n_components = int(np.unique(labels).size)

@@ -22,7 +22,9 @@ grid that fits ``cores/t`` ranks.
 
 from __future__ import annotations
 
+import contextlib
 import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -34,6 +36,7 @@ from repro.graphblas import Matrix, Vector
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.grid import ProcessGrid
 from repro.mpisim.machine import MachineModel
+from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
 from .convergence import ActiveSet, converged_star_vertices
 from .hooking import HookReport, cond_hook, uncond_hook
@@ -42,6 +45,26 @@ from .starcheck import starcheck
 from .stats import IterationStats, LACCStats
 
 __all__ = ["lacc_dist", "DistLACCResult", "grid_for"]
+
+
+class _StepSpan:
+    """Step-span context that records host time as a ``wall_seconds``
+    counter next to the simulated-clock span extent (model vs. actual
+    side by side)."""
+
+    __slots__ = ("_ctx", "_span", "_t0")
+
+    def __init__(self, tracer, name: str):
+        self._ctx = tracer.span(name, "step")
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        self._span = self._ctx.__enter__()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._span.add("wall_seconds", time.perf_counter() - self._t0)
+        return self._ctx.__exit__(exc_type, exc, tb)
 
 
 @dataclass
@@ -91,6 +114,7 @@ def lacc_dist(
     max_iterations: Optional[int] = None,
     seed: int = 0,
     trace_comm: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> DistLACCResult:
     """Run LACC on the simulated machine.
 
@@ -99,6 +123,14 @@ def lacc_dist(
     ablation benchmarks can switch each optimisation off).
     ``vector_distribution="cyclic"`` enables the paper's §VII future-work
     layout, spreading indexing hot spots across ranks.
+
+    When a fresh :class:`repro.obs.Tracer` is passed via ``tracer``, its
+    clock is rebound to the cost model's simulated clock so span extents
+    are α–β model seconds (the timeline of the machine being simulated);
+    each step span additionally carries a ``wall_seconds`` counter — the
+    host time spent computing the step's values — so model and actual
+    time sit side by side.  The tracer is activated for the run, nesting
+    GraphBLAS-primitive and collective spans under each step.
     """
     if A.nrows != A.ncols or not A.is_symmetric:
         raise ValueError("LACC requires a square symmetric adjacency matrix")
@@ -108,6 +140,11 @@ def lacc_dist(
     dmat = DistMatrix(A, grid, permute=permute, seed=seed)
     cost = CostModel(machine, nprocs, nodes, trace=trace_comm)
     stats = LACCStats(n_vertices=n)
+    tr = tracer if tracer is not None else NULL_TRACER
+    if tracer is not None and not tracer.roots and tracer.current is None:
+        # fresh tracer: span extents become simulated seconds
+        tracer.clock = lambda: cost.total_seconds
+    run_ctx = activate(tr) if tracer is not None else contextlib.nullcontext()
     routing: List[Tuple[int, str, RoutingReport]] = []
     route_kw = dict(
         use_broadcast_offload=use_broadcast_offload, use_hypercube=use_hypercube
@@ -163,65 +200,89 @@ def lacc_dist(
         charge_assign(grid, cost, fv[idx], idx, phase, **route_kw)
         cost.charge_compute(2 * idx.size / max(nprocs, 1), phase)
 
+    def step_span(name: str):
+        """Open a step span that also measures host ('wall') seconds."""
+        return _StepSpan(tr, name)
+
     iteration = 0
-    star = starcheck(f, active.mask)
-    while True:
+    with run_ctx, tr.span("lacc_dist", "run", n=n, nnz=Ap.nvals,
+                          machine=machine.name, nodes=nodes, ranks=nprocs):
+      star = starcheck(f, active.mask)
+      while True:
         iteration += 1
         if iteration > max_iterations:
             raise RuntimeError("distributed LACC failed to converge (bug)")
         it_stats = IterationStats(iteration=iteration, active_vertices=active.active_count)
+        _, words0, msgs0 = cost.totals()
 
-        before = snapshot()
-        rep = cond_hook(Ap, f, star, active.mask)
-        it_stats.cond_hooks = rep.count
-        charge_hook(rep, active_bitmap(), "cond_hook", iteration)
-        add_step_delta(it_stats.step_model_seconds, before)
+        with tr.span("iteration", "iteration", iteration=iteration) as it_span:
+            before = snapshot()
+            with step_span("cond_hook"):
+                rep = cond_hook(Ap, f, star, active.mask)
+                it_stats.cond_hooks = rep.count
+                charge_hook(rep, active_bitmap(), "cond_hook", iteration)
+            add_step_delta(it_stats.step_model_seconds, before)
 
-        before = snapshot()
-        star = starcheck(f, active.mask)
-        charge_starcheck("starcheck", iteration)
+            before = snapshot()
+            with step_span("starcheck"):
+                star = starcheck(f, active.mask)
+                charge_starcheck("starcheck", iteration)
 
-        sv, sp_ = star.dense_arrays()
-        nonstar_active = sp_ & ~sv
-        if active.mask is not None:
-            nonstar_active = nonstar_active & active.mask
-        add_step_delta(it_stats.step_model_seconds, before)
+            sv, sp_ = star.dense_arrays()
+            nonstar_active = sp_ & ~sv
+            if active.mask is not None:
+                nonstar_active = nonstar_active & active.mask
+            add_step_delta(it_stats.step_model_seconds, before)
 
-        before = snapshot()
-        rep = uncond_hook(Ap, f, star, active.mask)
-        it_stats.uncond_hooks = rep.count
-        in_cols = nonstar_active if active.mask is not None else None
-        charge_hook(rep, in_cols, "uncond_hook", iteration)
-        add_step_delta(it_stats.step_model_seconds, before)
+            before = snapshot()
+            with step_span("uncond_hook"):
+                rep = uncond_hook(Ap, f, star, active.mask)
+                it_stats.uncond_hooks = rep.count
+                in_cols = nonstar_active if active.mask is not None else None
+                charge_hook(rep, in_cols, "uncond_hook", iteration)
+            add_step_delta(it_stats.step_model_seconds, before)
 
-        before = snapshot()
-        star = starcheck(f, active.mask)
-        charge_starcheck("starcheck", iteration)
-        # convergence detection (strengthened Lemma 1): min and max
-        # neighbouring parent fuse into one semiring pass, so charge one mxv
-        if use_sparsity:
-            conv = converged_star_vertices(Ap, f, star, active.mask)
-            dmat.charge_mxv(cost, active_bitmap(), "starcheck")
-            active.retire(conv)
-        it_stats.converged_vertices = active.converged_count
-        sv, sp_ = star.dense_arrays()
-        it_stats.star_vertices = int(np.count_nonzero(sv & sp_))
-        add_step_delta(it_stats.step_model_seconds, before)
+            before = snapshot()
+            with step_span("starcheck"):
+                star = starcheck(f, active.mask)
+                charge_starcheck("starcheck", iteration)
+                # convergence detection (strengthened Lemma 1): min and max
+                # neighbouring parent fuse into one semiring pass, so charge
+                # one mxv
+                if use_sparsity:
+                    conv = converged_star_vertices(Ap, f, star, active.mask)
+                    dmat.charge_mxv(cost, active_bitmap(), "starcheck")
+                    active.retire(conv)
+            it_stats.converged_vertices = active.converged_count
+            sv, sp_ = star.dense_arrays()
+            it_stats.star_vertices = int(np.count_nonzero(sv & sp_))
+            add_step_delta(it_stats.step_model_seconds, before)
 
-        before = snapshot()
-        nonstar = sp_ & ~sv
-        scope = nonstar & active._active if use_sparsity else nonstar
-        scope_idx = np.flatnonzero(scope)
-        if scope_idx.size:
-            fv = f.to_numpy()
-            rep2 = charge_extract(grid, cost, fv[scope_idx], scope_idx, "shortcut", **route_kw)
-            routing.append((iteration, "shortcut", rep2))
-            cost.charge_compute(scope_idx.size / max(nprocs, 1), "shortcut")
-        shortcut(f, scope)
-        add_step_delta(it_stats.step_model_seconds, before)
+            before = snapshot()
+            with step_span("shortcut"):
+                nonstar = sp_ & ~sv
+                scope = nonstar & active._active if use_sparsity else nonstar
+                scope_idx = np.flatnonzero(scope)
+                if scope_idx.size:
+                    fv = f.to_numpy()
+                    rep2 = charge_extract(
+                        grid, cost, fv[scope_idx], scope_idx, "shortcut", **route_kw
+                    )
+                    routing.append((iteration, "shortcut", rep2))
+                    cost.charge_compute(scope_idx.size / max(nprocs, 1), "shortcut")
+                shortcut(f, scope)
+            add_step_delta(it_stats.step_model_seconds, before)
 
-        it_stats.words_communicated = int(cost.total_words)
-        it_stats.messages_sent = int(cost.total_messages)
+            if it_span:
+                it_span.set("active_vertices", it_stats.active_vertices)
+                it_span.set("converged_vertices", it_stats.converged_vertices)
+                it_span.set("cond_hooks", it_stats.cond_hooks)
+                it_span.set("uncond_hooks", it_stats.uncond_hooks)
+
+        # per-iteration communication attribution (Figure 8's comm columns)
+        _, words1, msgs1 = cost.totals()
+        it_stats.words_communicated = int(round(words1 - words0))
+        it_stats.messages_sent = int(round(msgs1 - msgs0))
         stats.iterations.append(it_stats)
 
         hooked = it_stats.cond_hooks + it_stats.uncond_hooks

@@ -6,6 +6,12 @@ spent in each of the four steps (conditional hooking, unconditional
 hooking, shortcut, starcheck).  Every LACC run — serial or simulated
 distributed — fills a :class:`LACCStats` so the benchmark harness can print
 those figures without re-instrumenting the algorithm.
+
+Timing is captured by :mod:`repro.obs` spans (iteration → step →
+primitive); :func:`steps_from_span` derives the per-step seconds of one
+iteration from its span, making :class:`LACCStats` a *view* over the
+trace rather than a second timing mechanism.  :class:`StepTimer` remains
+for code that wants step timing without a tracer.
 """
 
 from __future__ import annotations
@@ -15,7 +21,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["IterationStats", "LACCStats", "StepTimer", "STEPS"]
+__all__ = [
+    "IterationStats",
+    "LACCStats",
+    "StepTimer",
+    "STEPS",
+    "steps_from_span",
+]
 
 #: The four steps of every LACC iteration, in execution order.
 STEPS = ("cond_hook", "starcheck", "uncond_hook", "shortcut")
@@ -73,6 +85,21 @@ class LACCStats:
 
     def total_seconds(self, model: bool = False) -> float:
         return sum(self.step_totals(model).values())
+
+
+def steps_from_span(iteration_span) -> Dict[str, float]:
+    """Sum the durations of an iteration span's ``step`` children by name.
+
+    This is the bridge from the :mod:`repro.obs` trace to
+    ``IterationStats.step_seconds``: both starcheck passes of one
+    iteration fold into a single ``"starcheck"`` entry, exactly as the
+    old :class:`StepTimer` accumulated them.
+    """
+    out: Dict[str, float] = {}
+    for child in getattr(iteration_span, "children", ()):
+        if child.cat == "step":
+            out[child.name] = out.get(child.name, 0.0) + child.duration
+    return out
 
 
 class StepTimer:

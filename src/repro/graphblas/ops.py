@@ -27,6 +27,8 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 from scipy import sparse as sp
 
+from repro.obs.tracer import current as _obs
+
 from .binaryop import BinaryOp
 from .descriptor import NULL, Descriptor, Mask
 from .matrix import Matrix
@@ -177,15 +179,27 @@ def mxv(
         raise ValueError(f"A is {A.nrows}x{A.ncols} but u has size {u.size}")
     if A.nrows != w.size:
         raise ValueError(f"A is {A.nrows}x{A.ncols} but w has size {w.size}")
-    if u.density > SPMSPV_DENSITY_THRESHOLD:
-        t_idx, t_vals = _spmv(semiring, A, u)
-    else:
-        t_idx, t_vals = _spmspv(semiring, A, u)
-    return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+    with _obs().span("mxv", "graphblas") as sp:
+        dense_path = u.density > SPMSPV_DENSITY_THRESHOLD
+        if sp:
+            sp.set("path", "spmv" if dense_path else "spmspv")
+            sp.add("nvals_in", u.nvals)
+        if dense_path:
+            t_idx, t_vals, flops = _spmv(semiring, A, u)
+        else:
+            t_idx, t_vals, flops = _spmspv(semiring, A, u)
+        if sp:
+            sp.add("flops", flops)
+            sp.add("nvals_out", int(t_idx.size))
+        return _masked_write(w, t_idx, t_vals, mask, accum, desc)
 
 
 def _spmv(semiring: Semiring, A: Matrix, u: Vector):
-    """Row-streaming kernel: work ∝ nnz(A) restricted to present u entries."""
+    """Row-streaming kernel: work ∝ nnz(A) restricted to present u entries.
+
+    Returns ``(t_idx, t_vals, flops)`` where *flops* is the number of
+    semiring multiplies performed (the quantity Figure 8 attributes).
+    """
     u_vals, u_present = u.dense_arrays()
     cols = A.indices
     keep = u_present[cols]
@@ -197,27 +211,32 @@ def _spmv(semiring: Semiring, A: Matrix, u: Vector):
         a_vals = A.values
         rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())
     prods = semiring.multiply(a_vals, u_vals[cols])
-    return _segment_reduce(np.asarray(prods), rows, semiring.add)
+    t_idx, t_vals = _segment_reduce(np.asarray(prods), rows, semiring.add)
+    return t_idx, t_vals, int(cols.size)
 
 
 def _spmspv(semiring: Semiring, A: Matrix, u: Vector):
-    """Column-gather kernel: work ∝ sum of degrees of present u entries."""
+    """Column-gather kernel: work ∝ sum of degrees of present u entries.
+
+    Returns ``(t_idx, t_vals, flops)`` like :func:`_spmv`.
+    """
     ui, uv = u.sparse_arrays()
     if ui.size == 0:
-        return ui[:0], uv[:0]
+        return ui[:0], uv[:0], 0
     indptr, rowids, vals = A.csc_arrays()
     lo, hi = indptr[ui], indptr[ui + 1]
     lengths = hi - lo
     total = int(lengths.sum())
     if total == 0:
-        return ui[:0], uv[:0]
+        return ui[:0], uv[:0], 0
     out_starts = np.zeros(lengths.size, dtype=np.int64)
     np.cumsum(lengths[:-1], out=out_starts[1:])
     flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
     rows = rowids[flat]
     prods = np.asarray(semiring.multiply(vals[flat], np.repeat(uv, lengths)))
     order = np.argsort(rows, kind="stable")
-    return _segment_reduce(prods[order], rows[order], semiring.add)
+    t_idx, t_vals = _segment_reduce(prods[order], rows[order], semiring.add)
+    return t_idx, t_vals, total
 
 
 def vxm(
@@ -296,12 +315,19 @@ def ewise_mult(
         raise ValueError("eWiseMult operands must have equal size")
     if isinstance(op, Semiring):
         op = op.multiply
-    ui, uv = u.sparse_arrays()
-    vi, vv = v.sparse_arrays()
-    common, u_pos, v_pos = np.intersect1d(ui, vi, assume_unique=True, return_indices=True)
-    out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
-    t_vals = np.asarray(op(uv[u_pos], vv[v_pos])).astype(out_dtype)
-    return _masked_write(w, common, t_vals, mask, accum, desc)
+    with _obs().span("ewise_mult", "graphblas") as sp:
+        ui, uv = u.sparse_arrays()
+        vi, vv = v.sparse_arrays()
+        common, u_pos, v_pos = np.intersect1d(
+            ui, vi, assume_unique=True, return_indices=True
+        )
+        out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
+        t_vals = np.asarray(op(uv[u_pos], vv[v_pos])).astype(out_dtype)
+        if sp:
+            sp.add("nvals_in", int(ui.size + vi.size))
+            sp.add("nvals_out", int(common.size))
+            sp.add("flops", int(common.size))
+        return _masked_write(w, common, t_vals, mask, accum, desc)
 
 
 def ewise_add(
@@ -318,13 +344,18 @@ def ewise_add(
         raise ValueError("eWiseAdd operands must have equal size")
     if isinstance(op, Monoid):
         op = op.op
-    ui, uv = u.sparse_arrays()
-    vi, vv = v.sparse_arrays()
-    out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
-    t_idx, t_vals = _merge_union(
-        ui, uv.astype(out_dtype), vi, vv.astype(out_dtype), op, out_dtype
-    )
-    return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+    with _obs().span("ewise_add", "graphblas") as sp:
+        ui, uv = u.sparse_arrays()
+        vi, vv = v.sparse_arrays()
+        out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
+        t_idx, t_vals = _merge_union(
+            ui, uv.astype(out_dtype), vi, vv.astype(out_dtype), op, out_dtype
+        )
+        if sp:
+            sp.add("nvals_in", int(ui.size + vi.size))
+            sp.add("nvals_out", int(t_idx.size))
+            sp.add("flops", int(t_idx.size))
+        return _masked_write(w, t_idx, t_vals, mask, accum, desc)
 
 
 # ----------------------------------------------------------------------
@@ -347,18 +378,27 @@ def extract(
     values as the index list (Algorithm 5).
     """
     idx = _as_index_array(indices, u.size, "extract")
-    if idx is None:
-        if w.size != u.size:
-            raise ValueError("GrB_ALL extract requires w.size == u.size")
-        t_idx, t_vals = u.sparse_arrays()
-        return _masked_write(w, t_idx.copy(), t_vals.copy(), mask, accum, desc)
-    if w.size != idx.size:
-        raise ValueError(f"w.size {w.size} != number of extract indices {idx.size}")
-    u_vals, u_present = u.dense_arrays()
-    hit = u_present[idx]
-    t_idx = np.flatnonzero(hit)
-    t_vals = u_vals[idx[hit]]
-    return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+    with _obs().span("extract", "graphblas") as sp:
+        if idx is None:
+            if w.size != u.size:
+                raise ValueError("GrB_ALL extract requires w.size == u.size")
+            t_idx, t_vals = u.sparse_arrays()
+            if sp:
+                sp.add("nvals_in", int(t_idx.size))
+                sp.add("nvals_out", int(t_idx.size))
+                sp.add("flops", int(t_idx.size))
+            return _masked_write(w, t_idx.copy(), t_vals.copy(), mask, accum, desc)
+        if w.size != idx.size:
+            raise ValueError(f"w.size {w.size} != number of extract indices {idx.size}")
+        u_vals, u_present = u.dense_arrays()
+        hit = u_present[idx]
+        t_idx = np.flatnonzero(hit)
+        t_vals = u_vals[idx[hit]]
+        if sp:
+            sp.add("nvals_in", int(idx.size))
+            sp.add("nvals_out", int(t_idx.size))
+            sp.add("flops", int(idx.size))
+        return _masked_write(w, t_idx, t_vals, mask, accum, desc)
 
 
 def assign(
@@ -377,40 +417,49 @@ def assign(
     primitive: ``f[f_h] = f_n`` scatters new parents onto the star roots.
     """
     idx = _as_index_array(indices, w.size, "assign")
-    if idx is None:
-        if u.size != w.size:
-            raise ValueError("GrB_ALL assign requires u.size == w.size")
-        ui, uv = u.sparse_arrays()
-        t_idx, t_vals = ui.copy(), uv.copy()
-        touched = None
-    else:
-        if u.size != idx.size:
-            raise ValueError(f"u.size {u.size} != number of assign indices {idx.size}")
-        ui, uv = u.sparse_arrays()
-        if ui.size == 0:
-            t_idx, t_vals = ui, uv
+    with _obs().span("assign", "graphblas") as sp:
+        if idx is None:
+            if u.size != w.size:
+                raise ValueError("GrB_ALL assign requires u.size == w.size")
+            ui, uv = u.sparse_arrays()
+            t_idx, t_vals = ui.copy(), uv.copy()
+            touched = None
         else:
-            targets = idx[ui]
-            order = np.argsort(targets, kind="stable")
-            t_sorted = targets[order]
-            v_sorted = uv[order]
-            last = np.r_[t_sorted[1:] != t_sorted[:-1], True]
-            t_idx, t_vals = t_sorted[last], v_sorted[last]
-        touched = idx
+            if u.size != idx.size:
+                raise ValueError(
+                    f"u.size {u.size} != number of assign indices {idx.size}"
+                )
+            ui, uv = u.sparse_arrays()
+            if ui.size == 0:
+                t_idx, t_vals = ui, uv
+            else:
+                targets = idx[ui]
+                order = np.argsort(targets, kind="stable")
+                t_sorted = targets[order]
+                v_sorted = uv[order]
+                last = np.r_[t_sorted[1:] != t_sorted[:-1], True]
+                t_idx, t_vals = t_sorted[last], v_sorted[last]
+            touched = idx
+        if sp:
+            sp.add("nvals_in", int(ui.size))
+            sp.add("nvals_out", int(t_idx.size))
+            sp.add("flops", int(t_idx.size))
 
-    allow = desc.wrap(mask).allow(w.size)
-    if touched is not None and not desc.replace:
-        # restrict the write region to the named indices: positions outside
-        # `indices` keep their current w entries regardless of the mask
-        region = np.zeros(w.size, dtype=bool)
-        region[touched] = True
-        allow = allow & region
-    restricted = Descriptor(
-        replace=desc.replace, mask_structural=False, mask_complement=False
-    )
-    return _masked_write(
-        w, t_idx, t_vals, Mask(_bool_vector(allow), structural=False), accum, restricted
-    )
+        allow = desc.wrap(mask).allow(w.size)
+        if touched is not None and not desc.replace:
+            # restrict the write region to the named indices: positions
+            # outside `indices` keep their current w entries regardless of
+            # the mask
+            region = np.zeros(w.size, dtype=bool)
+            region[touched] = True
+            allow = allow & region
+        restricted = Descriptor(
+            replace=desc.replace, mask_structural=False, mask_complement=False
+        )
+        return _masked_write(
+            w, t_idx, t_vals, Mask(_bool_vector(allow), structural=False),
+            accum, restricted,
+        )
 
 
 def assign_scalar(
@@ -427,21 +476,27 @@ def assign_scalar(
     position allowed by the mask (starcheck uses this to flag nonstars).
     """
     idx = _as_index_array(indices, w.size, "assign")
-    if idx is None:
-        idx = np.arange(w.size, dtype=np.int64)
-    else:
-        idx = np.unique(idx)
-    t_vals = np.full(idx.size, value, dtype=w.dtype)
+    with _obs().span("assign_scalar", "graphblas") as sp:
+        if idx is None:
+            idx = np.arange(w.size, dtype=np.int64)
+        else:
+            idx = np.unique(idx)
+        t_vals = np.full(idx.size, value, dtype=w.dtype)
+        if sp:
+            sp.add("nvals_in", int(idx.size))
+            sp.add("nvals_out", int(idx.size))
+            sp.add("flops", int(idx.size))
 
-    allow = desc.wrap(mask).allow(w.size)
-    region = np.zeros(w.size, dtype=bool)
-    region[idx] = True
-    if not desc.replace:
-        allow = allow & region
-    restricted = Descriptor(replace=desc.replace)
-    return _masked_write(
-        w, idx, t_vals, Mask(_bool_vector(allow), structural=False), accum, restricted
-    )
+        allow = desc.wrap(mask).allow(w.size)
+        region = np.zeros(w.size, dtype=bool)
+        region[idx] = True
+        if not desc.replace:
+            allow = allow & region
+        restricted = Descriptor(replace=desc.replace)
+        return _masked_write(
+            w, idx, t_vals, Mask(_bool_vector(allow), structural=False),
+            accum, restricted,
+        )
 
 
 def _bool_vector(allow: np.ndarray) -> Vector:

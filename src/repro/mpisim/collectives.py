@@ -26,6 +26,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.tracer import current as _obs
+
 from .costmodel import CostModel
 
 __all__ = [
@@ -48,7 +50,7 @@ def bcast(cost: CostModel, p: int, words: float, phase: Optional[str] = None) ->
     """Binomial-tree broadcast of *words* words to *p* ranks."""
     if p <= 1 or words <= 0:
         return 0.0
-    with cost.kind("bcast"):
+    with _obs().span("bcast", "collective", ranks=p), cost.kind("bcast"):
         return cost.charge_comm(words * _log2(p), math.ceil(_log2(p)), phase)
 
 
@@ -63,7 +65,7 @@ def allgather(
     """
     if p <= 1:
         return 0.0
-    with cost.kind("allgather"):
+    with _obs().span("allgather", "collective", ranks=p), cost.kind("allgather"):
         return cost.charge_comm(
             (p - 1) * words_per_rank, math.ceil(_log2(p)), phase
         )
@@ -77,7 +79,9 @@ def reduce_scatter(
     if p <= 1:
         return 0.0
     moved = (p - 1) / p * words_total
-    with cost.kind("reduce_scatter"):
+    with _obs().span("reduce_scatter", "collective", ranks=p), cost.kind(
+        "reduce_scatter"
+    ):
         dt = cost.charge_comm(moved, math.ceil(_log2(p)), phase)
         dt += cost.charge_compute(moved, phase)
     return dt
@@ -107,7 +111,9 @@ def alltoallv_pairwise(
     """
     if p <= 1:
         return 0.0
-    with cost.kind("alltoallv_pairwise"):
+    with _obs().span("alltoallv_pairwise", "collective", ranks=p), cost.kind(
+        "alltoallv_pairwise"
+    ):
         return cost.charge_comm(words_max_rank, p - 1, phase)
 
 
@@ -125,7 +131,9 @@ def alltoallv_hypercube(
     if p <= 1:
         return 0.0
     lg = math.ceil(_log2(p))
-    with cost.kind("alltoallv_hypercube"):
+    with _obs().span("alltoallv_hypercube", "collective", ranks=p), cost.kind(
+        "alltoallv_hypercube"
+    ):
         return cost.charge_comm(words_max_rank * max(lg, 1), lg, phase)
 
 
@@ -147,5 +155,5 @@ def barrier(cost: CostModel, p: int, phase: Optional[str] = None) -> float:
     """Dissemination barrier: ``α·log p``."""
     if p <= 1:
         return 0.0
-    with cost.kind("barrier"):
+    with _obs().span("barrier", "collective", ranks=p), cost.kind("barrier"):
         return cost.charge_comm(0.0, math.ceil(_log2(p)), phase)

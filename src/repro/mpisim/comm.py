@@ -9,6 +9,11 @@ list of per-rank receive buffers, mirroring mpi4py's buffer interface
 closely enough that the test suite can validate the distributed layer's
 ownership arithmetic (who gets which words) against a literal execution.
 
+Every collective also reports into the active :mod:`repro.obs` tracer
+(category ``"simcomm"``): total words that crossed rank boundaries,
+message count, and — for ``alltoallv`` — the full per-rank send/recv word
+matrices, which is the per-rank imbalance diagnostic of Figure 3.
+
 Used by the distributed-LACC validation tests and the
 ``examples/simulated_cluster.py`` walk-through.
 """
@@ -18,6 +23,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+from repro.obs.tracer import current as _obs
 
 __all__ = ["SimComm"]
 
@@ -41,33 +48,77 @@ class SimComm:
                 f"expected one buffer per rank ({self.size}), got {len(bufs)}"
             )
 
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range")
+
     # ------------------------------------------------------------------
     def bcast(self, bufs: List[Optional[np.ndarray]], root: int = 0) -> List[np.ndarray]:
         """Every rank receives a copy of the root's buffer."""
         self._check(bufs)
-        if not 0 <= root < self.size:
-            raise ValueError(f"root {root} out of range")
-        data = np.asarray(bufs[root])
-        return [data.copy() for _ in range(self.size)]
+        self._check_root(root)
+        with _obs().span("bcast", "simcomm", root=root, ranks=self.size) as sp:
+            data = np.asarray(bufs[root])
+            if sp:
+                sp.add("words", int(data.size) * (self.size - 1))
+                sp.add("messages", self.size - 1)
+            return [data.copy() for _ in range(self.size)]
 
     def allgather(self, bufs: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Every rank receives the concatenation of all buffers."""
         self._check(bufs)
-        out = np.concatenate([np.asarray(b) for b in bufs])
-        return [out.copy() for _ in range(self.size)]
+        with _obs().span("allgather", "simcomm", ranks=self.size) as sp:
+            out = np.concatenate([np.asarray(b) for b in bufs])
+            if sp:
+                sp.add("words", int(out.size) * (self.size - 1))
+                sp.add("messages", self.size * (self.size - 1))
+            return [out.copy() for _ in range(self.size)]
 
     def gather(self, bufs: Sequence[np.ndarray], root: int = 0) -> List[Optional[np.ndarray]]:
         """Root receives the concatenation; others receive ``None``."""
         self._check(bufs)
-        out: List[Optional[np.ndarray]] = [None] * self.size
-        out[root] = np.concatenate([np.asarray(b) for b in bufs])
-        return out
+        self._check_root(root)
+        with _obs().span("gather", "simcomm", root=root, ranks=self.size) as sp:
+            out: List[Optional[np.ndarray]] = [None] * self.size
+            out[root] = np.concatenate([np.asarray(b) for b in bufs])
+            if sp:
+                own = int(np.asarray(bufs[root]).size)
+                sp.add("words", int(out[root].size) - own)
+                sp.add("messages", self.size - 1)
+            return out
 
-    def scatter(self, chunks: Optional[Sequence[np.ndarray]], root: int = 0) -> List[np.ndarray]:
-        """Root's *chunks* (one per rank) are distributed."""
+    def scatter(self, chunks: Optional[Sequence], root: int = 0) -> List[np.ndarray]:
+        """Root's *chunks* (one per destination rank) are distributed.
+
+        Two accepted forms, mirroring MPI's "sendbuf significant only at
+        root" rule:
+
+        * **root form** — *chunks* is the root's list of ``p`` arrays
+          (legacy call shape);
+        * **per-rank form** — *chunks* has one entry per rank, ``None``
+          on every rank except *root*, whose entry is its chunk list
+          (symmetric with :meth:`bcast`'s ``bufs``).
+        """
+        self._check_root(root)
+        if chunks is not None and len(chunks) == self.size and any(
+            c is None for c in chunks
+        ):
+            # per-rank form: only the root's send buffer is meaningful
+            for r, c in enumerate(chunks):
+                if r != root and c is not None:
+                    raise ValueError(
+                        f"scatter send buffer provided on non-root rank {r}"
+                    )
+            chunks = chunks[root]
         if chunks is None or len(chunks) != self.size:
-            raise ValueError("scatter needs exactly one chunk per rank")
-        return [np.asarray(c).copy() for c in chunks]
+            raise ValueError("scatter needs exactly one chunk per rank at the root")
+        with _obs().span("scatter", "simcomm", root=root, ranks=self.size) as sp:
+            out = [np.asarray(c).copy() for c in chunks]
+            if sp:
+                moved = sum(int(c.size) for r, c in enumerate(out) if r != root)
+                sp.add("words", moved)
+                sp.add("messages", self.size - 1)
+            return out
 
     def alltoallv(
         self, send: Sequence[Sequence[np.ndarray]]
@@ -78,10 +129,27 @@ class SimComm:
         for i, row in enumerate(send):
             if len(row) != self.size:
                 raise ValueError(f"rank {i} must provide {self.size} send buffers")
-        return [
-            [np.asarray(send[i][j]).copy() for i in range(self.size)]
-            for j in range(self.size)
-        ]
+        with _obs().span("alltoallv", "simcomm", ranks=self.size) as sp:
+            if sp:
+                w = [
+                    [int(np.asarray(send[i][j]).size) for j in range(self.size)]
+                    for i in range(self.size)
+                ]
+                off_diag = [
+                    w[i][j] for i in range(self.size) for j in range(self.size) if i != j
+                ]
+                sp.add("words", sum(off_diag))
+                sp.add("messages", sum(1 for x in off_diag if x > 0))
+                sp.set("send_words", w)  # send_words[i][j]; recv is transpose
+                sp.set("rank_send_totals", [sum(row) for row in w])
+                sp.set(
+                    "rank_recv_totals",
+                    [sum(w[i][j] for i in range(self.size)) for j in range(self.size)],
+                )
+            return [
+                [np.asarray(send[i][j]).copy() for i in range(self.size)]
+                for j in range(self.size)
+            ]
 
     def reduce_scatter_block(
         self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -95,18 +163,26 @@ class SimComm:
             raise ValueError("reduce_scatter requires equal-length buffers")
         if length % self.size:
             raise ValueError("buffer length must divide evenly among ranks")
-        total = arrs[0]
-        for a in arrs[1:]:
-            total = op(total, a)
-        blk = length // self.size
-        return [total[r * blk : (r + 1) * blk].copy() for r in range(self.size)]
+        with _obs().span("reduce_scatter", "simcomm", ranks=self.size) as sp:
+            total = arrs[0]
+            for a in arrs[1:]:
+                total = op(total, a)
+            blk = length // self.size
+            if sp:
+                sp.add("words", int(length) * (self.size - 1))
+                sp.add("messages", self.size * (self.size - 1))
+            return [total[r * blk : (r + 1) * blk].copy() for r in range(self.size)]
 
     def allreduce(
         self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
     ) -> List[np.ndarray]:
         """Element-wise reduction visible on every rank."""
         self._check(bufs)
-        total = np.asarray(bufs[0])
-        for b in bufs[1:]:
-            total = op(total, np.asarray(b))
-        return [total.copy() for _ in range(self.size)]
+        with _obs().span("allreduce", "simcomm", ranks=self.size) as sp:
+            total = np.asarray(bufs[0])
+            for b in bufs[1:]:
+                total = op(total, np.asarray(b))
+            if sp:
+                sp.add("words", int(total.size) * 2 * (self.size - 1))
+                sp.add("messages", 2 * self.size * (self.size - 1))
+            return [total.copy() for _ in range(self.size)]

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import current as _obs
 
 from .machine import MachineModel
 
@@ -146,6 +148,10 @@ class CostModel:
         p.flops += ops_max
         p.seconds += dt
         self._record("compute", dt, phase, 0.0, 0.0)
+        sp = _obs().current
+        if sp:
+            sp.add("model_seconds", dt)
+            sp.add("model_flops", ops_max)
         return dt
 
     def charge_comm(
@@ -164,6 +170,11 @@ class CostModel:
         p.messages += messages_max
         p.seconds += dt
         self._record("comm", dt, phase, words_max, messages_max)
+        sp = _obs().current
+        if sp:
+            sp.add("model_seconds", dt)
+            sp.add("words", words_max)
+            sp.add("messages", messages_max)
         return dt
 
     # ------------------------------------------------------------------
@@ -181,6 +192,11 @@ class CostModel:
 
     def phase_seconds(self) -> Dict[str, float]:
         return {k: v.seconds for k, v in self.phases.items()}
+
+    def totals(self) -> Tuple[float, float, float]:
+        """(seconds, words, messages) so far — cheap snapshot for
+        per-iteration deltas (Figure 8's communication columns)."""
+        return self.total_seconds, self.total_words, self.total_messages
 
     def merge_from(self, other: "CostModel") -> None:
         """Fold another model's phases into this one (sub-runs)."""

@@ -1,0 +1,66 @@
+"""repro.obs — unified tracing & metrics across every layer.
+
+The paper's evaluation is an observability exercise: per-step timing
+breakdowns (Fig. 8), converged-vertex fractions (Fig. 7) and
+communication-volume attribution (Fig. 3, Table IV).  This package
+captures all of it from one mechanism — a hierarchical span tracer that
+the GraphBLAS primitives, the simulated collectives/cost model, and the
+LACC drivers all hook into:
+
+* :mod:`repro.obs.tracer` — :class:`Span`, :class:`Tracer`,
+  :class:`NullTracer` (zero-overhead off switch), and the
+  :func:`activate`/:func:`current` process-wide plumbing.
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  JSON-lines exporters.
+* :mod:`repro.obs.render` — ASCII flamegraph and top-table renderers.
+* :mod:`repro.obs.profile` — ``(result, tracer)`` one-callers behind the
+  ``python -m repro profile`` CLI (imported explicitly; it pulls in
+  :mod:`repro.core`).
+
+Typical use::
+
+    from repro.obs import Tracer, activate, render, export
+    tr = Tracer()
+    with activate(tr):
+        lacc(A, tracer=tr)
+    print(render.top_table(tr))
+    export.write_chrome_trace(tr, "out.json")   # open in ui.perfetto.dev
+"""
+
+from . import export, render
+from .export import (
+    chrome_trace,
+    merge_chrome_traces,
+    span_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .render import flamegraph, top_table
+from .tracer import (
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NullSpan",
+    "NULL_TRACER",
+    "activate",
+    "current",
+    "chrome_trace",
+    "merge_chrome_traces",
+    "write_chrome_trace",
+    "write_jsonl",
+    "span_records",
+    "flamegraph",
+    "top_table",
+    "export",
+    "render",
+]

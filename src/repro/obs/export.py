@@ -1,0 +1,150 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSON-lines.
+
+Two machine-readable views of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: duration events as
+  matched ``"B"``/``"E"`` pairs with microsecond timestamps, span
+  attributes and counters in ``args``.  Multiple tracers (e.g. one per
+  node count in a simulate sweep) merge into one file under distinct
+  ``pid`` lanes via :func:`merge_chrome_traces`.
+* :func:`write_jsonl` — one JSON object per closed span (name, cat,
+  start, duration, depth, attrs, counters), convenient for ``jq``/pandas
+  post-processing and for diffing runs.
+
+Timestamps are rebased so the earliest root starts at 0; with the
+simulated clock the "microseconds" are model microseconds, which keeps
+Figure-8-style breakdowns legible in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "merge_chrome_traces",
+    "write_chrome_trace",
+    "span_records",
+    "write_jsonl",
+]
+
+
+def _args(span: Span) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    out.update(span.attrs)
+    out.update(span.counters)
+    return out
+
+
+def _t0(tracer: Tracer) -> float:
+    return min((r.t0 for r in tracer.roots), default=0.0)
+
+
+def chrome_trace(tracer: Tracer, pid: int = 0, process_name: str = "repro") -> Dict[str, Any]:
+    """Render a tracer as a Chrome Trace Event Format dict.
+
+    Every closed span becomes a ``"B"``/``"E"`` pair on thread 0 of *pid*;
+    timestamps are microseconds from the first root's start.  Program order
+    is single-threaded, so a depth-first emission is already monotone in
+    ``ts`` — the test suite asserts this invariant.
+    """
+    base = _t0(tracer)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+
+    def emit(span: Span) -> None:
+        if span.t1 is None:  # still open: skip (profile always closes spans)
+            return
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ph": "B",
+                "ts": (span.t0 - base) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": _args(span),
+            }
+        )
+        for c in span.children:
+            emit(c)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ph": "E",
+                "ts": (span.t1 - base) * 1e6,
+                "pid": pid,
+                "tid": 0,
+            }
+        )
+
+    for root in tracer.roots:
+        emit(root)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merge_chrome_traces(traces: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Concatenate several :func:`chrome_trace` dicts into one file.
+
+    Callers give each constituent trace a distinct ``pid`` so the viewer
+    shows them as separate process lanes (the simulate sweep uses the node
+    count as the pid).
+    """
+    events: List[Dict[str, Any]] = []
+    for t in traces:
+        events.extend(t["traceEvents"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer_or_dict, path: str) -> str:
+    """Write a tracer (or an already-rendered trace dict) as JSON."""
+    doc = (
+        tracer_or_dict
+        if isinstance(tracer_or_dict, dict)
+        else chrome_trace(tracer_or_dict)
+    )
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def span_records(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a tracer into per-span dict records (depth-first order)."""
+    base = _t0(tracer)
+    out: List[Dict[str, Any]] = []
+    for span, depth in tracer.walk():
+        if span.t1 is None:
+            continue
+        out.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "depth": depth,
+                "t0": span.t0 - base,
+                "seconds": span.duration,
+                "self_seconds": span.self_duration,
+                "attrs": dict(span.attrs),
+                "counters": dict(span.counters),
+            }
+        )
+    return out
+
+
+def write_jsonl(tracer: Tracer, path: str) -> str:
+    """Write one JSON object per closed span, one per line."""
+    with open(path, "w") as fh:
+        for rec in span_records(tracer):
+            fh.write(json.dumps(rec) + "\n")
+    return path

@@ -1,0 +1,49 @@
+"""One-call profiling entry points used by ``python -m repro profile``.
+
+Each helper runs an algorithm with a freshly activated tracer and returns
+``(result, tracer)``; the caller renders/exports the tracer as it likes
+(see :mod:`repro.obs.render` and :mod:`repro.obs.export`).
+
+This module imports :mod:`repro.core`, so it is *not* re-exported from
+``repro.obs`` — import it explicitly (``from repro.obs import profile``)
+to keep the tracer substrate dependency-free for the layers it hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .tracer import Tracer, activate
+
+__all__ = ["trace_lacc", "trace_lacc_dist"]
+
+
+def trace_lacc(A, **kwargs) -> Tuple["object", Tracer]:
+    """Run serial :func:`repro.core.lacc` under a fresh wall-clock tracer.
+
+    Returns ``(LACCResult, Tracer)`` with iteration → step → primitive
+    span nesting.
+    """
+    from repro.core.lacc import lacc
+
+    tracer = Tracer()
+    with activate(tracer):
+        res = lacc(A, tracer=tracer, **kwargs)
+    return res, tracer
+
+
+def trace_lacc_dist(A, machine, nodes: int = 1, **kwargs) -> Tuple["object", Tracer]:
+    """Run simulated-distributed LACC under a *simulated-clock* tracer.
+
+    ``lacc_dist`` rebinds a fresh tracer's clock to its cost model, so
+    span extents are α–β model seconds — the exported timeline is the
+    machine the paper measured, not this host.  Each charge's ``words``,
+    ``messages`` and ``model_seconds`` counters ride on the enclosing
+    span.
+    """
+    from repro.core.lacc_dist import lacc_dist
+
+    tracer = Tracer()
+    with activate(tracer):
+        res = lacc_dist(A, machine, nodes=nodes, tracer=tracer, **kwargs)
+    return res, tracer

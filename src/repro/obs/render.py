@@ -1,0 +1,141 @@
+"""Terminal renderers for traces: top table and ASCII flamegraph.
+
+Pure text and deterministic (same idiom as ``benchmarks/asciichart.py``),
+so profile output is diffable and usable in CI logs.  Two views:
+
+* :func:`top_table` — aggregate by (category, name): call count, total
+  and self seconds, share of the root's time, summed counters.  This is
+  the "where does time go" answer below Figure 8's four-step granularity.
+* :func:`flamegraph` — the span tree with one bar per span, width
+  proportional to duration relative to the root, annotated with the
+  hottest counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .tracer import Span, Tracer
+
+__all__ = ["top_table", "flamegraph"]
+
+#: Counters worth annotating inline, in display priority order.
+_KEY_COUNTERS = ("flops", "words", "messages", "model_seconds", "nvals_out")
+
+
+def _fmt_secs(s: float) -> str:
+    return f"{s * 1e3:.3f}"
+
+
+def _fmt_count(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        v = int(v)
+        return f"{v / 1e6:.2f}M" if abs(v) >= 1e6 else str(v)
+    return f"{v:.3g}"
+
+
+def top_table(tracer: Tracer, limit: int = 20, by: str = "self") -> str:
+    """Aggregate spans by (cat, name) and render the hottest rows.
+
+    ``by`` selects the ranking column: ``"self"`` (default — exclusive
+    time, the flat-profile view) or ``"total"`` (inclusive).
+    """
+    if by not in ("self", "total"):
+        raise ValueError("by must be 'self' or 'total'")
+    agg: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for span, _ in tracer.walk():
+        key = (span.cat, span.name)
+        row = agg.setdefault(
+            key, {"calls": 0, "total": 0.0, "self": 0.0, "words": 0.0,
+                  "messages": 0.0, "flops": 0.0}
+        )
+        row["calls"] += 1
+        row["total"] += span.duration
+        row["self"] += span.self_duration
+        for c in ("words", "messages", "flops"):
+            row[c] += span.counters.get(c, 0.0)
+    if not agg:
+        return "(no spans recorded)"
+    run_total = sum(r.duration for r in tracer.roots) or 1.0
+    ranked = sorted(agg.items(), key=lambda kv: kv[1][by], reverse=True)[:limit]
+
+    headers = ["cat", "name", "calls", "total ms", "self ms", "%", "flops",
+               "words", "msgs"]
+    rows: List[List[str]] = []
+    for (cat, name), r in ranked:
+        rows.append(
+            [
+                cat or "-",
+                name,
+                str(int(r["calls"])),
+                _fmt_secs(r["total"]),
+                _fmt_secs(r["self"]),
+                f"{100.0 * r[by] / run_total:.1f}",
+                _fmt_count(r["flops"]),
+                _fmt_count(r["words"]),
+                _fmt_count(r["messages"]),
+            ]
+        )
+    widths = [max(len(h), *(len(row[i]) for row in rows)) for i, h in enumerate(headers)]
+
+    def fmt(cells: List[str]) -> str:
+        left_cols = 2  # cat and name are left-justified, numbers right
+        parts = [
+            c.ljust(w) if i < left_cols else c.rjust(w)
+            for i, (c, w) in enumerate(zip(cells, widths))
+        ]
+        return "  ".join(parts).rstrip()
+
+    return "\n".join([fmt(headers), fmt(["-" * w for w in widths])] + [fmt(r) for r in rows])
+
+
+def _annotate(span: Span) -> str:
+    notes = []
+    path = span.attrs.get("path")
+    if path:
+        notes.append(str(path))
+    for c in _KEY_COUNTERS:
+        if c in span.counters:
+            v = span.counters[c]
+            if c == "model_seconds":
+                notes.append(f"model={v * 1e3:.3f}ms")
+            else:
+                notes.append(f"{c}={_fmt_count(v)}")
+    return f" [{', '.join(notes)}]" if notes else ""
+
+
+def flamegraph(tracer: Tracer, width: int = 100, min_fraction: float = 0.0,
+               max_depth: int = 12) -> str:
+    """Render the span tree with duration-proportional bars.
+
+    Bars are scaled per root; spans shorter than *min_fraction* of their
+    root (or deeper than *max_depth*) are elided with a ``…`` marker so a
+    deep trace stays readable.
+    """
+    lines: List[str] = []
+    name_w = max((len(s.name) + 2 * d for s, d in tracer.walk()), default=10)
+    name_w = min(max(name_w, 10), 48)
+    bar_w = max(width - name_w - 14, 10)
+
+    def emit(span: Span, depth: int, root_total: float) -> None:
+        frac = span.duration / root_total if root_total > 0 else 0.0
+        label = ("  " * depth + span.name)[:name_w].ljust(name_w)
+        bar = "#" * max(int(round(frac * bar_w)), 1 if span.duration > 0 else 0)
+        lines.append(
+            f"{label} {_fmt_secs(span.duration):>9}ms |{bar.ljust(bar_w)}|"
+            + _annotate(span)
+        )
+        hidden = 0
+        for c in span.children:
+            if depth + 1 >= max_depth or (
+                root_total > 0 and c.duration / root_total < min_fraction
+            ):
+                hidden += 1
+                continue
+            emit(c, depth + 1, root_total)
+        if hidden:
+            lines.append("  " * (depth + 1) + f"… {hidden} spans elided")
+
+    for root in tracer.roots:
+        emit(root, 0, root.duration)
+    return "\n".join(lines) if lines else "(no spans recorded)"

@@ -1,0 +1,307 @@
+"""Hierarchical span tracer — the core of the observability layer.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s: the LACC driver opens
+an ``iteration`` span, each step opens a ``step`` span inside it, and every
+GraphBLAS primitive / simulated collective executed within opens a leaf
+span carrying its counters (nvals, flops, words, messages, model seconds).
+The result is exactly the data behind the paper's Figures 3, 7 and 8, but
+captured once and exported in any format (see :mod:`repro.obs.export`).
+
+Design constraints
+------------------
+* **Zero cost when off.**  Instrumented call sites do::
+
+      with current().span("mxv", "graphblas") as sp:
+          ...
+          if sp:  # guard counter *computation*, not just recording
+              sp.add("nvals_in", u.nvals)
+
+  With no tracer activated, :func:`current` returns the singleton
+  :data:`NULL_TRACER`, whose :meth:`~NullTracer.span` hands back one shared
+  falsy no-op span — no allocation, no clock read, no dict updates.
+* **No repro dependencies.**  This module imports only the standard
+  library, so every layer (graphblas, mpisim, core, cli) can hook into it
+  without import cycles.
+* **Single-threaded program order.**  Spans close LIFO; the span stack is
+  per-tracer, and :func:`activate` scopes the process-wide current tracer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NullSpan",
+    "NULL_TRACER",
+    "current",
+    "activate",
+]
+
+
+class Span:
+    """One timed region: name, category, start/end, attributes, counters.
+
+    ``attrs`` are set-once facts (``path="spmspv"``); ``counters`` are
+    additive quantities (``words``, ``flops``) that :meth:`add` accumulates
+    and exporters can sum over subtrees.
+    """
+
+    __slots__ = ("name", "cat", "t0", "t1", "attrs", "counters", "children")
+
+    def __init__(self, name: str, cat: str, t0: float):
+        self.name = name
+        self.cat = cat
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+
+    # -- recording ------------------------------------------------------
+    def add(self, counter: str, value: float) -> None:
+        """Accumulate *value* into a named counter."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + value
+
+    def set(self, key: str, value: Any) -> None:
+        """Set a span attribute (last write wins)."""
+        self.attrs[key] = value
+
+    # -- reading --------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds between open and close (0.0 while still open)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    @property
+    def self_duration(self) -> float:
+        """Duration minus the time spent in child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Depth-first ``(span, depth)`` over this span and descendants."""
+        yield self, depth
+        for c in self.children:
+            yield from c.walk(depth + 1)
+
+    def counter_total(self, counter: str) -> float:
+        """Sum of *counter* over this span and every descendant."""
+        return sum(s.counters.get(counter, 0.0) for s, _ in self.walk())
+
+    def find(self, name: Optional[str] = None, cat: Optional[str] = None) -> List["Span"]:
+        """All descendants (inclusive) matching *name* and/or *cat*."""
+        return [
+            s
+            for s, _ in self.walk()
+            if (name is None or s.name == name) and (cat is None or s.cat == cat)
+        ]
+
+    def __bool__(self) -> bool:  # real spans are truthy; NullSpan is not
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.duration * 1e3:.3f}ms" if self.t1 is not None else "open"
+        return f"Span({self.cat}/{self.name}, {state}, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """Context manager opening a span on enter and closing it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Records a forest of spans using a monotone *clock*.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning seconds.  Defaults to
+        :func:`time.perf_counter` (wall time); the simulated-distributed
+        driver passes the cost model's simulated clock instead so span
+        extents are α–β model time.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, cat: str = "", **attrs: Any) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span(...) as sp:``."""
+        sp = Span(name, cat, self.clock())
+        if attrs:
+            sp.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        return _SpanContext(self, sp)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order (spans must nest LIFO)"
+            )
+        span.t1 = self.clock()
+        self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # -- reading --------------------------------------------------------
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        """Depth-first ``(span, depth)`` over every recorded span."""
+        for r in self.roots:
+            yield from r.walk()
+
+    def find(self, name: Optional[str] = None, cat: Optional[str] = None) -> List[Span]:
+        """All recorded spans matching *name* and/or *cat*."""
+        out: List[Span] = []
+        for r in self.roots:
+            out.extend(r.find(name, cat))
+        return out
+
+    def counter_total(self, counter: str) -> float:
+        """Sum of a counter over every recorded span."""
+        return sum(r.counter_total(counter) for r in self.roots)
+
+    def max_depth(self) -> int:
+        """Number of nesting levels (0 for an empty trace)."""
+        return max((d + 1 for _, d in self.walk()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = sum(1 for _ in self.walk())
+        return f"Tracer({n} spans, depth={self.max_depth()})"
+
+
+class NullSpan:
+    """Falsy no-op span: absorbs ``add``/``set`` and context management."""
+
+    __slots__ = ()
+
+    def add(self, counter: str, value: float) -> None:
+        pass
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """The off switch: every operation is a no-op returning shared nulls.
+
+    ``NullTracer.span`` hands back one process-wide :class:`NullSpan`, so
+    instrumented code pays only a method call and an (empty) ``with`` block
+    when tracing is disabled — the CI overhead smoke check pins this below
+    5 % of LACC's runtime.
+    """
+
+    __slots__ = ()
+
+    def span(self, name: str, cat: str = "", **attrs: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @property
+    def roots(self) -> List[Span]:
+        return []
+
+    def walk(self) -> Iterator[Tuple[Span, int]]:
+        return iter(())
+
+    def find(self, name: Optional[str] = None, cat: Optional[str] = None) -> List[Span]:
+        return []
+
+    def counter_total(self, counter: str) -> float:
+        return 0.0
+
+    def max_depth(self) -> int:
+        return 0
+
+
+#: Shared disabled tracer — the default target of :func:`current`.
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def current():
+    """The process-wide active tracer (:data:`NULL_TRACER` when off).
+
+    Instrumented library code (GraphBLAS ops, simulated collectives, the
+    cost model) reads this instead of taking a tracer parameter, so turning
+    tracing on never changes a call signature.
+    """
+    return _active
+
+
+class _Activation:
+    __slots__ = ("_tracer", "_prev")
+
+    def __init__(self, tracer):
+        self._tracer = tracer
+        self._prev = None
+
+    def __enter__(self):
+        global _active
+        self._prev = _active
+        _active = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = self._prev
+        return False
+
+
+def activate(tracer) -> _Activation:
+    """Scope *tracer* as the process-wide active tracer::
+
+        tr = Tracer()
+        with activate(tr):
+            lacc(A)                # primitives now record into tr
+
+    Activations nest; the previous tracer is restored on exit.
+    """
+    return _Activation(tracer)

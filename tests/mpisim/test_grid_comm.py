@@ -121,6 +121,26 @@ class TestSimComm:
         with pytest.raises(ValueError):
             SimComm(2).scatter([np.array([1])])
 
+    def test_scatter_honors_root(self):
+        """Regression: root used to be silently ignored."""
+        c = SimComm(3)
+        chunks = [np.array([10]), np.array([20]), np.array([30])]
+        out = c.scatter([None, chunks, None], root=1)
+        for r in range(3):
+            np.testing.assert_array_equal(out[r], chunks[r])
+
+    def test_scatter_rejects_invalid_root(self):
+        with pytest.raises(ValueError):
+            SimComm(2).scatter([np.array([1]), np.array([2])], root=2)
+        with pytest.raises(ValueError):
+            SimComm(2).scatter([np.array([1]), np.array([2])], root=-1)
+
+    def test_scatter_rejects_send_buffer_on_non_root(self):
+        c = SimComm(3)
+        chunks = [np.array([1]), np.array([2]), np.array([3])]
+        with pytest.raises(ValueError, match="non-root"):
+            c.scatter([chunks, chunks, None], root=0)
+
     def test_alltoallv(self):
         c = SimComm(2)
         send = [

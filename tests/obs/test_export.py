@@ -1,0 +1,122 @@
+"""Exporter tests: Chrome trace_event schema validity, timestamp
+monotonicity, matched B/E pairs, merging, and the JSON-lines view."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    merge_chrome_traces,
+    span_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 0.5
+        return self.t
+
+
+@pytest.fixture()
+def tracer():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("run", "run", n=10):
+        with tr.span("iteration", "iteration", iteration=1):
+            with tr.span("cond_hook", "step"):
+                with tr.span("mxv", "graphblas") as sp:
+                    sp.add("flops", 42)
+            with tr.span("shortcut", "step"):
+                pass
+    return tr
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        doc = json.load(open(path))
+        assert "traceEvents" in doc and doc["displayTimeUnit"] == "ms"
+        assert all({"name", "ph", "pid", "tid"} <= set(e) for e in doc["traceEvents"])
+
+    def test_b_e_pairs_match(self, tracer):
+        ev = chrome_trace(tracer)["traceEvents"]
+        stack = []
+        for e in ev:
+            if e["ph"] == "B":
+                stack.append(e["name"])
+            elif e["ph"] == "E":
+                assert stack.pop() == e["name"]
+        assert stack == []
+        assert sum(e["ph"] == "B" for e in ev) == 5
+
+    def test_timestamps_monotone_and_rebased(self, tracer):
+        ev = [e for e in chrome_trace(tracer)["traceEvents"] if e["ph"] != "M"]
+        ts = [e["ts"] for e in ev]
+        assert ts == sorted(ts)
+        assert ts[0] == 0.0  # rebased to the first root
+        assert all(t >= 0 for t in ts)
+
+    def test_args_carry_attrs_and_counters(self, tracer):
+        ev = chrome_trace(tracer)["traceEvents"]
+        mxv_b = next(e for e in ev if e["name"] == "mxv" and e["ph"] == "B")
+        assert mxv_b["args"]["flops"] == 42
+        run_b = next(e for e in ev if e["name"] == "run" and e["ph"] == "B")
+        assert run_b["args"]["n"] == 10
+
+    def test_metadata_event_names_process(self, tracer):
+        ev = chrome_trace(tracer, pid=7, process_name="sim nodes=7")["traceEvents"]
+        meta = [e for e in ev if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["args"]["name"] == "sim nodes=7"
+        assert all(e["pid"] == 7 for e in ev)
+
+    def test_open_spans_are_skipped(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("closed"):
+            pass
+        tr.span("never_closed").__enter__()  # open root stays on the stack
+        names = [e["name"] for e in chrome_trace(tr)["traceEvents"] if e["ph"] == "B"]
+        assert names == ["closed"]
+
+    def test_merge_keeps_pid_lanes(self, tracer):
+        t1 = chrome_trace(tracer, pid=1, process_name="nodes=1")
+        t4 = chrome_trace(tracer, pid=4, process_name="nodes=4")
+        merged = merge_chrome_traces([t1, t4])
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        assert pids == {1, 4}
+        assert len(merged["traceEvents"]) == len(t1["traceEvents"]) * 2
+
+
+class TestSpanRecords:
+    def test_depth_first_records(self, tracer):
+        recs = span_records(tracer)
+        assert [r["name"] for r in recs] == [
+            "run", "iteration", "cond_hook", "mxv", "shortcut",
+        ]
+        assert [r["depth"] for r in recs] == [0, 1, 2, 3, 2]
+        assert recs[0]["t0"] == 0.0
+
+    def test_durations_and_counters(self, tracer):
+        recs = {r["name"]: r for r in span_records(tracer)}
+        assert recs["mxv"]["counters"] == {"flops": 42}
+        assert recs["run"]["seconds"] >= recs["iteration"]["seconds"]
+        assert recs["cond_hook"]["self_seconds"] == pytest.approx(
+            recs["cond_hook"]["seconds"] - recs["mxv"]["seconds"]
+        )
+
+    def test_jsonl_one_object_per_line(self, tracer, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(tracer, str(path))
+        lines = open(path).read().splitlines()
+        assert len(lines) == 5
+        parsed = [json.loads(ln) for ln in lines]
+        assert parsed[0]["name"] == "run"
+        assert {"name", "cat", "depth", "t0", "seconds", "self_seconds",
+                "attrs", "counters"} <= set(parsed[0])

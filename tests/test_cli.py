@@ -1,5 +1,7 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -49,6 +51,41 @@ class TestCC:
         assert main(["cc", str(p)]) == 0
         assert "components: 2" in capsys.readouterr().out
 
+    def test_stats_works_for_every_method(self, mtx, capsys):
+        for method in ("lacc", "union-find", "sv", "bfs", "label-prop", "fastsv"):
+            assert main(["cc", mtx, "--method", method, "--stats"]) == 0
+            out = capsys.readouterr().out
+            assert "largest component: 8" in out, method
+            assert "singletons: 0" in out, method
+
+    def test_json_output(self, mtx, capsys):
+        assert main(["cc", mtx, "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["components"] == 3
+        assert d["method"] == "lacc"
+        assert d["largest_component"] == 8
+        assert len(d["iteration_stats"]) == d["iterations"]
+
+    def test_json_output_baseline_method(self, mtx, capsys):
+        assert main(["cc", mtx, "--method", "bfs", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["components"] == 3
+        assert "iteration_stats" not in d
+
+    def test_trace_output(self, mtx, tmp_path, capsys):
+        f = tmp_path / "trace.json"
+        assert main(["cc", mtx, "--trace", str(f)]) == 0
+        doc = json.load(open(f))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"lacc", "iteration", "cond_hook", "mxv"} <= names
+
+    def test_trace_output_baseline_method(self, mtx, tmp_path):
+        f = tmp_path / "trace.json"
+        assert main(["cc", mtx, "--method", "union-find", "--trace", str(f)]) == 0
+        doc = json.load(open(f))
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "B"}
+        assert "union-find" in names
+
 
 class TestSimulate:
     def test_basic(self, mtx, capsys):
@@ -64,6 +101,73 @@ class TestSimulate:
     def test_cori(self, mtx, capsys):
         assert main(["simulate", mtx, "--machine", "cori", "--nodes", "1"]) == 0
         assert "Cori" in capsys.readouterr().out
+
+    def test_stats_breakdown(self, mtx, capsys):
+        assert main(["simulate", mtx, "--nodes", "1,4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "steps:" in out and "cond_hook=" in out
+        assert "iter 1:" in out and "words=" in out
+
+    def test_json_output(self, mtx, capsys):
+        assert main(["simulate", mtx, "--nodes", "1,4", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["machine"] == "Edison"
+        assert [r["nodes"] for r in d["runs"]] == [1, 4]
+        run = d["runs"][0]
+        assert run["components"] == 3
+        assert run["seconds"] > 0
+        assert sum(it["words_communicated"] for it in run["iteration_stats"]) > 0
+
+    def test_trace_merges_node_counts(self, mtx, tmp_path):
+        f = tmp_path / "sweep.json"
+        assert main(["simulate", mtx, "--nodes", "1,4", "--trace", str(f)]) == 0
+        doc = json.load(open(f))
+        assert {e["pid"] for e in doc["traceEvents"]} == {1, 4}
+
+
+class TestProfile:
+    def test_serial(self, mtx, capsys):
+        assert main(["profile", mtx]) == 0
+        out = capsys.readouterr().out
+        assert "levels deep" in out and "wall seconds" in out
+        assert "mxv" in out  # hotspot table includes primitives
+
+    def test_simulated(self, mtx, capsys):
+        assert main(["profile", mtx, "--machine", "edison", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "model seconds" in out and "ranks" in out
+
+    def test_chrome_trace_acceptance(self, mtx, tmp_path, capsys):
+        """The headline check: profile --trace emits valid trace_event JSON
+        with >= 3 nesting levels and per-primitive counters."""
+        f = tmp_path / "out.json"
+        assert main(["profile", mtx, "--trace", str(f)]) == 0
+        doc = json.load(open(f))
+        ev = doc["traceEvents"]
+        # matched B/E pairs, monotone timestamps
+        stack, depth, max_depth = [], 0, 0
+        last_ts = -1.0
+        for e in ev:
+            if e["ph"] == "M":
+                continue
+            assert e["ts"] >= last_ts
+            last_ts = e["ts"]
+            if e["ph"] == "B":
+                stack.append(e["name"])
+                max_depth = max(max_depth, len(stack))
+            else:
+                assert stack.pop() == e["name"]
+        assert stack == []
+        assert max_depth >= 3
+        mxv = [e for e in ev if e["name"] == "mxv" and e["ph"] == "B"]
+        assert mxv and all("flops" in e["args"] for e in mxv)
+
+    def test_jsonl_and_flame(self, mtx, tmp_path, capsys):
+        f = tmp_path / "spans.jsonl"
+        assert main(["profile", mtx, "--jsonl", str(f), "--flame"]) == 0
+        recs = [json.loads(ln) for ln in open(f)]
+        assert {r["name"] for r in recs} >= {"lacc", "iteration", "mxv"}
+        assert "#" in capsys.readouterr().out  # flamegraph bars
 
 
 class TestCorpus:
