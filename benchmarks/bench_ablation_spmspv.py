@@ -41,10 +41,10 @@ def run_kernels(A, rng, density, repeats=3):
     t_spmv = t_spmspv = 0.0
     for _ in range(repeats):
         t0 = time.perf_counter()
-        i1, v1 = _spmv(sr.SEL2ND_MIN_INT64, A, u_dense)
+        i1, v1, *_rest = _spmv(sr.SEL2ND_MIN_INT64, A, u_dense)
         t_spmv += time.perf_counter() - t0
         t0 = time.perf_counter()
-        i2, v2 = _spmspv(sr.SEL2ND_MIN_INT64, A, u)
+        i2, v2, *_rest = _spmspv(sr.SEL2ND_MIN_INT64, A, u)
         t_spmspv += time.perf_counter() - t0
     assert np.array_equal(i1, i2) and np.array_equal(v1, v2)
     return t_spmv / repeats, t_spmspv / repeats

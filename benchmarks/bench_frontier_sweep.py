@@ -1,0 +1,211 @@
+"""Per-operation wall time vs frontier density — the sparsity-proportional
+kernel sweep.
+
+LACC's vectors "start out dense and get sparse rapidly" (§IV-B); after a
+few iterations most primitives run on frontiers holding ≪1% of the
+vertices.  This bench sweeps each hot primitive over frontier densities
+from 1% to 100% of a 2²⁰-vertex vector and records the wall time, showing
+the per-op cost tracking the number of active entries rather than n:
+
+* ``mxv``       — SpMSpV over *(Select2nd, min)* on the sparse frontier;
+* ``mxv_masked``— dense input but a sparse structural mask (the masked
+  row-subset SpMV pushdown);
+* ``ewise_mult``— sorted-pattern intersection;
+* ``assign``    — scatter onto a sparse output (the sparse masked write);
+* ``extract``   — indexed gather from a sparse vector.
+
+``python benchmarks/bench_frontier_sweep.py --check`` runs the CI perf
+smoke: the 1%-frontier time must be at least MIN_SPEEDUP× faster than the
+full-dense time for every checked op.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import repro.graphblas as gb  # noqa: E402
+from repro.graphblas import Matrix, Vector  # noqa: E402
+from repro.graphblas import binaryops as bop  # noqa: E402
+from repro.graphblas import semirings as sr  # noqa: E402
+from repro.graphblas.descriptor import Mask  # noqa: E402
+
+from tableio import emit, emit_json, format_table  # noqa: E402
+
+N = 1 << 20
+DEG = 4  # average degree of the benchmark graph
+DENSITIES = [0.01, 0.03, 0.10, 0.30, 1.00]
+# ops the CI perf smoke gates on, and the required t(100%) / t(1%) ratio
+CHECKED_OPS = ["mxv", "ewise_mult", "assign"]
+MIN_SPEEDUP = 5.0
+
+
+def build_graph(n: int = N, deg: int = DEG) -> Matrix:
+    rng = np.random.default_rng(0)
+    m = n * deg
+    return Matrix.adjacency(n, rng.integers(0, n, m), rng.integers(0, n, m))
+
+
+def frontier(rng, n: int, density: float) -> Vector:
+    k = max(1, int(n * density))
+    idx = np.sort(rng.choice(n, size=k, replace=False))
+    return Vector.sparse(n, idx, rng.integers(0, n, k).astype(np.int64))
+
+
+def make_ops(A: Matrix, n: int):
+    """op name -> (setup(rng, density) -> args, run(args)) pairs.
+
+    Setup builds fresh operands per repeat so no call benefits from the
+    previous call's representation conversions.
+    """
+    f_dense = Vector.dense(np.arange(n, dtype=np.int64))
+
+    def mxv_setup(rng, d):
+        return frontier(rng, n, d), Vector.empty(n, np.int64)
+
+    def mxv_run(args):
+        u, out = args
+        gb.mxv(out, None, None, sr.SEL2ND_MIN_INT64, A, u)
+
+    def mxv_masked_setup(rng, d):
+        u = frontier(rng, n, d)
+        mi, _ = u.sparse_arrays()
+        mask = Mask(Vector.sparse(n, mi, np.ones(mi.size, np.int64)), structural=True)
+        return mask, Vector.empty(n, np.int64)
+
+    def mxv_masked_run(args):
+        mask, out = args
+        gb.mxv(out, mask, None, sr.SEL2ND_MIN_INT64, A, f_dense)
+
+    def ewise_setup(rng, d):
+        return frontier(rng, n, d), frontier(rng, n, d), Vector.empty(n, np.int64)
+
+    def ewise_run(args):
+        u, v, out = args
+        gb.ewise_mult(out, None, None, bop.MIN, u, v)
+
+    def assign_setup(rng, d):
+        w = frontier(rng, n, d)
+        k = max(1, int(n * d))
+        idx = rng.choice(n, size=k, replace=False)
+        u = Vector.dense(rng.integers(0, n, k).astype(np.int64))
+        return w, u, idx
+
+    def assign_run(args):
+        w, u, idx = args
+        gb.assign(w, None, None, u, idx)
+
+    def extract_setup(rng, d):
+        u = frontier(rng, n, d)
+        k = max(1, int(n * d))
+        idx = rng.integers(0, n, k)
+        return u, idx, Vector.empty(k, np.int64)
+
+    def extract_run(args):
+        u, idx, out = args
+        gb.extract(out, None, None, u, idx)
+
+    return {
+        "mxv": (mxv_setup, mxv_run),
+        "mxv_masked": (mxv_masked_setup, mxv_masked_run),
+        "ewise_mult": (ewise_setup, ewise_run),
+        "assign": (assign_setup, assign_run),
+        "extract": (extract_setup, extract_run),
+    }
+
+
+def sweep(repeats: int = 3):
+    """Returns {op: {density: best-of-N seconds}}."""
+    A = build_graph()
+    ops = make_ops(A, N)
+    results = {name: {} for name in ops}
+    for name, (setup, run) in ops.items():
+        for d in DENSITIES:
+            best = float("inf")
+            for rep in range(repeats):
+                rng = np.random.default_rng(100 + rep)
+                args = setup(rng, d)
+                t0 = time.perf_counter()
+                run(args)
+                best = min(best, time.perf_counter() - t0)
+            results[name][d] = best
+    return results
+
+
+def emit_results(results) -> dict:
+    rows = []
+    for name, times in results.items():
+        speedup = times[1.0] / times[0.01] if times[0.01] > 0 else float("inf")
+        rows.append(
+            [name]
+            + [f"{times[d] * 1e3:.3f}" for d in DENSITIES]
+            + [f"{speedup:.1f}x"]
+        )
+    body = format_table(
+        ["op"] + [f"{int(d * 100)}% (ms)" for d in DENSITIES] + ["1% speedup"],
+        rows,
+    )
+    emit(
+        "frontier_sweep",
+        f"Per-op wall time vs frontier density (n = 2^20, avg degree {DEG})",
+        body,
+    )
+    record = {
+        "n": N,
+        "degree": DEG,
+        "densities": DENSITIES,
+        "seconds": {name: {str(d): t for d, t in times.items()} for name, times in results.items()},
+        "checked_ops": CHECKED_OPS,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    emit_json("frontier_sweep", record)
+    return record
+
+
+def check(results) -> int:
+    """CI perf smoke: 1% frontier must beat full density by MIN_SPEEDUP×."""
+    failures = 0
+    for name in CHECKED_OPS:
+        t_sparse, t_dense = results[name][0.01], results[name][1.0]
+        ratio = t_dense / t_sparse if t_sparse > 0 else float("inf")
+        ok = ratio >= MIN_SPEEDUP
+        print(
+            f"{name:12s} 1%: {t_sparse * 1e3:8.3f} ms   100%: {t_dense * 1e3:8.3f} ms"
+            f"   speedup {ratio:6.1f}x   {'ok' if ok else 'FAIL (< %.1fx)' % MIN_SPEEDUP}"
+        )
+        failures += not ok
+    return failures
+
+
+def test_frontier_sweep():
+    """Pytest entry point (run_all.py): emit the table + JSON record and
+    apply the same sparsity-proportionality gate as the CI smoke."""
+    results = sweep(repeats=2)
+    emit_results(results)
+    assert check(results) == 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the 1%% frontier beats full density by "
+        f"{MIN_SPEEDUP}x on every checked op",
+    )
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args()
+    results = sweep(repeats=args.repeats)
+    emit_results(results)
+    if args.check:
+        return 1 if check(results) else 0
+    check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ BENCHES = [
     "bench_ablation_sparsity.py",
     "bench_ablation_comm.py",
     "bench_ablation_spmspv.py",
+    "bench_frontier_sweep.py",
     "bench_serial_algorithms.py",
     "bench_future_cyclic.py",
     "bench_iteration_complexity.py",

@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.graphblas import Matrix, Vector
+from repro.graphblas.ops import gather_multiply, reduce_by_rows
 from repro.graphblas.semiring import Semiring
 from repro.mpisim.comm import SimComm
 from repro.mpisim.grid import ProcessGrid
@@ -114,17 +115,12 @@ def dist_mxv(
         local_cols = gidx - j * grid.block
         rows, avals, src = block.columns_of(local_cols)
         if rows.size:
-            prods = np.asarray(semiring.multiply(avals, gval[src]))
-            order = np.argsort(rows, kind="stable")
-            rows, prods = rows[order], prods[order]
-            # per-row reduce with the add monoid
-            bound = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
-            fn = semiring.add.op.fn
-            if isinstance(fn, np.ufunc):
-                red = fn.reduceat(prods, bound)
-            else:  # keep-last (ANY)
-                red = prods[np.r_[bound[1:], prods.size] - 1]
-            partials[i][j] = (rows[bound], red)
+            # Select2nd-kind multiplies gather the vector values directly;
+            # the per-row reduce shares the serial kernels' packed-key
+            # min/max fast path (local row ids are < grid.block)
+            prods = gather_multiply(semiring, avals, gval[src])
+            ri, rv, _ = reduce_by_rows(prods, rows, semiring.add, grid.block)
+            partials[i][j] = (ri, rv)
         else:
             partials[i][j] = (rows, np.empty(0, dtype=x.dtype))
 
@@ -155,15 +151,7 @@ def dist_mxv(
         allidx = np.concatenate(recv_idx[o]) if recv_idx[o] else np.empty(0, np.int64)
         allval = np.concatenate(recv_val[o]) if recv_val[o] else np.empty(0, np.int64)
         if allidx.size:
-            order = np.argsort(allidx, kind="stable")
-            allidx, allval = allidx[order], allval[order]
-            bound = np.flatnonzero(np.r_[True, allidx[1:] != allidx[:-1]])
-            fn = semiring.add.op.fn
-            if isinstance(fn, np.ufunc):
-                allval = fn.reduceat(allval, bound)
-            else:
-                allval = allval[np.r_[bound[1:], allval.size] - 1]
-            allidx = allidx[bound]
+            allidx, allval, _ = reduce_by_rows(allval, allidx, semiring.add, n)
         out_idx_parts.append(allidx)
         out_val_parts.append(allval)
 

@@ -39,6 +39,8 @@ from repro.graphblas import Matrix, Vector
 from repro.graphblas import semirings as sr
 from repro.graphblas.descriptor import Mask
 
+from .hooking import scoped_input
+
 __all__ = ["ActiveSet", "converged_star_vertices"]
 
 
@@ -63,13 +65,11 @@ def converged_star_vertices(
         return star_allow
 
     fv = f.to_numpy()
-    if active is None:
-        u_in = f
-    else:
-        idx = np.flatnonzero(active)
-        u_in = Vector.sparse(n, idx, fv[idx])
+    u_in = scoped_input(f, active)
 
-    star_mask = Mask(Vector.dense(star_allow))
+    # from_bitmap: a shrinking survivor set gets a sparse structural mask,
+    # so both mxv calls stream only the surviving stars' rows
+    star_mask = Mask.from_bitmap(star_allow)
     fmin = Vector.empty(n, f.dtype)
     gb.mxv(fmin, star_mask, None, sr.SEL2ND_MIN_INT64, A, u_in)
     fmax = Vector.empty(n, f.dtype)

@@ -28,7 +28,7 @@ from repro.graphblas import binaryops as bop
 from repro.graphblas import semirings as sr
 from repro.graphblas.descriptor import Mask
 
-__all__ = ["cond_hook", "uncond_hook", "HookReport"]
+__all__ = ["cond_hook", "uncond_hook", "scoped_input", "HookReport"]
 
 
 from dataclasses import dataclass
@@ -75,12 +75,17 @@ def _scatter_hooks(f: Vector, fn: Vector):
 
 
 def _star_scope_mask(star: Vector, active: Optional[np.ndarray]) -> Mask:
-    """Mask of star vertices, intersected with the active bitmap."""
+    """Mask of star vertices, intersected with the active bitmap.
+
+    Built with :meth:`Mask.from_bitmap`, so once most components have
+    converged the mask is stored sparse and ``mxv`` can stream only the
+    allowed rows instead of scanning all n.
+    """
     sv, sp_ = star.dense_arrays()
     allow = sv & sp_
     if active is not None:
         allow = allow & active
-    return Mask(Vector.dense(allow))
+    return Mask.from_bitmap(allow)
 
 
 def cond_hook(
@@ -101,7 +106,7 @@ def cond_hook(
 
     # Step 1: fn[i] = min parent among neighbours of star vertex i
     fn = Vector.empty(n, f.dtype)
-    u_in = _scoped_input(f, active)
+    u_in = scoped_input(f, active)
     gb.mxv(fn, star_mask, None, sr.SEL2ND_MIN_INT64, A, u_in)
 
     # Keep strict improvements only (the f[u] > f[v] condition): without
@@ -139,7 +144,7 @@ def uncond_hook(
 
     # Step 1: parents of nonstar vertices (sparse input vector)
     fns = Vector.empty(n, f.dtype)
-    gb.extract(fns, Mask(Vector.dense(nonstar_allow)), None, f, None)
+    gb.extract(fns, Mask.from_bitmap(nonstar_allow), None, f, None)
     if fns.nvals == 0:
         empty = np.empty(0, dtype=np.int64)
         return HookReport(0, empty, empty, empty)
@@ -159,10 +164,12 @@ def uncond_hook(
     return _scatter_hooks(f, hooks)
 
 
-def _scoped_input(f: Vector, active: Optional[np.ndarray]) -> Vector:
+def scoped_input(f: Vector, active: Optional[np.ndarray]) -> Vector:
     """f restricted to active vertices — the SpMSpV input once components
-    start converging (Table I / Lemma 1)."""
-    if active is None:
+    start converging (Table I / Lemma 1).  Shared by both hooking phases
+    and the convergence check.  When nothing has converged yet the vector
+    is returned as-is instead of being rebuilt."""
+    if active is None or active.all():
         return f
     idx = np.flatnonzero(active)
     fv = f.to_numpy()

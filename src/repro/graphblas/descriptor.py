@@ -12,9 +12,17 @@ LACC uses three descriptor features:
 * ``GrB_REPLACE`` — clear the unmasked part of the output instead of
   leaving it untouched.
 
-:class:`Mask` normalises all mask variants into a dense boolean *allow*
-array so the operation kernels in :mod:`repro.graphblas.ops` only ever deal
-with one representation.
+:class:`Mask` offers the operation kernels in :mod:`repro.graphblas.ops`
+three views of the allowed set, so they can pick the one matching their
+cost model:
+
+* :meth:`Mask.allow` — the dense boolean *allow* array (Θ(n));
+* :meth:`Mask.allow_at` — pointwise evaluation at a given index list,
+  O(k log nvals) for sparse mask vectors, never Θ(n) — what the sparse
+  masked-write path and the SpMSpV output filter use;
+* :meth:`Mask.allow_sparse` — the sorted allowed-index list when it is
+  cheaply enumerable (sparse, non-complemented mask vector), which lets a
+  masked SpMV stream only the allowed rows.
 """
 
 from __future__ import annotations
@@ -67,6 +75,75 @@ class Mask:
         if self.complement:
             base = ~base
         return base
+
+    def allow_at(self, idx: np.ndarray, size: int) -> np.ndarray:
+        """Allow evaluated at positions *idx* only.
+
+        Costs O(|idx|) for dense mask vectors and O(|idx|·log nvals) for
+        sparse ones — never Θ(size) — which is what keeps the sparse
+        masked-write path proportional to stored entries.
+        """
+        if self.vector is None:
+            return np.full(idx.shape, not self.complement, dtype=bool)
+        if self.vector.size != size:
+            raise ValueError(
+                f"mask size {self.vector.size} != output size {size}"
+            )
+        v = self.vector
+        if v.mode == "dense":
+            vals, present = v.dense_arrays()
+            base = present[idx]
+            if not self.structural:
+                base = base & vals[idx].astype(bool)
+        else:
+            mi, mv = v.sparse_arrays()
+            if mi.size == 0:
+                base = np.zeros(idx.shape, dtype=bool)
+            else:
+                pos = np.searchsorted(mi, idx)
+                hit = pos < mi.size
+                hit &= mi[np.minimum(pos, mi.size - 1)] == idx
+                if self.structural:
+                    base = hit
+                else:
+                    base = np.zeros(idx.shape, dtype=bool)
+                    base[hit] = mv[pos[hit]].astype(bool)
+        return ~base if self.complement else base
+
+    def allow_sparse(self, size: int) -> Optional[np.ndarray]:
+        """Sorted indices of the allowed positions, or ``None`` when
+        enumerating them would cost Θ(size) (complemented or dense-mode
+        masks — callers fall back to :meth:`allow`)."""
+        if self.vector is None or self.complement:
+            return None
+        if self.vector.size != size:
+            raise ValueError(
+                f"mask size {self.vector.size} != output size {size}"
+            )
+        if self.vector.mode != "sparse":
+            return None
+        mi, mv = self.vector.sparse_arrays()
+        if self.structural:
+            return mi
+        return mi[mv.astype(bool)]
+
+    @classmethod
+    def from_bitmap(cls, bitmap: np.ndarray, sparse_below: float = 0.05) -> "Mask":
+        """Wrap a dense boolean bitmap, choosing the representation by
+        density: below *sparse_below* the mask vector is stored sparse
+        (structural), so downstream kernels get an enumerable allowed set
+        and pointwise O(log k) membership tests."""
+        from .vector import Vector
+
+        bitmap = np.asarray(bitmap, dtype=bool)
+        n = bitmap.size
+        idx = np.flatnonzero(bitmap)
+        if n and idx.size / n <= sparse_below:
+            return cls(
+                Vector.sparse(n, idx, np.ones(idx.size, dtype=bool)),
+                structural=True,
+            )
+        return cls(Vector.dense(bitmap))
 
 
 @dataclass(frozen=True)

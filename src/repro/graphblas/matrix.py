@@ -33,7 +33,10 @@ class Matrix:
     use the constructors below.
     """
 
-    __slots__ = ("nrows", "ncols", "dtype", "indptr", "indices", "values", "_csc", "_symmetric")
+    __slots__ = (
+        "nrows", "ncols", "dtype", "indptr", "indices", "values",
+        "_csc", "_symmetric", "_degrees", "_coo_rows",
+    )
 
     def __init__(
         self,
@@ -58,6 +61,10 @@ class Matrix:
         self.values = np.ascontiguousarray(values)
         self._csc: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._symmetric = symmetric
+        # Immutable-matrix auxiliaries, built lazily and cached so hot
+        # kernels (SpMV row ids, degree scoping) never rebuild them per call.
+        self._degrees: Optional[np.ndarray] = None
+        self._coo_rows: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -98,36 +105,36 @@ class Matrix:
                 np.empty(0, dtype=np.asarray(vals).dtype),
                 symmetric=symmetric,
             )
-        coo = sp.coo_matrix(
-            (vals.astype(np.float64, copy=False), (rows, cols)), shape=(nrows, ncols)
-        )
-        if dedup == "plus":
-            csr = coo.tocsr()  # scipy sums duplicates
-        else:
-            # keep-last / min need manual dedup on sorted (row, col) keys
-            order = np.lexsort((cols, rows))
-            r, c, v = rows[order], cols[order], vals[order]
-            key_change = np.r_[True, (r[1:] != r[:-1]) | (c[1:] != c[:-1])]
-            if dedup == "error" and not key_change.all():
+        # Build the CSR arrays natively (stable lexsort on (row, col) keys)
+        # rather than round-tripping through a float64 SciPy COO, which
+        # silently corrupted wide integers (> 2^53) and forced an extra
+        # copy for every dtype.
+        order = np.lexsort((cols, rows))
+        r, c, v = rows[order], cols[order], vals[order]
+        key_change = np.r_[True, (r[1:] != r[:-1]) | (c[1:] != c[:-1])]
+        if not key_change.all():
+            if dedup == "error":
                 raise ValueError("duplicate edges in build")
-            if dedup == "min" and not key_change.all():
-                starts = np.flatnonzero(key_change)
+            starts = np.flatnonzero(key_change)
+            if dedup == "min":
                 v = np.minimum.reduceat(v, starts)
-                r, c = r[key_change], c[key_change]
-            else:  # last occurrence wins
-                last = np.r_[key_change[1:], True]
-                r, c, v = r[last], c[last], v[last]
-            csr = sp.csr_matrix(
-                (np.ones(r.size), (r, c)), shape=(nrows, ncols)
-            )
-            csr.data = np.asarray(v, dtype=np.float64)
-        csr.sort_indices()
+            elif dedup == "plus":
+                # dtype pinned: add.reduceat otherwise widens small ints to
+                # the platform accumulator (int32 → int64), like np.sum
+                v = np.add.reduceat(v, starts, dtype=v.dtype)
+            elif dedup == "last":  # last occurrence wins (stable sort order)
+                v = v[np.r_[starts[1:], v.size] - 1]
+            else:
+                raise ValueError(f"unknown dedup mode {dedup!r}")
+            r, c = r[key_change], c[key_change]
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(r, minlength=nrows), out=indptr[1:])
         return cls(
             nrows,
             ncols,
-            csr.indptr.astype(np.int64),
-            csr.indices.astype(np.int64),
-            csr.data.astype(np.asarray(vals).dtype),
+            indptr,
+            c,
+            np.ascontiguousarray(v),
             symmetric=symmetric,
         )
 
@@ -198,8 +205,26 @@ class Matrix:
         return self._symmetric
 
     def row_degrees(self) -> np.ndarray:
-        """Entries per row — vertex degrees for an adjacency matrix."""
-        return np.diff(self.indptr)
+        """Entries per row — vertex degrees for an adjacency matrix.
+
+        Cached (the matrix is immutable); treat as read-only.
+        """
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    def coo_rows(self) -> np.ndarray:
+        """Row id of every stored entry in CSR order, i.e.
+        ``np.repeat(np.arange(nrows), row_degrees())``.
+
+        Cached so the row-streaming SpMV kernel stops rebuilding an
+        O(nnz) array on every call; treat as read-only.
+        """
+        if self._coo_rows is None:
+            self._coo_rows = np.repeat(
+                np.arange(self.nrows, dtype=np.int64), self.row_degrees()
+            )
+        return self._coo_rows
 
     def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
         """(column indices, values) of row *i*."""
@@ -232,8 +257,7 @@ class Matrix:
 
     def extract_tuples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """COO copies ``(rows, cols, values)`` in row-major order."""
-        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_degrees())
-        return rows, self.indices.copy(), self.values.copy()
+        return self.coo_rows().copy(), self.indices.copy(), self.values.copy()
 
     def isequal(self, other: "Matrix") -> bool:
         return (

@@ -15,17 +15,30 @@ Every operation follows the standard GraphBLAS write semantics::
     W⟨mask⟩        = Z   i.e.  W = (Z ∩ allow) ∪ (W ∩ ¬allow)
     W⟨mask,repl⟩   = Z ∩ allow
 
-``GrB_mxv`` dispatches between a row-streaming SpMV kernel (dense-ish input
-vector) and a column-gather SpMSpV kernel (sparse input vector), the same
-runtime decision CombBLAS makes (§V-A).
+Cost-proportionality is the organising principle (the paper's §IV-B:
+"vectors start out dense and get sparse rapidly"):
+
+* the masked write dispatches between a **dense** formulation (full
+  ``values``/``present`` arrays, Θ(n)) and a **sparse** sorted-merge over
+  stored entries only (O(nvals));
+* ``GrB_mxv`` dispatches between a row-streaming SpMV kernel (dense-ish
+  input vector), a mask-restricted row-subset SpMV (work ∝ degrees of the
+  allowed rows — the paper's masked SpMV over unconverged vertices), and a
+  column-gather SpMSpV kernel (sparse input vector), the same runtime
+  decisions CombBLAS makes (§V-A);
+* the *(Select2nd, min)* semiring — LACC's only hot semiring — takes
+  specialised kernels: the multiply is a pure gather (matrix values are
+  never read) and the per-row min-reduction runs on a packed
+  ``row·bound + value`` key sort instead of a stable argsort.
+
+See ``docs/PERFORMANCE.md`` for the dispatch rules and thresholds.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
-from scipy import sparse as sp
 
 from repro.obs.tracer import current as _obs
 
@@ -50,14 +63,35 @@ __all__ = [
     "select",
     "reduce_vector",
     "reduce_matrix",
+    "reduce_by_rows",
+    "gather_multiply",
     "SPMSPV_DENSITY_THRESHOLD",
+    "MASKED_SPMV_ROW_FRACTION",
+    "SPARSE_WRITE_MAX_FRACTION",
 ]
 
 # Input-vector density above which mxv streams rows (SpMV) instead of
 # gathering columns (SpMSpV).  Mirrors CombBLAS's dispatch.
 SPMSPV_DENSITY_THRESHOLD = 0.10
 
+# With a mask allowing at most this fraction of the output rows, the SpMV
+# kernel streams only the allowed rows (work ∝ their degrees) instead of
+# the whole matrix.
+MASKED_SPMV_ROW_FRACTION = 0.5
+
+# The masked write takes the O(nvals) sorted-merge path when the output is
+# sparse and (stored + incoming) entries stay below this fraction of n.
+SPARSE_WRITE_MAX_FRACTION = 0.25
+
+# Test hooks: force the masked-write path ("dense" | "sparse" | None) and
+# toggle the mask pushdown into the mxv kernels.  The forced dense path is
+# the pre-sparsification oracle the equivalence suite compares against.
+_FORCE_WRITE_PATH: Optional[str] = None
+MASK_PUSHDOWN = True
+
 IndexArray = Union[None, Sequence[int], np.ndarray]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -80,6 +114,55 @@ def _segment_reduce(values: np.ndarray, seg_ids: np.ndarray, monoid: Monoid):
     # keep-last semantics (ANY / SECOND): last element of each segment
     last = np.r_[boundaries[1:], values.size] - 1
     return uniq, values[last]
+
+
+def reduce_by_rows(
+    values: np.ndarray, rows: np.ndarray, monoid: Monoid, nrows: int
+) -> Tuple[np.ndarray, np.ndarray, str]:
+    """Reduce *values* by **unsorted** *rows*; returns ``(idx, vals, path)``.
+
+    The generic path stable-sorts the row ids and segment-reduces.  For
+    min/max over non-negative integers — the add monoid of LACC's
+    *(Select2nd, min)* semiring — a packed ``row·bound + value`` key lets a
+    single plain ``np.sort`` replace the argsort + gather + reduceat chain
+    (~6–8× faster), with the group minimum/maximum read off the segment
+    boundaries.  ``path`` is ``"packed"`` or ``"sorted"`` for the caller's
+    obs span.
+    """
+    if rows.size == 0:
+        return rows[:0], values[:0], "sorted"
+    opname = monoid.op.name
+    if opname in ("min", "max") and values.dtype.kind in "iu":
+        vmin = int(values.min())
+        if vmin >= 0:
+            bound = int(values.max()) + 1
+            if int(nrows) * bound < 2 ** 62:
+                key = rows * bound + values.astype(np.int64, copy=False)
+                key.sort()
+                r = key // bound
+                starts = np.flatnonzero(np.r_[True, r[1:] != r[:-1]])
+                pick = starts if opname == "min" else np.r_[starts[1:], key.size] - 1
+                uniq = r[starts]
+                out = (key[pick] - uniq * bound).astype(values.dtype)
+                return uniq, out, "packed"
+    order = np.argsort(rows, kind="stable")
+    idx, vals = _segment_reduce(values[order], rows[order], monoid)
+    return idx, vals, "sorted"
+
+
+def gather_multiply(semiring: Semiring, a_vals: np.ndarray, u_vals: np.ndarray):
+    """Semiring multiply with the Select2nd/First short-circuits.
+
+    ``second``-kind multiplies (Select2nd, ANY) are pure gathers — the
+    result *is* the vector value, no arithmetic and no copies; ``first``
+    returns the matrix value.  Only generic operators pay a ufunc call.
+    """
+    kind = semiring.multiply_kind
+    if kind == "second":
+        return u_vals
+    if kind == "first":
+        return a_vals
+    return np.asarray(semiring.multiply(a_vals, u_vals))
 
 
 def _merge_union(
@@ -109,6 +192,63 @@ def _merge_union(
     return all_idx, out
 
 
+def _merge_disjoint(
+    ai: np.ndarray, av: np.ndarray, bi: np.ndarray, bv: np.ndarray, dtype
+):
+    """Merge two sorted sparse patterns with disjoint index sets, O(total)."""
+    if ai.size == 0:
+        return bi, bv
+    if bi.size == 0:
+        return ai, av
+    total = ai.size + bi.size
+    out_i = np.empty(total, dtype=np.int64)
+    out_v = np.empty(total, dtype=dtype)
+    pos_b = np.searchsorted(ai, bi) + np.arange(bi.size, dtype=np.int64)
+    is_b = np.zeros(total, dtype=bool)
+    is_b[pos_b] = True
+    out_i[is_b] = bi
+    out_v[is_b] = bv
+    out_i[~is_b] = ai
+    out_v[~is_b] = av
+    return out_i, out_v
+
+
+def _lookup_sorted(sorted_idx: np.ndarray, idx: np.ndarray):
+    """``(hit, pos)``: membership of *idx* in the sorted unique array."""
+    if sorted_idx.size == 0:
+        return np.zeros(idx.shape, dtype=bool), np.zeros(idx.shape, dtype=np.int64)
+    pos = np.searchsorted(sorted_idx, idx)
+    hit = pos < sorted_idx.size
+    hit &= sorted_idx[np.minimum(pos, sorted_idx.size - 1)] == idx
+    return hit, pos
+
+
+def _in_sorted(sorted_idx: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    return _lookup_sorted(sorted_idx, idx)[0]
+
+
+def _intersect_sorted(ai: np.ndarray, bi: np.ndarray):
+    """Intersection of two sorted unique index arrays.
+
+    Returns ``(common, a_pos, b_pos)`` like ``np.intersect1d(...,
+    return_indices=True)``, but as a searchsorted probe of the smaller
+    array into the larger — O(min·log max) instead of re-sorting the
+    concatenation.
+    """
+    if ai.size == 0 or bi.size == 0:
+        return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
+    if ai.size > bi.size:
+        common, b_pos, a_pos = _intersect_sorted(bi, ai)
+        return common, a_pos, b_pos
+    hit, pos = _lookup_sorted(bi, ai)
+    a_pos = np.flatnonzero(hit)
+    return ai[hit], a_pos, pos[hit]
+
+
+# ----------------------------------------------------------------------
+# the masked write
+# ----------------------------------------------------------------------
+
 def _masked_write(
     w: Vector,
     t_idx: np.ndarray,
@@ -116,14 +256,113 @@ def _masked_write(
     mask,
     accum: Optional[BinaryOp],
     desc: Descriptor,
+    region: Optional[np.ndarray] = None,
+    mask_obj: Optional[Mask] = None,
+    allow: Optional[np.ndarray] = None,
 ) -> Vector:
-    """Apply the standard GraphBLAS mask/accumulate/replace write to *w*."""
-    allow = desc.wrap(mask).allow(w.size)
+    """Apply the standard GraphBLAS mask/accumulate/replace write to *w*.
+
+    *region* (``GrB_assign``'s index list, sorted unique) limits the write:
+    outside it *w* keeps its entries regardless of the mask (ignored under
+    ``GrB_REPLACE``, matching assign's replace semantics).  *allow* is an
+    optional precomputed dense allow bitmap (``mxv`` shares the one its
+    kernels used).  Dispatches to a sorted-merge over stored entries when
+    the output is sparse (O(nvals)) and to the dense formulation otherwise.
+    """
+    m = mask_obj if mask_obj is not None else desc.wrap(mask)
+    if _FORCE_WRITE_PATH == "sparse":
+        use_sparse = True
+    elif _FORCE_WRITE_PATH == "dense":
+        use_sparse = False
+    else:
+        use_sparse = (
+            w.mode == "sparse"
+            and w.size > 0
+            and (w.nvals + t_idx.size) < SPARSE_WRITE_MAX_FRACTION * w.size
+        )
+    if use_sparse:
+        return _masked_write_sparse(w, t_idx, t_vals, m, accum, desc, region, allow)
+    return _masked_write_dense(w, t_idx, t_vals, m, accum, desc, region, allow)
+
+
+def _masked_write_sparse(
+    w: Vector,
+    t_idx: np.ndarray,
+    t_vals: np.ndarray,
+    m: Mask,
+    accum: Optional[BinaryOp],
+    desc: Descriptor,
+    region: Optional[np.ndarray] = None,
+    allow: Optional[np.ndarray] = None,
+) -> Vector:
+    """Sorted-merge write over stored entries only — O(nvals), never Θ(n).
+
+    The mask is evaluated pointwise at Z's and W's stored indices
+    (:meth:`Mask.allow_at`), the survivors of each side are disjoint by
+    construction, and the result is installed in place.
+    """
+    def allow_at(idx: np.ndarray) -> np.ndarray:
+        if allow is not None:
+            return allow[idx]
+        return m.allow_at(idx, w.size)
+
     if accum is not None:
         wi, wv = w.sparse_arrays()
-        z_idx, z_vals = _merge_union(wi, wv, t_idx, t_vals.astype(w.dtype), accum, w.dtype)
+        z_idx, z_vals = _merge_union(
+            wi, wv, t_idx, np.asarray(t_vals).astype(w.dtype), accum, w.dtype
+        )
     else:
-        z_idx, z_vals = t_idx, t_vals.astype(w.dtype, copy=False)
+        z_idx = t_idx
+        z_vals = np.asarray(t_vals).astype(w.dtype, copy=False)
+
+    keep_z = allow_at(z_idx)
+    if region is not None and not desc.replace:
+        keep_z &= _in_sorted(region, z_idx)
+    zi, zv = z_idx[keep_z], z_vals[keep_z]
+
+    if desc.replace:
+        # W = Z ∩ allow: everything outside the mask is deleted too
+        w._set_sparse(zi, zv)
+        return w
+
+    wi, wv = w.sparse_arrays()
+    aw = allow_at(wi)
+    if region is not None:
+        aw &= _in_sorted(region, wi)
+    keep_w = ~aw
+    ki, kv = wi[keep_w], wv[keep_w]
+    out_i, out_v = _merge_disjoint(ki, kv, zi, zv, w.dtype)
+    w._set_sparse(out_i, out_v)
+    return w
+
+
+def _masked_write_dense(
+    w: Vector,
+    t_idx: np.ndarray,
+    t_vals: np.ndarray,
+    m: Mask,
+    accum: Optional[BinaryOp],
+    desc: Descriptor,
+    region: Optional[np.ndarray] = None,
+    allow: Optional[np.ndarray] = None,
+) -> Vector:
+    """Dense formulation of the write (full values/present arrays, Θ(n))."""
+    if allow is None:
+        allow = m.allow(w.size)
+    if region is not None and not desc.replace:
+        # restrict the write region to the named indices: positions
+        # outside `region` keep their current w entries regardless of
+        # the mask
+        reg = np.zeros(w.size, dtype=bool)
+        reg[region] = True
+        allow = allow & reg
+    if accum is not None:
+        wi, wv = w.sparse_arrays()
+        z_idx, z_vals = _merge_union(
+            wi, wv, t_idx, np.asarray(t_vals).astype(w.dtype), accum, w.dtype
+        )
+    else:
+        z_idx, z_vals = t_idx, np.asarray(t_vals).astype(w.dtype, copy=False)
 
     # Dense formulation of: W = (Z ∩ allow) ∪ (W ∩ ¬allow)  [∪ nothing if replace]
     w_vals, w_present = w.dense_arrays()
@@ -173,70 +412,158 @@ def mxv(
 
     Dispatches to SpMV (row streaming) when *u* is dense-ish and SpMSpV
     (column gather, work ∝ active edges) when sparse — the crossover the
-    paper exploits once components start converging.
+    paper exploits once components start converging.  A restrictive mask is
+    pushed down into the kernels: masked-out output rows are skipped
+    *before* the gather, so masked products are never computed.  The chosen
+    kernel is recorded as the span's ``path`` attribute.
     """
     if A.ncols != u.size:
         raise ValueError(f"A is {A.nrows}x{A.ncols} but u has size {u.size}")
     if A.nrows != w.size:
         raise ValueError(f"A is {A.nrows}x{A.ncols} but w has size {w.size}")
-    with _obs().span("mxv", "graphblas") as sp:
-        dense_path = u.density > SPMSPV_DENSITY_THRESHOLD
-        if sp:
-            sp.set("path", "spmv" if dense_path else "spmspv")
-            sp.add("nvals_in", u.nvals)
-        if dense_path:
-            t_idx, t_vals, flops = _spmv(semiring, A, u)
+    with _obs().span("mxv", "graphblas") as span:
+        m = desc.wrap(mask)
+        allow = None          # dense allow bitmap, if materialised
+        allowed_rows = None   # sorted allowed output rows, if enumerated
+        if MASK_PUSHDOWN and (m.vector is not None or m.complement):
+            allowed_rows = m.allow_sparse(A.nrows)
+            if allowed_rows is None:
+                allow = m.allow(A.nrows)
+                allowed_rows = np.flatnonzero(allow)
+        dense_input = u.density > SPMSPV_DENSITY_THRESHOLD
+        if span:
+            span.add("nvals_in", u.nvals)
+        if dense_input:
+            if (
+                allowed_rows is not None
+                and allowed_rows.size <= MASKED_SPMV_ROW_FRACTION * A.nrows
+            ):
+                t_idx, t_vals, flops, path = _spmv_rows(semiring, A, u, allowed_rows)
+            else:
+                t_idx, t_vals, flops, path = _spmv(semiring, A, u)
         else:
-            t_idx, t_vals, flops = _spmspv(semiring, A, u)
-        if sp:
-            sp.add("flops", flops)
-            sp.add("nvals_out", int(t_idx.size))
-        return _masked_write(w, t_idx, t_vals, mask, accum, desc)
+            t_idx, t_vals, flops, path = _spmspv(
+                semiring, A, u, allow=allow, allowed_rows=allowed_rows
+            )
+        if span:
+            span.set("path", path)
+            span.add("flops", flops)
+            span.add("nvals_out", int(t_idx.size))
+        return _masked_write(
+            w, t_idx, t_vals, mask, None if accum is None else accum, desc,
+            mask_obj=m, allow=allow,
+        )
 
 
 def _spmv(semiring: Semiring, A: Matrix, u: Vector):
     """Row-streaming kernel: work ∝ nnz(A) restricted to present u entries.
 
-    Returns ``(t_idx, t_vals, flops)`` where *flops* is the number of
-    semiring multiplies performed (the quantity Figure 8 attributes).
+    Returns ``(t_idx, t_vals, flops, path)`` where *flops* is the number of
+    semiring multiplies performed (the quantity Figure 8 attributes).  Row
+    ids come from the matrix's cached COO view.
     """
     u_vals, u_present = u.dense_arrays()
     cols = A.indices
+    rows = A.coo_rows()
+    kind = semiring.multiply_kind
     keep = u_present[cols]
     if not keep.all():
         cols = cols[keep]
-        a_vals = A.values[keep]
-        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())[keep]
+        rows = rows[keep]
+        a_vals = A.values[keep] if kind != "second" else None
     else:
-        a_vals = A.values
-        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())
-    prods = semiring.multiply(a_vals, u_vals[cols])
-    t_idx, t_vals = _segment_reduce(np.asarray(prods), rows, semiring.add)
-    return t_idx, t_vals, int(cols.size)
+        a_vals = A.values if kind != "second" else None
+    if kind == "second":
+        prods = u_vals[cols]
+    elif kind == "first":
+        prods = a_vals
+    else:
+        prods = np.asarray(semiring.multiply(a_vals, u_vals[cols]))
+    t_idx, t_vals = _segment_reduce(prods, rows, semiring.add)
+    return t_idx, t_vals, int(cols.size), "spmv"
 
 
-def _spmspv(semiring: Semiring, A: Matrix, u: Vector):
+def _spmv_rows(semiring: Semiring, A: Matrix, u: Vector, rows_sel: np.ndarray):
+    """Masked row-subset SpMV: stream only the mask-allowed rows.
+
+    Work ∝ the allowed rows' degrees — the paper's masked SpMV over
+    unconverged vertices.  *rows_sel* must be sorted, which keeps the
+    gathered row ids grouped so no sort is needed before the reduction.
+    """
+    u_vals, u_present = u.dense_arrays()
+    indptr = A.indptr
+    lo, hi = indptr[rows_sel], indptr[rows_sel + 1]
+    lengths = hi - lo
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY_I64, np.empty(0, dtype=u.dtype), 0, "spmv_masked"
+    out_starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=out_starts[1:])
+    flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
+    cols = A.indices[flat]
+    rows = np.repeat(rows_sel, lengths)
+    keep = u_present[cols]
+    if not keep.all():
+        cols, rows, flat = cols[keep], rows[keep], flat[keep]
+    kind = semiring.multiply_kind
+    if kind == "second":
+        prods = u_vals[cols]
+    elif kind == "first":
+        prods = A.values[flat]
+    else:
+        prods = np.asarray(semiring.multiply(A.values[flat], u_vals[cols]))
+    t_idx, t_vals = _segment_reduce(prods, rows, semiring.add)
+    return t_idx, t_vals, int(cols.size), "spmv_masked"
+
+
+def _spmspv(
+    semiring: Semiring,
+    A: Matrix,
+    u: Vector,
+    allow: Optional[np.ndarray] = None,
+    allowed_rows: Optional[np.ndarray] = None,
+):
     """Column-gather kernel: work ∝ sum of degrees of present u entries.
 
-    Returns ``(t_idx, t_vals, flops)`` like :func:`_spmv`.
+    Returns ``(t_idx, t_vals, flops, path)`` like :func:`_spmv`.  With a
+    pushed-down mask, gathered entries landing on masked-out rows are
+    dropped *before* the multiply and the reduction, so neither pays for
+    them.  For Select2nd-kind multiplies the product array is the repeated
+    input values — the matrix values are never touched — and min/max
+    reductions run on the packed-key fast path (:func:`reduce_by_rows`).
     """
     ui, uv = u.sparse_arrays()
     if ui.size == 0:
-        return ui[:0], uv[:0], 0
+        return ui[:0], uv[:0], 0, "spmspv"
     indptr, rowids, vals = A.csc_arrays()
     lo, hi = indptr[ui], indptr[ui + 1]
     lengths = hi - lo
     total = int(lengths.sum())
     if total == 0:
-        return ui[:0], uv[:0], 0
+        return ui[:0], uv[:0], 0, "spmspv"
     out_starts = np.zeros(lengths.size, dtype=np.int64)
     np.cumsum(lengths[:-1], out=out_starts[1:])
     flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
     rows = rowids[flat]
-    prods = np.asarray(semiring.multiply(vals[flat], np.repeat(uv, lengths)))
-    order = np.argsort(rows, kind="stable")
-    t_idx, t_vals = _segment_reduce(prods[order], rows[order], semiring.add)
-    return t_idx, t_vals, total
+    u_src = np.repeat(uv, lengths)
+    masked = allow is not None or allowed_rows is not None
+    if masked:
+        keep = allow[rows] if allow is not None else _in_sorted(allowed_rows, rows)
+        if not keep.all():
+            rows, flat, u_src = rows[keep], flat[keep], u_src[keep]
+    kind = semiring.multiply_kind
+    if kind == "second":
+        prods = u_src
+    elif kind == "first":
+        prods = vals[flat]
+    else:
+        prods = np.asarray(semiring.multiply(vals[flat], u_src))
+    flops = int(rows.size)
+    t_idx, t_vals, rpath = reduce_by_rows(prods, rows, semiring.add, A.nrows)
+    path = "spmspv_sel2nd" if (kind == "second" and rpath == "packed") else "spmspv"
+    if masked:
+        path += "_masked"
+    return t_idx, t_vals, flops, path
 
 
 def vxm(
@@ -310,23 +637,25 @@ def ewise_mult(
     v: Vector,
     desc: Descriptor = NULL,
 ) -> Vector:
-    """``GrB_eWiseMult``: apply *op* on the **intersection** of patterns."""
+    """``GrB_eWiseMult``: apply *op* on the **intersection** of patterns.
+
+    The two stored patterns are already sorted, so the intersection is a
+    searchsorted probe of the smaller into the larger — no re-sort.
+    """
     if u.size != v.size or u.size != w.size:
         raise ValueError("eWiseMult operands must have equal size")
     if isinstance(op, Semiring):
         op = op.multiply
-    with _obs().span("ewise_mult", "graphblas") as sp:
+    with _obs().span("ewise_mult", "graphblas") as span:
         ui, uv = u.sparse_arrays()
         vi, vv = v.sparse_arrays()
-        common, u_pos, v_pos = np.intersect1d(
-            ui, vi, assume_unique=True, return_indices=True
-        )
+        common, u_pos, v_pos = _intersect_sorted(ui, vi)
         out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
         t_vals = np.asarray(op(uv[u_pos], vv[v_pos])).astype(out_dtype)
-        if sp:
-            sp.add("nvals_in", int(ui.size + vi.size))
-            sp.add("nvals_out", int(common.size))
-            sp.add("flops", int(common.size))
+        if span:
+            span.add("nvals_in", int(ui.size + vi.size))
+            span.add("nvals_out", int(common.size))
+            span.add("flops", int(common.size))
         return _masked_write(w, common, t_vals, mask, accum, desc)
 
 
@@ -344,17 +673,17 @@ def ewise_add(
         raise ValueError("eWiseAdd operands must have equal size")
     if isinstance(op, Monoid):
         op = op.op
-    with _obs().span("ewise_add", "graphblas") as sp:
+    with _obs().span("ewise_add", "graphblas") as span:
         ui, uv = u.sparse_arrays()
         vi, vv = v.sparse_arrays()
         out_dtype = np.bool_ if op.bool_result else promote(u.dtype, v.dtype)
         t_idx, t_vals = _merge_union(
             ui, uv.astype(out_dtype), vi, vv.astype(out_dtype), op, out_dtype
         )
-        if sp:
-            sp.add("nvals_in", int(ui.size + vi.size))
-            sp.add("nvals_out", int(t_idx.size))
-            sp.add("flops", int(t_idx.size))
+        if span:
+            span.add("nvals_in", int(ui.size + vi.size))
+            span.add("nvals_out", int(t_idx.size))
+            span.add("flops", int(t_idx.size))
         return _masked_write(w, t_idx, t_vals, mask, accum, desc)
 
 
@@ -375,29 +704,36 @@ def extract(
     ``indices=None`` means ``GrB_ALL``.  Result position *k* holds
     ``u[indices[k]]`` when that element is stored, else nothing.  This is the
     primitive LACC uses to read grandparents: ``gf = f[f]`` passes the parent
-    values as the index list (Algorithm 5).
+    values as the index list (Algorithm 5).  A sparse *u* is probed with
+    searchsorted lookups instead of being densified.
     """
     idx = _as_index_array(indices, u.size, "extract")
-    with _obs().span("extract", "graphblas") as sp:
+    with _obs().span("extract", "graphblas") as span:
         if idx is None:
             if w.size != u.size:
                 raise ValueError("GrB_ALL extract requires w.size == u.size")
             t_idx, t_vals = u.sparse_arrays()
-            if sp:
-                sp.add("nvals_in", int(t_idx.size))
-                sp.add("nvals_out", int(t_idx.size))
-                sp.add("flops", int(t_idx.size))
+            if span:
+                span.add("nvals_in", int(t_idx.size))
+                span.add("nvals_out", int(t_idx.size))
+                span.add("flops", int(t_idx.size))
             return _masked_write(w, t_idx.copy(), t_vals.copy(), mask, accum, desc)
         if w.size != idx.size:
             raise ValueError(f"w.size {w.size} != number of extract indices {idx.size}")
-        u_vals, u_present = u.dense_arrays()
-        hit = u_present[idx]
-        t_idx = np.flatnonzero(hit)
-        t_vals = u_vals[idx[hit]]
-        if sp:
-            sp.add("nvals_in", int(idx.size))
-            sp.add("nvals_out", int(t_idx.size))
-            sp.add("flops", int(idx.size))
+        if u.mode == "sparse":
+            ui, uvals = u.sparse_arrays()
+            hit, pos = _lookup_sorted(ui, idx)
+            t_idx = np.flatnonzero(hit)
+            t_vals = uvals[pos[hit]]
+        else:
+            u_vals, u_present = u.dense_arrays()
+            hit = u_present[idx]
+            t_idx = np.flatnonzero(hit)
+            t_vals = u_vals[idx[hit]]
+        if span:
+            span.add("nvals_in", int(idx.size))
+            span.add("nvals_out", int(t_idx.size))
+            span.add("flops", int(idx.size))
         return _masked_write(w, t_idx, t_vals, mask, accum, desc)
 
 
@@ -417,13 +753,13 @@ def assign(
     primitive: ``f[f_h] = f_n`` scatters new parents onto the star roots.
     """
     idx = _as_index_array(indices, w.size, "assign")
-    with _obs().span("assign", "graphblas") as sp:
+    with _obs().span("assign", "graphblas") as span:
         if idx is None:
             if u.size != w.size:
                 raise ValueError("GrB_ALL assign requires u.size == w.size")
             ui, uv = u.sparse_arrays()
             t_idx, t_vals = ui.copy(), uv.copy()
-            touched = None
+            region = None
         else:
             if u.size != idx.size:
                 raise ValueError(
@@ -439,27 +775,12 @@ def assign(
                 v_sorted = uv[order]
                 last = np.r_[t_sorted[1:] != t_sorted[:-1], True]
                 t_idx, t_vals = t_sorted[last], v_sorted[last]
-            touched = idx
-        if sp:
-            sp.add("nvals_in", int(ui.size))
-            sp.add("nvals_out", int(t_idx.size))
-            sp.add("flops", int(t_idx.size))
-
-        allow = desc.wrap(mask).allow(w.size)
-        if touched is not None and not desc.replace:
-            # restrict the write region to the named indices: positions
-            # outside `indices` keep their current w entries regardless of
-            # the mask
-            region = np.zeros(w.size, dtype=bool)
-            region[touched] = True
-            allow = allow & region
-        restricted = Descriptor(
-            replace=desc.replace, mask_structural=False, mask_complement=False
-        )
-        return _masked_write(
-            w, t_idx, t_vals, Mask(_bool_vector(allow), structural=False),
-            accum, restricted,
-        )
+            region = np.unique(idx)
+        if span:
+            span.add("nvals_in", int(ui.size))
+            span.add("nvals_out", int(t_idx.size))
+            span.add("flops", int(t_idx.size))
+        return _masked_write(w, t_idx, t_vals, mask, accum, desc, region=region)
 
 
 def assign_scalar(
@@ -476,32 +797,19 @@ def assign_scalar(
     position allowed by the mask (starcheck uses this to flag nonstars).
     """
     idx = _as_index_array(indices, w.size, "assign")
-    with _obs().span("assign_scalar", "graphblas") as sp:
+    with _obs().span("assign_scalar", "graphblas") as span:
         if idx is None:
             idx = np.arange(w.size, dtype=np.int64)
+            region = None  # GrB_ALL: the region does not restrict anything
         else:
             idx = np.unique(idx)
+            region = idx
         t_vals = np.full(idx.size, value, dtype=w.dtype)
-        if sp:
-            sp.add("nvals_in", int(idx.size))
-            sp.add("nvals_out", int(idx.size))
-            sp.add("flops", int(idx.size))
-
-        allow = desc.wrap(mask).allow(w.size)
-        region = np.zeros(w.size, dtype=bool)
-        region[idx] = True
-        if not desc.replace:
-            allow = allow & region
-        restricted = Descriptor(replace=desc.replace)
-        return _masked_write(
-            w, idx, t_vals, Mask(_bool_vector(allow), structural=False),
-            accum, restricted,
-        )
-
-
-def _bool_vector(allow: np.ndarray) -> Vector:
-    """Wrap a dense boolean array as a full mask vector."""
-    return Vector.dense(allow)
+        if span:
+            span.add("nvals_in", int(idx.size))
+            span.add("nvals_out", int(idx.size))
+            span.add("flops", int(idx.size))
+        return _masked_write(w, idx, t_vals, mask, accum, desc, region=region)
 
 
 # ----------------------------------------------------------------------
@@ -517,11 +825,16 @@ def apply(
     desc: Descriptor = NULL,
 ) -> Vector:
     """``GrB_apply``: map *fn* over u's stored values (pattern unchanged)."""
-    ui, uv = u.sparse_arrays()
-    t_vals = np.asarray(fn(uv))
-    if t_vals.shape != uv.shape:
-        raise ValueError("apply fn must be elementwise (shape-preserving)")
-    return _masked_write(w, ui.copy(), t_vals, mask, accum, desc)
+    with _obs().span("apply", "graphblas") as span:
+        ui, uv = u.sparse_arrays()
+        t_vals = np.asarray(fn(uv))
+        if t_vals.shape != uv.shape:
+            raise ValueError("apply fn must be elementwise (shape-preserving)")
+        if span:
+            span.add("nvals_in", int(ui.size))
+            span.add("nvals_out", int(ui.size))
+            span.add("flops", int(ui.size))
+        return _masked_write(w, ui.copy(), t_vals, mask, accum, desc)
 
 
 def select(
@@ -533,11 +846,17 @@ def select(
     desc: Descriptor = NULL,
 ) -> Vector:
     """``GxB_select``: keep u's elements where ``keep(indices, values)``."""
-    ui, uv = u.sparse_arrays()
-    sel = np.asarray(keep(ui, uv), dtype=bool)
-    if sel.shape != ui.shape:
-        raise ValueError("select predicate must return one bool per element")
-    return _masked_write(w, ui[sel].copy(), uv[sel].copy(), mask, accum, desc)
+    with _obs().span("select", "graphblas") as span:
+        ui, uv = u.sparse_arrays()
+        sel = np.asarray(keep(ui, uv), dtype=bool)
+        if sel.shape != ui.shape:
+            raise ValueError("select predicate must return one bool per element")
+        t_idx, t_vals = ui[sel], uv[sel]
+        if span:
+            span.add("nvals_in", int(ui.size))
+            span.add("nvals_out", int(t_idx.size))
+            span.add("flops", int(ui.size))
+        return _masked_write(w, t_idx, t_vals, mask, accum, desc)
 
 
 def reduce_vector(monoid: Monoid, u: Vector):
@@ -549,8 +868,7 @@ def reduce_vector(monoid: Monoid, u: Vector):
 def reduce_matrix(monoid: Monoid, A: Matrix, axis: int = 1) -> Vector:
     """``GrB_reduce`` matrix→vector: fold rows (axis=1) or columns (axis=0)."""
     if axis == 1:
-        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), A.row_degrees())
-        idx, vals = _segment_reduce(A.values, rows, monoid)
+        idx, vals = _segment_reduce(A.values, A.coo_rows(), monoid)
         return Vector.sparse(A.nrows, idx, vals)
     if axis == 0:
         indptr, rowids, vals = A.csc_arrays()

@@ -49,6 +49,22 @@ class Semiring:
     def name(self) -> str:
         return f"{self.add.op.name}_{self.multiply.name}_{self.add.dtype.name}"
 
+    @property
+    def multiply_kind(self) -> str:
+        """Kernel-dispatch class of the multiply operator.
+
+        ``"second"`` (Select2nd / ANY): the product is the vector value — a
+        pure gather, no arithmetic, the matrix values are never read.
+        ``"first"``: the product is the matrix value.  ``"generic"``: the
+        operator must actually be applied.  The (Select2nd, min) semiring —
+        LACC's only hot semiring — hits the ``"second"`` fast path.
+        """
+        if self.multiply.name in ("second", "any"):
+            return "second"
+        if self.multiply.name == "first":
+            return "first"
+        return "generic"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Semiring({self.name})"
 

@@ -41,7 +41,7 @@ class Vector:
     :mod:`repro.graphblas.ops` or the convenience methods here.
     """
 
-    __slots__ = ("size", "dtype", "_mode", "_values", "_present", "_indices")
+    __slots__ = ("size", "dtype", "_mode", "_values", "_present", "_indices", "_nvals")
 
     def __init__(self, size: int, dtype=np.int64):
         if size < 0:
@@ -52,6 +52,7 @@ class Vector:
         self._indices = np.empty(0, dtype=np.int64)
         self._values = np.empty(0, dtype=self.dtype)
         self._present: Optional[np.ndarray] = None
+        self._nvals: Optional[int] = None  # cached popcount of _present
 
     # ------------------------------------------------------------------
     # constructors
@@ -115,6 +116,7 @@ class Vector:
         v._values = vals.copy()
         if present is None:
             v._present = np.ones(vals.size, dtype=bool)
+            v._nvals = vals.size
         else:
             present = np.asarray(present, dtype=bool)
             if present.shape != vals.shape:
@@ -146,10 +148,16 @@ class Vector:
 
     @property
     def nvals(self) -> int:
-        """Number of stored elements (``GrB_Vector_nvals``)."""
+        """Number of stored elements (``GrB_Vector_nvals``).
+
+        Cached in dense mode so per-op dispatch (``density``) never pays a
+        Θ(n) popcount on an unchanged vector.
+        """
         if self._mode == "sparse":
             return int(self._indices.size)
-        return int(np.count_nonzero(self._present))
+        if self._nvals is None:
+            self._nvals = int(np.count_nonzero(self._present))
+        return self._nvals
 
     @property
     def density(self) -> float:
@@ -184,11 +192,18 @@ class Vector:
         return present
 
     def _set_sparse(self, indices: np.ndarray, values: np.ndarray) -> None:
-        """Install sorted, deduplicated sparse content (internal)."""
+        """Install sorted, deduplicated sparse content in place (internal).
+
+        This is the write-side plumbing of the sparse masked-write path in
+        :mod:`repro.graphblas.ops`: kernels merge stored entries and hand
+        the result straight to the vector, O(nvals) end to end.  The arrays
+        are adopted, not copied — callers must pass freshly built arrays.
+        """
         self._mode = "sparse"
         self._indices = indices
         self._values = values.astype(self.dtype, copy=False)
         self._present = None
+        self._nvals = None
         self._maybe_densify()
 
     def _set_dense(self, values: np.ndarray, present: np.ndarray) -> None:
@@ -197,6 +212,7 @@ class Vector:
         self._values = values.astype(self.dtype, copy=False)
         self._present = present
         self._indices = None
+        self._nvals = None
         self._maybe_sparsify()
 
     def _maybe_densify(self) -> None:
@@ -205,21 +221,24 @@ class Vector:
             and self.size
             and self._indices.size / self.size >= _DENSIFY_AT
         ):
+            nstored = int(self._indices.size)
             vals, present = self.dense_arrays()
             self._mode = "dense"
             self._values, self._present = vals, present
             self._indices = None
+            self._nvals = nstored
 
     def _maybe_sparsify(self) -> None:
         if (
             self._mode == "dense"
             and self.size
-            and np.count_nonzero(self._present) / self.size <= _SPARSIFY_AT
+            and self.nvals / self.size <= _SPARSIFY_AT
         ):
             idx, vals = self.sparse_arrays()
             self._mode = "sparse"
             self._indices, self._values = idx, vals
             self._present = None
+            self._nvals = None
 
     # ------------------------------------------------------------------
     # element access & mutation
@@ -240,6 +259,8 @@ class Vector:
         if not 0 <= i < self.size:
             raise IndexError(f"index {i} out of range [0, {self.size})")
         if self._mode == "dense":
+            if self._nvals is not None and not self._present[i]:
+                self._nvals += 1
             self._values[i] = value
             self._present[i] = True
             return
@@ -256,6 +277,8 @@ class Vector:
         if not 0 <= i < self.size:
             raise IndexError(f"index {i} out of range [0, {self.size})")
         if self._mode == "dense":
+            if self._nvals is not None and self._present[i]:
+                self._nvals -= 1
             self._present[i] = False
             self._maybe_sparsify()
             return
@@ -270,6 +293,7 @@ class Vector:
         self._indices = np.empty(0, dtype=np.int64)
         self._values = np.empty(0, dtype=self.dtype)
         self._present = None
+        self._nvals = None
 
     def extract_tuples(self) -> Tuple[np.ndarray, np.ndarray]:
         """``GrB_Vector_extractTuples``: copies of (indices, values)."""
@@ -294,6 +318,7 @@ class Vector:
             v._values = self._values.copy()
             v._present = self._present.copy()
             v._indices = None
+            v._nvals = self._nvals
         else:
             v._indices = self._indices.copy()
             v._values = self._values.copy()

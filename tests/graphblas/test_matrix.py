@@ -58,6 +58,27 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Matrix.from_edges(2, 2, [0, 0], [1, 1], [5, 3], dedup="error")
 
+    def test_dedup_preserves_integer_dtype(self):
+        # regression: the dedup path used to round-trip values through a
+        # float64 scipy COO, silently degrading integer matrices — values
+        # above 2^53 would lose precision
+        big = 2**60 + 1
+        m = Matrix.from_edges(
+            2, 2, [0, 0], [1, 1], np.array([big, 2], dtype=np.int64), dedup="plus"
+        )
+        assert m.dtype == np.int64
+        _, vals = m.row(0)
+        assert vals[0] == big + 2
+
+    def test_dedup_preserves_dtype_all_modes(self):
+        for mode, want in [("min", 3), ("plus", 8), ("last", 3)]:
+            m = Matrix.from_edges(
+                2, 2, [0, 0], [1, 1], np.array([5, 3], dtype=np.int32), dedup=mode
+            )
+            assert m.dtype == np.int32, mode
+            _, vals = m.row(0)
+            assert vals[0] == want, mode
+
     def test_from_scipy_roundtrip(self):
         s = sp.random(10, 8, density=0.3, random_state=0, format="csr")
         m = Matrix.from_scipy(s)

@@ -57,8 +57,8 @@ class TestMxv:
         # force both kernels on the same logical input
         from repro.graphblas.ops import _spmspv, _spmv
 
-        i1, v1, f1 = _spmv(sr.SEL2ND_MIN_INT64, A, dense_u)
-        i2, v2, f2 = _spmspv(sr.SEL2ND_MIN_INT64, A, dense_u)
+        i1, v1, f1, _ = _spmv(sr.SEL2ND_MIN_INT64, A, dense_u)
+        i2, v2, f2, _ = _spmspv(sr.SEL2ND_MIN_INT64, A, dense_u)
         np.testing.assert_array_equal(i1, i2)
         np.testing.assert_array_equal(v1, v2)
         assert f1 == f2 == A.nvals  # both kernels touch every edge once

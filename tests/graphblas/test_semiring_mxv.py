@@ -79,8 +79,8 @@ class TestAllSemirings:
         n = 25
         A = Matrix.adjacency(n, rng.integers(0, n, 50), rng.integers(0, n, 50))
         u = Vector.dense(rng.integers(0, 100, n).astype(np.int64))
-        i1, v1, _ = _spmv(semiring, A, u)
-        i2, v2, _ = _spmspv(semiring, A, u)
+        i1, v1, *_rest = _spmv(semiring, A, u)
+        i2, v2, *_rest = _spmspv(semiring, A, u)
         np.testing.assert_array_equal(i1, i2)
         if name != "plus_pair":  # ANY multiply: values may legally differ
             np.testing.assert_array_equal(v1, v2)

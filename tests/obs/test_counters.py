@@ -45,7 +45,9 @@ class TestPrimitiveCounters:
         u = Vector.sparse(20, [1], [7])
         out = Vector.empty(20)
         sp = traced(lambda: gb.mxv(out, None, None, sr.SEL2ND_MIN_INT64, A, u))
-        assert sp.attrs["path"] == "spmspv"
+        # the Select2nd multiply + min monoid hits the specialised
+        # gather/packed-key kernel, recorded as its own path tag
+        assert sp.attrs["path"] == "spmspv_sel2nd"
         assert sp.counters["nvals_in"] == 1
         # only column 1 participates: deg(1) = 2 multiplies
         assert sp.counters["flops"] == 2
@@ -59,6 +61,43 @@ class TestPrimitiveCounters:
         assert sp.counters["nvals_in"] == 6
         assert sp.counters["flops"] == 2  # indices {1, 2}
         assert sp.counters["nvals_out"] == out.nvals == 2
+
+    def test_apply_span(self):
+        u = Vector.sparse(5, [0, 2, 4], [1, 2, 3])
+        out = Vector.empty(5)
+        sp = traced(lambda: gb.apply(out, None, None, lambda x: x * 10, u))
+        assert (sp.name, sp.cat) == ("apply", "graphblas")
+        assert sp.counters["nvals_in"] == 3
+        assert sp.counters["flops"] == 3  # one fn evaluation per element
+        assert sp.counters["nvals_out"] == out.nvals == 3
+
+    def test_select_span(self):
+        u = Vector.sparse(6, [0, 1, 2, 3], [4, 7, 8, 1])
+        out = Vector.empty(6)
+        sp = traced(
+            lambda: gb.select(out, None, None, lambda i, v: v % 2 == 0, u)
+        )
+        assert (sp.name, sp.cat) == ("select", "graphblas")
+        assert sp.counters["nvals_in"] == 4
+        assert sp.counters["flops"] == 4  # predicate sees every element
+        assert sp.counters["nvals_out"] == out.nvals == 2  # values 4 and 8
+
+    def test_masked_mxv_records_pushdown_path(self):
+        # sparse structural mask over a dense input: the SpMV kernel
+        # streams only the allowed rows and says so on the span
+        from repro.graphblas.descriptor import Mask
+
+        A = Matrix.adjacency(20, [0, 1, 2], [1, 2, 3])
+        u = Vector.dense(np.arange(20, dtype=np.int64))
+        mask = Mask(
+            Vector.sparse(20, [2], np.ones(1, dtype=np.int64)), structural=True
+        )
+        out = Vector.empty(20)
+        sp = traced(lambda: gb.mxv(out, mask, None, sr.SEL2ND_MIN_INT64, A, u))
+        assert sp.attrs["path"] == "spmv_masked"
+        # only row 2's edges (columns 1 and 3) are multiplied
+        assert sp.counters["flops"] == 2
+        assert out.nvals == 1
 
     def test_extract_and_assign(self):
         u = Vector.dense(np.arange(5, dtype=np.int64))
