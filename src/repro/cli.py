@@ -13,6 +13,11 @@ Commands
     tree: top table, flamegraph, Chrome ``trace_event`` JSON, JSON lines.
 ``corpus``
     List the Table III corpus analogues or dump one to a file.
+``faults``
+    Run LACC under deterministic fault injection (``repro.faults``):
+    literal SPMD execution through the retry-with-validation envelope,
+    verified against union–find, with an optional α–β-priced simulated
+    run whose trace shows the recovery time.
 ``mcl``
     Markov-cluster a graph and print the clusters (HipMCL-lite).
 
@@ -27,6 +32,8 @@ Examples
     python -m repro profile archaea --machine edison --nodes 16
     python -m repro corpus --list
     python -m repro corpus eukarya --out eukarya.mtx
+    python -m repro faults archaea --preset flaky --seed 7
+    python -m repro faults archaea --preset outage --machine edison --trace f.json
     python -m repro mcl similarities.mtx --inflation 2.0
 """
 
@@ -335,6 +342,129 @@ def _cmd_forest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.baselines.union_find import connected_components as uf_labels
+    from repro.core.lacc_spmd import lacc_spmd
+    from repro.faults import CollectiveError, preset
+    from repro.graphs.validate import same_partition
+
+    g = _load_graph(args.graph)
+    plan = preset(args.preset, seed=args.seed)
+    record = {
+        "graph": g.name,
+        "vertices": g.n,
+        "edges": g.nedges,
+        "preset": args.preset,
+        "seed": args.seed,
+        "ranks": args.ranks,
+    }
+
+    # literal SPMD execution through the retry-with-validation envelope
+    failed_loudly = False
+    try:
+        res = lacc_spmd(g, ranks=args.ranks, faults=plan)
+        correct = same_partition(res.labels, uf_labels(g.n, g.u, g.v))
+        record.update(
+            components=res.n_components,
+            iterations=res.n_iterations,
+            correct=bool(correct),
+            fault_seconds=res.fault_seconds,
+        )
+    except CollectiveError as e:
+        failed_loudly = True
+        correct = None
+        record["collective_error"] = str(e)
+    record["collective_calls"] = plan.n_calls
+    record["faults_injected"] = plan.n_injected
+    record["fault_kinds"] = plan.summary()
+
+    # optional α–β-priced simulated run (fresh plan, same seed)
+    if args.machine:
+        from repro.core.lacc_dist import lacc_dist
+        from repro.mpisim.machine import load_machine
+        from repro.obs import Tracer, activate, chrome_trace, write_chrome_trace
+
+        machine = load_machine(args.machine)
+        A = g.to_matrix()
+        clean = lacc_dist(A, machine, nodes=args.nodes)
+        plan2 = preset(args.preset, seed=args.seed)
+        tr = Tracer()
+        try:
+            with activate(tr):
+                faulted = lacc_dist(
+                    A, machine, nodes=args.nodes, faults=plan2, tracer=tr
+                )
+            record["model"] = {
+                "machine": machine.name,
+                "nodes": args.nodes,
+                "ranks": faulted.ranks,
+                "seconds_fault_free": clean.simulated_seconds,
+                "seconds_faulted": faulted.simulated_seconds,
+                "retry_spans": len(tr.find("retry", "fault")),
+                "faults_injected": plan2.n_injected,
+            }
+        except CollectiveError as e:
+            record["model"] = {
+                "machine": machine.name,
+                "nodes": args.nodes,
+                "seconds_fault_free": clean.simulated_seconds,
+                "collective_error": str(e),
+            }
+        if args.trace:
+            write_chrome_trace(
+                chrome_trace(tr, process_name=f"faulted {g.name} [{args.preset}]"),
+                args.trace,
+            )
+
+    if args.events:
+        record["events"] = plan.log()[: args.events]
+
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0
+
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+    print(f"fault plan: {args.preset!r} seed={args.seed} "
+          f"({plan.n_injected} faults over {plan.n_calls} collective calls)")
+    if plan.summary():
+        kinds = "  ".join(f"{k}={v}" for k, v in sorted(plan.summary().items()))
+        print(f"injected: {kinds}")
+    if failed_loudly:
+        print("SPMD run: raised CollectiveError (permanent fault — failing "
+              "loudly instead of mislabelling):")
+        print(f"  {record['collective_error']}")
+    else:
+        verdict = "MATCH" if record["correct"] else "MISMATCH (bug!)"
+        print(f"SPMD run ({args.ranks} ranks): {record['components']} components "
+              f"in {record['iterations']} iterations — labels vs union-find: "
+              f"{verdict}")
+        if record["fault_seconds"]:
+            print(f"simulated time lost to recovery: "
+                  f"{record['fault_seconds']*1e3:.3f} ms")
+    if "model" in record:
+        m = record["model"]
+        print(f"α–β model ({m['machine']}, {args.nodes} nodes):")
+        if "collective_error" in m:
+            print(f"  faulted run raised CollectiveError: {m['collective_error']}")
+        else:
+            slow = m["seconds_faulted"] / max(m["seconds_fault_free"], 1e-300)
+            print(f"  fault-free {m['seconds_fault_free']*1e3:.3f} ms → "
+                  f"faulted {m['seconds_faulted']*1e3:.3f} ms "
+                  f"({slow:.2f}x, {m['retry_spans']} retry spans)")
+        if args.trace:
+            print(f"  trace written to {args.trace} (retry spans under each "
+                  "collective)")
+    if args.events:
+        print(f"first {len(record['events'])} fault events:")
+        for e in record["events"]:
+            where = f"{e['collective']}#{e['call']}"
+            print(f"  [{e['index']:3d}] {where:>18s} attempt {e['attempt']} "
+                  f"{e['kind']:<9s} {e['detail']}")
+    if failed_loudly or (correct is not None and not correct):
+        return 0 if failed_loudly else 1
+    return 0
+
+
 def _cmd_mcl(args: argparse.Namespace) -> int:
     from repro.mcl import markov_clustering
 
@@ -426,6 +556,33 @@ def build_parser() -> argparse.ArgumentParser:
     forest.add_argument("graph")
     forest.add_argument("--out", help="write forest edges to this file")
     forest.set_defaults(fn=_cmd_forest)
+
+    fl = sub.add_parser(
+        "faults",
+        help="run LACC under deterministic fault injection and verify "
+        "the fail-loud-or-answer-right contract",
+    )
+    fl.add_argument("graph", help=".mtx / edge-list file or corpus name")
+    from repro.faults.plan import PRESETS as _FAULT_PRESETS
+
+    fl.add_argument("--preset", default="flaky", choices=sorted(_FAULT_PRESETS),
+                    help="named fault scenario (default: flaky)")
+    fl.add_argument("--seed", type=int, default=0,
+                    help="fault plan seed (same seed → identical faults)")
+    fl.add_argument("--ranks", type=int, default=4,
+                    help="SPMD ranks for the literal execution")
+    fl.add_argument("--machine", default=None,
+                    help="also price the faulted run on this machine preset "
+                         "/ JSON file with the α–β model")
+    fl.add_argument("--nodes", type=int, default=4,
+                    help="node count for --machine runs")
+    fl.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome trace of the faulted --machine run")
+    fl.add_argument("--events", type=int, default=0, metavar="N",
+                    help="print the first N fault events from the log")
+    fl.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output on stdout")
+    fl.set_defaults(fn=_cmd_faults)
 
     mcl = sub.add_parser("mcl", help="Markov clustering (HipMCL-lite)")
     mcl.add_argument("graph")

@@ -53,15 +53,20 @@ class Grid2DResult:
         return canonical_labels(self.parents)
 
 
-def lacc_2d(g: EdgeList, nprocs: int = 4, max_iterations: int = 10_000) -> Grid2DResult:
+def lacc_2d(
+    g: EdgeList, nprocs: int = 4, max_iterations: int = 10_000, faults=None
+) -> Grid2DResult:
     """Run LACC with the 2D-distributed matrix and literal communication.
 
     *nprocs* must be a perfect square (the CombBLAS grid restriction the
-    paper inherits, §VI-A).
+    paper inherits, §VI-A).  An optional :class:`repro.faults.FaultPlan`
+    runs every collective through the :class:`SimComm` retry envelope
+    (transient faults recover; permanent ones raise
+    :class:`repro.faults.CollectiveError`).
     """
     n = g.n
     grid = ProcessGrid(nprocs, n)  # validates squareness
-    comm = SimComm(nprocs)
+    comm = SimComm(nprocs, faults=faults)
     A = g.to_matrix()
     dmat = DistMatrix(A, grid, permute=False)
 

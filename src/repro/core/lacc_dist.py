@@ -115,6 +115,7 @@ def lacc_dist(
     seed: int = 0,
     trace_comm: bool = False,
     tracer: Optional[Tracer] = None,
+    faults=None,
 ) -> DistLACCResult:
     """Run LACC on the simulated machine.
 
@@ -123,6 +124,13 @@ def lacc_dist(
     ablation benchmarks can switch each optimisation off).
     ``vector_distribution="cyclic"`` enables the paper's §VII future-work
     layout, spreading indexing hot spots across ranks.
+
+    ``faults`` takes a :class:`repro.faults.FaultPlan`: the analytic
+    collectives then price straggler delays, validation retries and
+    backoff into the cost model (visible as ``retry`` spans on the
+    simulated clock when traced), and a permanent fault raises
+    :class:`repro.faults.CollectiveError` rather than ever mislabelling
+    a component — the results, when the run completes, are exact.
 
     When a fresh :class:`repro.obs.Tracer` is passed via ``tracer``, its
     clock is rebound to the cost model's simulated clock so span extents
@@ -138,7 +146,7 @@ def lacc_dist(
     nprocs, side = grid_for(machine, nodes)
     grid = ProcessGrid(nprocs, n, distribution=vector_distribution)
     dmat = DistMatrix(A, grid, permute=permute, seed=seed)
-    cost = CostModel(machine, nprocs, nodes, trace=trace_comm)
+    cost = CostModel(machine, nprocs, nodes, trace=trace_comm, faults=faults)
     stats = LACCStats(n_vertices=n)
     tr = tracer if tracer is not None else NULL_TRACER
     if tracer is not None and not tracer.roots and tracer.current is None:

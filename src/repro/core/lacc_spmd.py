@@ -51,6 +51,9 @@ class SPMDResult:
     n_iterations: int
     ranks: int
     words_sent: int  # total payload words that crossed rank boundaries
+    #: simulated seconds lost to injected faults (backoff/stragglers)
+    #: when no cost model was attached to price them properly
+    fault_seconds: float = 0.0
 
     @property
     def labels(self) -> np.ndarray:
@@ -171,7 +174,11 @@ class _Dist:
 
 
 def lacc_spmd(
-    g: EdgeList, ranks: int = 4, max_iterations: int = 10_000
+    g: EdgeList,
+    ranks: int = 4,
+    max_iterations: int = 10_000,
+    faults=None,
+    cost=None,
 ) -> SPMDResult:
     """Run LACC with literal per-rank data and SimComm message passing.
 
@@ -182,11 +189,21 @@ def lacc_spmd(
     ranks:
         Number of simulated SPMD ranks (any positive count — this 1D
         layout has no square-grid restriction).
+    faults:
+        Optional :class:`repro.faults.FaultPlan`.  Transient faults are
+        healed by the :class:`SimComm` retry-with-validation envelope, so
+        the labels stay exact; a permanent fault raises
+        :class:`repro.faults.CollectiveError` — never a wrong answer.
+    cost:
+        Optional :class:`repro.mpisim.CostModel` that prices fault
+        recovery (stragglers, retransmissions, backoff) in honest α–β
+        simulated seconds; without one the lost time is summed into
+        :attr:`SPMDResult.fault_seconds`.
     """
     if ranks < 1:
         raise ValueError("need at least one rank")
     n = g.n
-    comm = SimComm(ranks)
+    comm = SimComm(ranks, faults=faults, cost=cost)
     keep = g.u != g.v
     eu = np.r_[g.u[keep], g.v[keep]]  # both directions: (u, v) means u
     ev = np.r_[g.v[keep], g.u[keep]]  # proposes hooks using v's parent
@@ -289,4 +306,5 @@ def lacc_spmd(
         n_iterations=iterations,
         ranks=ranks,
         words_sent=f.words + star.words,
+        fault_seconds=comm.fault_seconds,
     )

@@ -1,0 +1,47 @@
+"""Typed failure surface of the fault-injection subsystem.
+
+The contract the differential harness enforces is *fail loud or answer
+right*: a collective operating under an injected fault either recovers
+(transient faults, absorbed by the retry-with-validation envelope) or
+raises :class:`CollectiveError` (permanent faults, retries exhausted).
+Silently returning corrupted buffers — the failure mode that would turn
+into wrong component labels — is never allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["FaultError", "CollectiveError"]
+
+
+class FaultError(RuntimeError):
+    """Base class for all fault-injection errors."""
+
+
+class CollectiveError(FaultError):
+    """A collective could not deliver validated buffers.
+
+    Raised by the retry envelope after ``attempts`` deliveries all failed
+    checksum validation (or raised transport failures).  Carries enough
+    context to diagnose *which* collective died, under which phase, and
+    what kinds of faults were still active when retries ran out.
+    """
+
+    def __init__(
+        self,
+        collective: str,
+        attempts: int,
+        kinds: Sequence[str] = (),
+        phase: Optional[str] = None,
+    ):
+        self.collective = collective
+        self.attempts = int(attempts)
+        self.kinds = tuple(kinds)
+        self.phase = phase
+        where = f" (phase {phase!r})" if phase else ""
+        what = f" [{', '.join(self.kinds)}]" if self.kinds else ""
+        super().__init__(
+            f"collective {collective!r}{where} failed validation after "
+            f"{attempts} delivery attempt(s){what}: permanent fault, giving up"
+        )

@@ -11,7 +11,18 @@ the hypercube and sparse all-to-alls of §V-B.
 :class:`~repro.mpisim.comm.SimComm` additionally performs literal per-rank
 data movement so tests can validate the analytic accounting against a real
 execution.
+
+Both layers accept a :class:`repro.faults.FaultPlan` (``SimComm(p,
+faults=plan)`` / ``CostModel(..., faults=plan)``) that injects
+deterministic, seed-reproducible faults — truncation, corruption,
+stragglers, transient or permanent collective failure.  Transient faults
+are healed by a retry-with-validation envelope whose recovery time is
+priced in simulated seconds; permanent faults raise
+:class:`~repro.faults.CollectiveError` (re-exported here) rather than
+ever producing wrong data.
 """
+
+from repro.faults.errors import CollectiveError
 
 from . import collectives
 from .comm import SimComm
@@ -28,5 +39,6 @@ __all__ = [
     "PhaseCost",
     "ProcessGrid",
     "SimComm",
+    "CollectiveError",
     "collectives",
 ]

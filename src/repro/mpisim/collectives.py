@@ -17,15 +17,31 @@ all-to-alls of §V-B:
 
 Word counts are per the *critical-path* rank; callers obtain them from
 ownership bincounts over the distributed objects.
+
+Fault injection
+---------------
+When the cost model carries a :class:`~repro.faults.FaultPlan`
+(``CostModel(..., faults=plan)``), every collective consults it:
+straggler ``delay`` faults multiply the collective's priced time,
+data/transport faults force retransmissions — each retry re-charges the
+full collective plus exponential backoff
+(``machine.retry_backoff_base · 2^k``), recorded as a nested ``retry``
+span so the simulated-clock trace shows recovery time honestly — and a
+fault that outlives the bounded retries raises
+:class:`~repro.faults.CollectiveError`.  Two composition notes: the
+analytic ``allreduce`` decomposes into ``reduce_scatter`` + ``allgather``
+(match those names), and ``alltoallv_sparse`` delegates to
+``alltoallv_hypercube`` over the active ranks.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.faults.errors import CollectiveError
 from repro.obs.tracer import current as _obs
 
 from .costmodel import CostModel
@@ -46,12 +62,61 @@ def _log2(p: int) -> float:
     return math.log2(p) if p > 1 else 0.0
 
 
+def _with_faults(
+    cost: CostModel, name: str, phase: Optional[str], charge: Callable[[], float]
+) -> float:
+    """Charge one collective, then replay the cost model's fault plan.
+
+    *charge* performs the fault-free charges and returns the seconds it
+    added; it is invoked again for every retransmission so retries are
+    priced identically to first deliveries.
+    """
+    plan = getattr(cost, "faults", None)
+    if plan is None:
+        return charge()
+    call = plan.begin_call(name, phase)
+    dt = charge()
+    if not call:
+        return dt
+    for rule in call.delays():
+        extra = (rule.delay_factor - 1.0) * dt
+        with cost.kind("fault_delay"):
+            cost.charge_seconds(extra, phase, "fault_delay")
+        call.record(rule, 0, None, f"straggler x{rule.delay_factor:g}")
+        dt += extra
+    attempt = 0
+    backoff_base = cost.machine.retry_backoff_base
+    while True:
+        active = call.active(attempt)
+        if not active:
+            return dt
+        for rule in active:
+            call.record(rule, attempt, None, "detected by validation")
+        attempt += 1
+        if attempt > plan.max_retries:
+            raise CollectiveError(
+                name, attempt, sorted({r.kind for r in active}), phase
+            )
+        backoff = backoff_base * (2 ** (attempt - 1))
+        with _obs().span("retry", "fault", collective=name, attempt=attempt) as rsp:
+            with cost.kind("fault_backoff"):
+                dt += cost.charge_seconds(backoff, phase, "fault_backoff")
+            dt += charge()  # full retransmission
+            if rsp:
+                rsp.add("backoff_seconds", backoff)
+
+
 def bcast(cost: CostModel, p: int, words: float, phase: Optional[str] = None) -> float:
     """Binomial-tree broadcast of *words* words to *p* ranks."""
     if p <= 1 or words <= 0:
         return 0.0
     with _obs().span("bcast", "collective", ranks=p), cost.kind("bcast"):
-        return cost.charge_comm(words * _log2(p), math.ceil(_log2(p)), phase)
+        return _with_faults(
+            cost,
+            "bcast",
+            phase,
+            lambda: cost.charge_comm(words * _log2(p), math.ceil(_log2(p)), phase),
+        )
 
 
 def allgather(
@@ -66,8 +131,13 @@ def allgather(
     if p <= 1:
         return 0.0
     with _obs().span("allgather", "collective", ranks=p), cost.kind("allgather"):
-        return cost.charge_comm(
-            (p - 1) * words_per_rank, math.ceil(_log2(p)), phase
+        return _with_faults(
+            cost,
+            "allgather",
+            phase,
+            lambda: cost.charge_comm(
+                (p - 1) * words_per_rank, math.ceil(_log2(p)), phase
+            ),
         )
 
 
@@ -79,12 +149,16 @@ def reduce_scatter(
     if p <= 1:
         return 0.0
     moved = (p - 1) / p * words_total
+
+    def charge() -> float:
+        dt = cost.charge_comm(moved, math.ceil(_log2(p)), phase)
+        dt += cost.charge_compute(moved, phase)
+        return dt
+
     with _obs().span("reduce_scatter", "collective", ranks=p), cost.kind(
         "reduce_scatter"
     ):
-        dt = cost.charge_comm(moved, math.ceil(_log2(p)), phase)
-        dt += cost.charge_compute(moved, phase)
-    return dt
+        return _with_faults(cost, "reduce_scatter", phase, charge)
 
 
 def allreduce(
@@ -114,7 +188,12 @@ def alltoallv_pairwise(
     with _obs().span("alltoallv_pairwise", "collective", ranks=p), cost.kind(
         "alltoallv_pairwise"
     ):
-        return cost.charge_comm(words_max_rank, p - 1, phase)
+        return _with_faults(
+            cost,
+            "alltoallv_pairwise",
+            phase,
+            lambda: cost.charge_comm(words_max_rank, p - 1, phase),
+        )
 
 
 def alltoallv_hypercube(
@@ -134,7 +213,12 @@ def alltoallv_hypercube(
     with _obs().span("alltoallv_hypercube", "collective", ranks=p), cost.kind(
         "alltoallv_hypercube"
     ):
-        return cost.charge_comm(words_max_rank * max(lg, 1), lg, phase)
+        return _with_faults(
+            cost,
+            "alltoallv_hypercube",
+            phase,
+            lambda: cost.charge_comm(words_max_rank * max(lg, 1), lg, phase),
+        )
 
 
 def alltoallv_sparse(
@@ -156,4 +240,9 @@ def barrier(cost: CostModel, p: int, phase: Optional[str] = None) -> float:
     if p <= 1:
         return 0.0
     with _obs().span("barrier", "collective", ranks=p), cost.kind("barrier"):
-        return cost.charge_comm(0.0, math.ceil(_log2(p)), phase)
+        return _with_faults(
+            cost,
+            "barrier",
+            phase,
+            lambda: cost.charge_comm(0.0, math.ceil(_log2(p)), phase),
+        )

@@ -14,8 +14,23 @@ Every collective also reports into the active :mod:`repro.obs` tracer
 message count, and — for ``alltoallv`` — the full per-rank send/recv word
 matrices, which is the per-rank imbalance diagnostic of Figure 3.
 
-Used by the distributed-LACC validation tests and the
-``examples/simulated_cluster.py`` walk-through.
+Fault injection
+---------------
+A :class:`~repro.faults.FaultPlan` passed at construction makes the
+network imperfect: delivered buffers can be truncated, corrupted,
+duplicated or zeroed, collectives can straggle or fail outright.  Every
+delivery then runs through a **retry-with-validation envelope**: payloads
+are checksummed at the sender, validated at the receiver, and damaged
+deliveries are retransmitted with exponential backoff (priced in
+simulated time — through the attached
+:class:`~repro.mpisim.costmodel.CostModel` when one is given).  Transient
+faults therefore recover transparently; permanent faults exhaust the
+bounded retries and raise a typed
+:class:`~repro.faults.CollectiveError` instead of ever returning wrong
+data.
+
+Used by the distributed-LACC validation tests, the differential fault
+harness and the ``examples/simulated_cluster.py`` walk-through.
 """
 
 from __future__ import annotations
@@ -24,33 +39,158 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.errors import CollectiveError
+from repro.faults.injector import checksums, inject
 from repro.obs.tracer import current as _obs
 
 __all__ = ["SimComm"]
 
 
 class SimComm:
-    """A world of *p* simulated ranks.
+    """A world of *p* simulated ranks with contiguous ids ``0..p-1``.
 
-    All collectives take ``bufs`` — one entry per rank — and return one
-    result per rank, performing the same data movement their MPI
-    counterparts would.
+    All collectives take ``bufs`` — one entry per rank, ordered by rank
+    id — and return one result per rank, performing the same data
+    movement their MPI counterparts would.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (must be an integral value >= 1).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; when given, every
+        collective's delivery runs through the retry-with-validation
+        envelope described in the module docstring.
+    cost:
+        Optional :class:`~repro.mpisim.costmodel.CostModel`.  When
+        attached, straggler delays, retransmissions and backoff are
+        charged into it (phase ``"fault_recovery"``) so simulated-clock
+        traces stay honest.  Without one, the time lost to faults is
+        accumulated in :attr:`fault_seconds`.
+    backoff_base:
+        Simulated seconds of backoff before the first retransmission;
+        doubles on every further retry.
     """
 
-    def __init__(self, size: int):
-        if size < 1:
+    def __init__(
+        self,
+        size: int,
+        faults=None,
+        cost=None,
+        backoff_base: float = 1e-4,
+    ):
+        if isinstance(size, float) and not size.is_integer():
+            raise ValueError(f"communicator size must be an integer, got {size!r}")
+        if int(size) < 1:
             raise ValueError("communicator size must be >= 1")
         self.size = int(size)
+        self.faults = faults
+        self.cost = cost
+        if backoff_base <= 0:
+            raise ValueError("backoff_base must be positive")
+        self.backoff_base = float(backoff_base)
+        #: simulated seconds lost to faults when no cost model is attached
+        self.fault_seconds = 0.0
 
-    def _check(self, bufs: Sequence) -> None:
+    def _check(self, bufs: Sequence, what: str = "buffer") -> None:
         if len(bufs) != self.size:
             raise ValueError(
-                f"expected one buffer per rank ({self.size}), got {len(bufs)}"
+                f"rank ids are contiguous 0..{self.size - 1}: expected one "
+                f"{what} per rank ({self.size}), got {len(bufs)}"
             )
 
     def _check_root(self, root: int) -> None:
+        if not isinstance(root, (int, np.integer)):
+            raise TypeError(f"root must be a rank id (int), got {type(root).__name__}")
         if not 0 <= root < self.size:
-            raise ValueError(f"root {root} out of range")
+            raise ValueError(
+                f"root {root} out of range for contiguous ranks 0..{self.size - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # fault-injection delivery envelope
+    # ------------------------------------------------------------------
+    def _price_delay(self, factor: float, words: int, messages: int) -> float:
+        """Charge a straggler's excess time over the fault-free delivery."""
+        if self.cost is not None:
+            extra = (factor - 1.0) * self.cost.comm_seconds(words, messages)
+            self.cost.charge_seconds(extra, "fault_recovery", "fault_delay")
+        else:
+            extra = (factor - 1.0) * self.backoff_base
+            self.fault_seconds += extra
+        return extra
+
+    def _charge_retry(self, words: int, messages: int, backoff: float) -> None:
+        """Price one retransmission: the payload again, plus backoff."""
+        if self.cost is not None:
+            self.cost.charge_comm(words, messages, "fault_recovery")
+            self.cost.charge_seconds(backoff, "fault_recovery", "fault_backoff")
+        else:
+            self.fault_seconds += backoff
+
+    def _deliver(self, name, leaves, rebuild, sp, words: int, messages: int):
+        """Run one collective's receive buffers through the fault plan.
+
+        *leaves* is the flattened list of per-destination buffers the
+        fault-free network would deliver; *rebuild* restores the
+        collective's result shape.  Transient faults are detected by
+        checksum validation and healed by bounded, backoff-priced
+        retransmission; permanent faults raise
+        :class:`~repro.faults.CollectiveError`.
+        """
+        plan = self.faults
+        if plan is None:
+            return rebuild(leaves)
+        call = plan.begin_call(name)
+        if not call:
+            return rebuild(leaves)
+        expected = checksums(leaves)
+        for rule in call.delays():
+            extra = self._price_delay(rule.delay_factor, words, messages)
+            call.record(rule, 0, None, f"straggler x{rule.delay_factor:g}")
+            if sp:
+                sp.add("fault_delay_seconds", extra)
+        attempt = 0
+        max_attempts = plan.max_retries + 1
+        while True:
+            active = call.active(attempt)
+            delivered = leaves
+            ok = True
+            if active:
+                rng = call.rng(attempt)
+                delivered = list(leaves)
+                transport_died = False
+                for rule in active:
+                    if rule.kind == "fail":
+                        call.record(rule, attempt, None, "transport error")
+                        transport_died = True
+                    else:
+                        delivered, rank_i, detail = inject(rule.kind, delivered, rng)
+                        call.record(rule, attempt, rank_i, detail)
+                # receiver-side validation: recompute checksums over what
+                # actually arrived and compare with the sender's manifest
+                ok = not transport_died and checksums(delivered) == expected
+            if ok:
+                if sp:
+                    sp.add("delivery_attempts", attempt + 1)
+                    if attempt:
+                        sp.add("retries", attempt)
+                return rebuild(delivered)
+            if sp:
+                sp.add("faults_detected", 1)
+            kinds = sorted({r.kind for r in active})
+            attempt += 1
+            if attempt >= max_attempts:
+                raise CollectiveError(name, attempt, kinds)
+            backoff = self.backoff_base * (2 ** (attempt - 1))
+            with _obs().span(
+                "retry", "fault", collective=name, attempt=attempt
+            ) as rsp:
+                self._charge_retry(words, messages, backoff)
+                if rsp:
+                    rsp.add("backoff_seconds", backoff)
+                    rsp.add("words", words)
+                    rsp.add("messages", messages)
 
     # ------------------------------------------------------------------
     def bcast(self, bufs: List[Optional[np.ndarray]], root: int = 0) -> List[np.ndarray]:
@@ -59,20 +199,26 @@ class SimComm:
         self._check_root(root)
         with _obs().span("bcast", "simcomm", root=root, ranks=self.size) as sp:
             data = np.asarray(bufs[root])
+            words = int(data.size) * (self.size - 1)
+            messages = self.size - 1
             if sp:
-                sp.add("words", int(data.size) * (self.size - 1))
-                sp.add("messages", self.size - 1)
-            return [data.copy() for _ in range(self.size)]
+                sp.add("words", words)
+                sp.add("messages", messages)
+            out = [data.copy() for _ in range(self.size)]
+            return self._deliver("bcast", out, list, sp, words, messages)
 
     def allgather(self, bufs: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Every rank receives the concatenation of all buffers."""
         self._check(bufs)
         with _obs().span("allgather", "simcomm", ranks=self.size) as sp:
             out = np.concatenate([np.asarray(b) for b in bufs])
+            words = int(out.size) * (self.size - 1)
+            messages = self.size * (self.size - 1)
             if sp:
-                sp.add("words", int(out.size) * (self.size - 1))
-                sp.add("messages", self.size * (self.size - 1))
-            return [out.copy() for _ in range(self.size)]
+                sp.add("words", words)
+                sp.add("messages", messages)
+            res = [out.copy() for _ in range(self.size)]
+            return self._deliver("allgather", res, list, sp, words, messages)
 
     def gather(self, bufs: Sequence[np.ndarray], root: int = 0) -> List[Optional[np.ndarray]]:
         """Root receives the concatenation; others receive ``None``."""
@@ -81,11 +227,13 @@ class SimComm:
         with _obs().span("gather", "simcomm", root=root, ranks=self.size) as sp:
             out: List[Optional[np.ndarray]] = [None] * self.size
             out[root] = np.concatenate([np.asarray(b) for b in bufs])
+            own = int(np.asarray(bufs[root]).size)
+            words = int(out[root].size) - own
+            messages = self.size - 1
             if sp:
-                own = int(np.asarray(bufs[root]).size)
-                sp.add("words", int(out[root].size) - own)
-                sp.add("messages", self.size - 1)
-            return out
+                sp.add("words", words)
+                sp.add("messages", messages)
+            return self._deliver("gather", out, list, sp, words, messages)
 
     def scatter(self, chunks: Optional[Sequence], root: int = 0) -> List[np.ndarray]:
         """Root's *chunks* (one per destination rank) are distributed.
@@ -98,6 +246,12 @@ class SimComm:
         * **per-rank form** — *chunks* has one entry per rank, ``None``
           on every rank except *root*, whose entry is its chunk list
           (symmetric with :meth:`bcast`'s ``bufs``).
+
+        Destination ranks are the contiguous ids ``0..p-1`` in order:
+        ``chunks[root][i]`` (per-rank form) or ``chunks[i]`` (root form)
+        goes to rank *i*.  A chunk list whose length does not match the
+        communicator size is rejected with an explicit error rather than
+        silently mis-assigning buffers.
         """
         self._check_root(root)
         if chunks is not None and len(chunks) == self.size and any(
@@ -107,49 +261,79 @@ class SimComm:
             for r, c in enumerate(chunks):
                 if r != root and c is not None:
                     raise ValueError(
-                        f"scatter send buffer provided on non-root rank {r}"
+                        f"scatter send buffer provided on non-root rank {r} "
+                        f"(per-rank form: every entry except root={root} must "
+                        "be None)"
                     )
             chunks = chunks[root]
-        if chunks is None or len(chunks) != self.size:
-            raise ValueError("scatter needs exactly one chunk per rank at the root")
+            if chunks is None:
+                raise ValueError(
+                    f"scatter per-rank form: root rank {root}'s entry must be "
+                    f"its list of {self.size} chunks, got None"
+                )
+        if chunks is None:
+            raise ValueError(
+                "scatter needs the root's chunk list (one chunk per rank)"
+            )
+        if len(chunks) != self.size:
+            raise ValueError(
+                f"scatter chunk list does not match the communicator: ranks "
+                f"are contiguous 0..{self.size - 1} so the root must provide "
+                f"exactly {self.size} chunks (destination rank i gets "
+                f"chunks[i]), got {len(chunks)}"
+            )
         with _obs().span("scatter", "simcomm", root=root, ranks=self.size) as sp:
             out = [np.asarray(c).copy() for c in chunks]
+            words = sum(int(c.size) for r, c in enumerate(out) if r != root)
+            messages = self.size - 1
             if sp:
-                moved = sum(int(c.size) for r, c in enumerate(out) if r != root)
-                sp.add("words", moved)
-                sp.add("messages", self.size - 1)
-            return out
+                sp.add("words", words)
+                sp.add("messages", messages)
+            return self._deliver("scatter", out, list, sp, words, messages)
 
     def alltoallv(
         self, send: Sequence[Sequence[np.ndarray]]
     ) -> List[List[np.ndarray]]:
         """``send[i][j]`` is what rank *i* sends to rank *j*; the result's
         ``recv[j][i]`` is what rank *j* received from rank *i*."""
-        self._check(send)
+        self._check(send, what="send-buffer row")
         for i, row in enumerate(send):
             if len(row) != self.size:
-                raise ValueError(f"rank {i} must provide {self.size} send buffers")
+                raise ValueError(
+                    f"alltoallv: rank {i} must provide one send buffer for "
+                    f"each of the contiguous ranks 0..{self.size - 1} "
+                    f"({self.size} buffers), got {len(row)}"
+                )
         with _obs().span("alltoallv", "simcomm", ranks=self.size) as sp:
+            w = [
+                [int(np.asarray(send[i][j]).size) for j in range(self.size)]
+                for i in range(self.size)
+            ]
+            off_diag = [
+                w[i][j] for i in range(self.size) for j in range(self.size) if i != j
+            ]
+            words = sum(off_diag)
+            messages = sum(1 for x in off_diag if x > 0)
             if sp:
-                w = [
-                    [int(np.asarray(send[i][j]).size) for j in range(self.size)]
-                    for i in range(self.size)
-                ]
-                off_diag = [
-                    w[i][j] for i in range(self.size) for j in range(self.size) if i != j
-                ]
-                sp.add("words", sum(off_diag))
-                sp.add("messages", sum(1 for x in off_diag if x > 0))
+                sp.add("words", words)
+                sp.add("messages", messages)
                 sp.set("send_words", w)  # send_words[i][j]; recv is transpose
                 sp.set("rank_send_totals", [sum(row) for row in w])
                 sp.set(
                     "rank_recv_totals",
                     [sum(w[i][j] for i in range(self.size)) for j in range(self.size)],
                 )
-            return [
-                [np.asarray(send[i][j]).copy() for i in range(self.size)]
+            flat = [
+                np.asarray(send[i][j]).copy()
                 for j in range(self.size)
+                for i in range(self.size)
             ]
+
+            def rebuild(leaves):
+                p = self.size
+                return [list(leaves[j * p : (j + 1) * p]) for j in range(p)]
+
+            return self._deliver("alltoallv", flat, rebuild, sp, words, messages)
 
     def reduce_scatter_block(
         self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -168,10 +352,13 @@ class SimComm:
             for a in arrs[1:]:
                 total = op(total, a)
             blk = length // self.size
+            words = int(length) * (self.size - 1)
+            messages = self.size * (self.size - 1)
             if sp:
-                sp.add("words", int(length) * (self.size - 1))
-                sp.add("messages", self.size * (self.size - 1))
-            return [total[r * blk : (r + 1) * blk].copy() for r in range(self.size)]
+                sp.add("words", words)
+                sp.add("messages", messages)
+            out = [total[r * blk : (r + 1) * blk].copy() for r in range(self.size)]
+            return self._deliver("reduce_scatter", out, list, sp, words, messages)
 
     def allreduce(
         self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -182,7 +369,10 @@ class SimComm:
             total = np.asarray(bufs[0])
             for b in bufs[1:]:
                 total = op(total, np.asarray(b))
+            words = int(total.size) * 2 * (self.size - 1)
+            messages = 2 * self.size * (self.size - 1)
             if sp:
-                sp.add("words", int(total.size) * 2 * (self.size - 1))
-                sp.add("messages", 2 * self.size * (self.size - 1))
-            return [total.copy() for _ in range(self.size)]
+                sp.add("words", words)
+                sp.add("messages", messages)
+            out = [total.copy() for _ in range(self.size)]
+            return self._deliver("allreduce", out, list, sp, words, messages)

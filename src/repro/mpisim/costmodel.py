@@ -70,13 +70,21 @@ class CostModel:
     """
 
     def __init__(
-        self, machine: MachineModel, ranks: int, nodes: int, trace: bool = False
+        self,
+        machine: MachineModel,
+        ranks: int,
+        nodes: int,
+        trace: bool = False,
+        faults=None,
     ):
         if ranks < 1 or nodes < 1:
             raise ValueError("ranks and nodes must be >= 1")
         self.machine = machine
         self.ranks = ranks
         self.nodes = nodes
+        #: optional :class:`repro.faults.FaultPlan` consulted by the
+        #: analytic collectives (stragglers, retries, failures)
+        self.faults = faults
         self.ranks_per_node = max(ranks // nodes, 1)
         self.phases: Dict[str, PhaseCost] = {}
         self._current: Optional[str] = None
@@ -176,6 +184,31 @@ class CostModel:
             sp.add("words", words_max)
             sp.add("messages", messages_max)
         return dt
+
+    def comm_seconds(self, words: float, messages: float) -> float:
+        """Price a communication step *without* charging it — what
+        ``charge_comm`` would add.  The fault envelope uses this to size
+        straggler delays proportionally to the collective they slow."""
+        return self._beta * words + self._alpha * messages
+
+    def charge_seconds(
+        self, seconds: float, phase: Optional[str] = None, kind: str = "delay"
+    ) -> float:
+        """Charge raw simulated seconds (no words/messages/ops attached).
+
+        This is how fault-injected straggler delays and retry backoff
+        enter the model: pure critical-path time, labelled with *kind*
+        (``"fault_delay"``, ``"fault_backoff"``) in traced runs.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        p = self._phase(phase)
+        p.seconds += seconds
+        self._record(kind, seconds, phase, 0.0, 0.0)
+        sp = _obs().current
+        if sp:
+            sp.add("model_seconds", seconds)
+        return seconds
 
     # ------------------------------------------------------------------
     @property

@@ -55,6 +55,11 @@ class MachineModel:
     #: worse on irregular access than Ivy Bridge, which is why "few faster
     #: cores are more beneficial than more slower cores" (§VI-C, [34])
     irregular_access_penalty: float = 1.0
+    #: base backoff (seconds) before the first retransmission when a
+    #: fault-injected collective fails validation; doubles per retry.
+    #: Scaled to ~100 MPI latencies — the order of a Cray retransmit
+    #: timeout — so fault recovery is visible but not dominant in traces.
+    retry_backoff_base: float = 1e-4
 
     # ------------------------------------------------------------------
     @property
@@ -164,6 +169,7 @@ def from_dict(cfg: dict) -> MachineModel:
         "word_bytes",
         "threads_per_process",
         "irregular_access_penalty",
+        "retry_backoff_base",
     }
     unknown = set(cfg) - allowed
     if unknown:
@@ -176,6 +182,8 @@ def from_dict(cfg: dict) -> MachineModel:
         raise ValueError("machine constants must be positive")
     if m.net_alpha < 0:
         raise ValueError("latency must be non-negative")
+    if m.retry_backoff_base < 0:
+        raise ValueError("retry backoff must be non-negative")
     return m
 
 

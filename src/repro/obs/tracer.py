@@ -120,7 +120,18 @@ class _SpanContext:
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._tracer._close(self._span)
+        if exc_type is not None:
+            # close-with-error: the span still gets an end time (so traces
+            # remain well-formed and exportable) and records what killed
+            # it.  Never raise from here — that would mask the original
+            # exception mid-unwind.
+            self._span.set("error", f"{exc_type.__name__}: {exc}")
+            try:
+                self._tracer._close(self._span)
+            except RuntimeError:
+                pass
+        else:
+            self._tracer._close(self._span)
         return False
 
 

@@ -1,0 +1,93 @@
+"""Metamorphic invariants: transformations that must not change the answer.
+
+Connected components is invariant under vertex relabelling, edge
+reordering, duplicate/self-loop insertion, and behaves predictably under
+disjoint union.  These checks catch bugs no fixed oracle can: an
+implementation that silently depends on edge order or vertex numbering
+passes every direct comparison on one input but fails its own permuted
+twin.  A representative subset of implementations runs here (one per
+execution model) — the full registry is already pinned in
+``test_oracle.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import EdgeList, disjoint_union, relabel_random
+from repro.graphs.validate import canonical_labels, same_partition
+
+from .corpus import IMPLEMENTATIONS, make_graph
+
+#: one implementation per execution model (serial GraphBLAS, LAGraph-style
+#: masks, 2D grid, 1D SPMD, priced simulation, array baseline)
+METAMORPHIC_IMPLS = ("lacc", "lacc_lagraph", "lacc_2d", "lacc_spmd", "lacc_dist", "fastsv")
+
+GRAPHS = [("skewed", 1), ("many_tiny", 0), ("single_path", 2), ("loopy_dupes", 0)]
+
+
+def _ids():
+    return [f"{f}-s{s}" for f, s in GRAPHS]
+
+
+@pytest.mark.parametrize("impl", METAMORPHIC_IMPLS, ids=str)
+@pytest.mark.parametrize("family,seed", GRAPHS, ids=_ids())
+def test_relabel_invariance(family, seed, impl):
+    """Permuting vertex ids permutes the labels — partition unchanged."""
+    g = make_graph(family, seed)
+    fn = IMPLEMENTATIONS[impl]
+    base = np.asarray(fn(g))
+    rng = np.random.default_rng(seed + 99)
+    perm = rng.permutation(g.n)
+    permuted = EdgeList(g.n, perm[g.u], perm[g.v], f"{g.name}-perm")
+    relabelled = np.asarray(fn(permuted))
+    # map the permuted run's labels back onto original vertex numbering
+    assert same_partition(relabelled[perm], base)
+
+
+@pytest.mark.parametrize("impl", METAMORPHIC_IMPLS, ids=str)
+@pytest.mark.parametrize("family,seed", GRAPHS, ids=_ids())
+def test_edge_shuffle_invariance(family, seed, impl):
+    """The edge list is a set: record order must not matter."""
+    g = make_graph(family, seed)
+    fn = IMPLEMENTATIONS[impl]
+    base = np.asarray(fn(g))
+    rng = np.random.default_rng(seed + 7)
+    order = rng.permutation(g.u.size)
+    shuffled = EdgeList(g.n, g.u[order], g.v[order], f"{g.name}-shuf")
+    assert same_partition(np.asarray(fn(shuffled)), base)
+
+
+@pytest.mark.parametrize("impl", METAMORPHIC_IMPLS, ids=str)
+@pytest.mark.parametrize("family,seed", GRAPHS, ids=_ids())
+def test_duplicate_and_selfloop_invariance(family, seed, impl):
+    """Doubling every edge, flipping directions, and adding self loops
+    changes nothing about connectivity."""
+    g = make_graph(family, seed)
+    fn = IMPLEMENTATIONS[impl]
+    base = np.asarray(fn(g))
+    loops = np.arange(0, g.n, 3, dtype=np.int64)
+    fat = EdgeList(
+        g.n,
+        np.r_[g.u, g.v, g.u, loops],
+        np.r_[g.v, g.u, g.v, loops],
+        f"{g.name}-fat",
+    )
+    assert same_partition(np.asarray(fn(fat)), base)
+
+
+@pytest.mark.parametrize("impl", METAMORPHIC_IMPLS, ids=str)
+def test_disjoint_union_invariance(impl):
+    """Components of A ⊔ B are exactly components of A plus components of
+    B shifted — no implementation may let labels leak across the seam."""
+    a = make_graph("single_path", 0)
+    b = make_graph("many_tiny", 1)
+    fn = IMPLEMENTATIONS[impl]
+    la = canonical_labels(np.asarray(fn(a)))
+    lb = canonical_labels(np.asarray(fn(b)))
+    lu = np.asarray(fn(disjoint_union([a, b])))
+    assert same_partition(lu[: a.n], la)
+    assert same_partition(lu[a.n :], lb)
+    # and nothing crosses the seam: label sets of the two halves are disjoint
+    assert not (set(np.unique(lu[: a.n])) & set(np.unique(lu[a.n :])))

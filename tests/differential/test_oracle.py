@@ -1,0 +1,60 @@
+"""Differential oracle: every CC implementation vs union–find.
+
+The acceptance bar for the whole repo: on every (family, seed) corpus
+graph, every implementation — serial GraphBLAS, 1D/2D literal SPMD, the
+priced simulation, and all baselines — must induce exactly the same
+vertex partition as the union–find oracle.  A disagreement anywhere is a
+bug in that implementation (or in the oracle, which ``test_oracle_matches_
+scipy`` pins against scipy's ``connected_components``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.validate import ground_truth, is_min_label, same_partition
+
+from .corpus import FAMILIES, IMPLEMENTATIONS, SEEDS, make_graph, oracle_labels
+
+CASES = [(fam, seed) for fam in FAMILIES for seed in SEEDS]
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    """Corpus graphs + oracle labels, built once per module."""
+    out = {}
+    for fam, seed in CASES:
+        g = make_graph(fam, seed)
+        out[(fam, seed)] = (g, oracle_labels(g))
+    return out
+
+
+@pytest.mark.parametrize("family,seed", CASES, ids=[f"{f}-s{s}" for f, s in CASES])
+def test_oracle_matches_scipy(graphs, family, seed):
+    """The oracle itself is pinned against scipy before it judges anyone."""
+    g, oracle = graphs[(family, seed)]
+    assert same_partition(oracle, ground_truth(g))
+    assert is_min_label(oracle)
+
+
+@pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS), ids=str)
+@pytest.mark.parametrize("family,seed", CASES, ids=[f"{f}-s{s}" for f, s in CASES])
+def test_partition_matches_oracle(graphs, family, seed, impl):
+    g, oracle = graphs[(family, seed)]
+    labels = IMPLEMENTATIONS[impl](g)
+    labels = np.asarray(labels)
+    assert labels.shape == (g.n,)
+    assert same_partition(labels, oracle), (
+        f"{impl} disagrees with union-find on {family} seed={seed}"
+    )
+
+
+@pytest.mark.parametrize("family,seed", CASES, ids=[f"{f}-s{s}" for f, s in CASES])
+def test_component_counts_agree(graphs, family, seed):
+    """All implementations report the same number of components."""
+    g, oracle = graphs[(family, seed)]
+    expected = np.unique(oracle).size
+    for impl, fn in IMPLEMENTATIONS.items():
+        got = np.unique(np.asarray(fn(g))).size
+        assert got == expected, f"{impl}: {got} components, oracle says {expected}"

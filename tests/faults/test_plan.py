@@ -1,0 +1,199 @@
+"""Unit tests for :mod:`repro.faults.plan` — rules, matching, the
+determinism contract, presets, and the injection helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    DATA_FAULT_KINDS,
+    FAULT_KINDS,
+    PRESETS,
+    FaultPlan,
+    FaultRule,
+    checksum,
+    checksums,
+    inject,
+    preset,
+)
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="gremlins")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"probability": 1.5},
+            {"probability": -0.1},
+            {"attempts": 0},
+            {"max_injections": 0},
+            {"skip_calls": -1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultRule(kind="corrupt", **kwargs)
+
+    def test_delay_factor_must_slow_down(self):
+        with pytest.raises(ValueError, match="delay_factor"):
+            FaultRule(kind="delay", delay_factor=1.0)
+        FaultRule(kind="delay", delay_factor=2.0)  # fine
+
+    def test_matching(self):
+        r = FaultRule(kind="corrupt", collective="bcast", phase="hook")
+        assert r.matches("bcast", "hook")
+        assert not r.matches("allgather", "hook")
+        assert not r.matches("bcast", "shortcut")
+        assert not r.matches("bcast", None)  # phase-scoped rule needs a phase
+        wild = FaultRule(kind="corrupt")
+        assert wild.matches("anything", None)
+        assert wild.matches("anything", "any-phase")
+
+    def test_transient_expires_permanent_does_not(self):
+        t = FaultRule(kind="corrupt", attempts=2)
+        assert t.active_at(0) and t.active_at(1) and not t.active_at(2)
+        p = FaultRule(kind="corrupt", permanent=True)
+        assert all(p.active_at(k) for k in range(10))
+
+    def test_delay_only_hits_first_attempt(self):
+        d = FaultRule(kind="delay")
+        assert d.active_at(0) and not d.active_at(1)
+
+
+class TestFaultPlanDeterminism:
+    def _drive(self, plan, n=40):
+        for i in range(n):
+            call = plan.begin_call("alltoallv" if i % 2 else "allgather")
+            for attempt in range(3):
+                for rule in call.active(attempt):
+                    call.record(rule, attempt, detail=f"a{attempt}")
+        return plan.to_json()
+
+    def test_same_seed_same_schedule(self):
+        a = self._drive(FaultPlan([FaultRule(kind="corrupt", probability=0.3)], seed=7))
+        b = self._drive(FaultPlan([FaultRule(kind="corrupt", probability=0.3)], seed=7))
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        a = self._drive(FaultPlan([FaultRule(kind="corrupt", probability=0.3)], seed=7))
+        b = self._drive(FaultPlan([FaultRule(kind="corrupt", probability=0.3)], seed=8))
+        assert a != b
+
+    def test_reset_rewinds_exactly(self):
+        plan = FaultPlan([FaultRule(kind="zero", probability=0.4)], seed=3)
+        first = self._drive(plan)
+        plan.reset()
+        assert plan.n_calls == 0 and plan.n_injected == 0
+        assert self._drive(plan) == first
+
+    def test_attempt_rngs_are_independent_and_stable(self):
+        plan = FaultPlan([FaultRule(kind="corrupt")], seed=5)
+        call = plan.begin_call("bcast")
+        a0 = call.rng(0).integers(0, 1 << 30, 4)
+        a1 = call.rng(1).integers(0, 1 << 30, 4)
+        assert not np.array_equal(a0, a1)  # attempts draw differently
+        np.testing.assert_array_equal(a0, call.rng(0).integers(0, 1 << 30, 4))
+
+    def test_skip_calls_delays_eligibility(self):
+        plan = FaultPlan([FaultRule(kind="corrupt", skip_calls=2)], seed=0)
+        fired = [bool(plan.begin_call("bcast")) for _ in range(5)]
+        assert fired == [False, False, True, True, True]
+
+    def test_max_injections_caps_firing(self):
+        plan = FaultPlan([FaultRule(kind="corrupt", max_injections=2)], seed=0)
+        fired = [bool(plan.begin_call("bcast")) for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_collective_filter(self):
+        plan = FaultPlan([FaultRule(kind="corrupt", collective="bcast")], seed=0)
+        assert bool(plan.begin_call("bcast"))
+        assert not bool(plan.begin_call("allgather"))
+
+    def test_log_rows_carry_full_context(self):
+        plan = FaultPlan([FaultRule(kind="truncate")], seed=0)
+        call = plan.begin_call("scatter", phase="hook")
+        call.record(call.fired[0], attempt=1, rank=2, detail="dropped 3")
+        (row,) = plan.log()
+        assert row == {
+            "index": 0,
+            "call": 0,
+            "collective": "scatter",
+            "phase": "hook",
+            "kind": "truncate",
+            "attempt": 1,
+            "rank": 2,
+            "detail": "dropped 3",
+        }
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_construct(self, name):
+        plan = preset(name, seed=1)
+        assert plan.name == name
+        assert plan.rules
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            preset("chaos-monkey")
+
+    def test_flaky_covers_every_data_kind(self):
+        plan = preset("flaky", seed=0, rate=1.0)
+        assert sorted(r.kind for r in plan.rules) == sorted(DATA_FAULT_KINDS)
+
+    def test_outage_retry_budget_covers_attempts(self):
+        plan = preset("outage", seed=0, attempts=5)
+        assert plan.max_retries >= 5
+
+    def test_fault_kind_lists_consistent(self):
+        assert set(DATA_FAULT_KINDS) < set(FAULT_KINDS)
+        assert set(FAULT_KINDS) - set(DATA_FAULT_KINDS) == {"delay", "fail"}
+
+
+class TestInjector:
+    def test_checksum_detects_every_data_kind(self):
+        rng = np.random.default_rng(0)
+        for kind in DATA_FAULT_KINDS:
+            leaves = [np.arange(8, dtype=np.int64), np.arange(4, dtype=np.int64)]
+            before = checksums(leaves)
+            damaged, idx, detail = inject(kind, leaves, rng)
+            assert idx is not None
+            assert checksums(damaged) != before, f"{kind} slipped past validation"
+            # untouched leaves share identity — only the victim is copied
+            for k, (a, b) in enumerate(zip(leaves, damaged)):
+                if k != idx:
+                    assert a is b
+
+    def test_truncation_detected_even_on_colliding_bytes(self):
+        """Length is folded into the checksum: dropping trailing words
+        changes it even when the surviving bytes alone would collide."""
+        full = np.zeros(8, dtype=np.int64)
+        assert checksum(full) != checksum(full[:5])
+
+    def test_dtype_folded_into_checksum(self):
+        a = np.zeros(4, dtype=np.int64)
+        assert checksum(a) != checksum(a.astype(np.float64))
+
+    def test_none_checksums_to_zero(self):
+        assert checksum(None) == 0
+
+    def test_empty_payload_is_harmless(self):
+        rng = np.random.default_rng(0)
+        leaves = [np.empty(0, dtype=np.int64), None]
+        damaged, idx, detail = inject("corrupt", leaves, rng)
+        assert idx is None and detail == "no-payload"
+        assert checksums(damaged) == checksums(leaves)
+
+    def test_inject_rejects_envelope_kinds(self):
+        with pytest.raises(ValueError):
+            inject("delay", [np.arange(3)], np.random.default_rng(0))
+
+    def test_bool_corruption_changes_value(self):
+        rng = np.random.default_rng(1)
+        leaves = [np.array([True, False, True])]
+        damaged, idx, _ = inject("corrupt", leaves, rng)
+        assert (damaged[0] != leaves[0]).sum() == 1

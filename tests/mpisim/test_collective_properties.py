@@ -1,13 +1,16 @@
 """Property tests on the collective cost formulas: monotonicity,
 additivity, and the latency/bandwidth trade-offs the §V-B optimisations
-exploit."""
+exploit — plus conservation laws on the literal :class:`SimComm`
+collectives (what goes in comes out, byte for byte, with or without
+injected transient faults)."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mpisim import EDISON, CostModel, collectives
+from repro.faults import preset
+from repro.mpisim import EDISON, CostModel, SimComm, collectives
 
 ranks = st.sampled_from([2, 4, 16, 64, 256, 1024])
 words = st.floats(min_value=1.0, max_value=1e7)
@@ -94,3 +97,110 @@ class TestTradeoffs:
         collectives.reduce_scatter(c2, 16, 1600.0)
         collectives.allgather(c2, 16, 100.0)
         assert c1.total_seconds == pytest.approx(c2.total_seconds)
+
+
+# ----------------------------------------------------------------------
+# conservation laws on the literal SimComm collectives
+# ----------------------------------------------------------------------
+
+comm_sizes = st.sampled_from([2, 3, 4, 5])
+data_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+fault_plans = st.sampled_from([None, "flaky", "outage"])
+
+
+def _payloads(rng, p, max_len=8):
+    """Random int64 buffers, one per rank, including empties."""
+    return [
+        rng.integers(-1000, 1000, int(rng.integers(0, max_len))).astype(np.int64)
+        for _ in range(p)
+    ]
+
+
+def _comm(p, plan_name, seed):
+    plan = preset(plan_name, seed=seed) if plan_name else None
+    return SimComm(p, faults=plan)
+
+
+class TestSimCommConservation:
+    """No collective may create, destroy, or reorder payload — even when
+    transient faults force retransmissions."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(comm_sizes, data_seeds, fault_plans)
+    def test_alltoallv_is_exact_transpose(self, p, seed, plan_name):
+        rng = np.random.default_rng(seed)
+        send = [[np.asarray(b) for b in _payloads(rng, p)] for _ in range(p)]
+        recv = _comm(p, plan_name, seed).alltoallv(send)
+        for i in range(p):
+            for j in range(p):
+                np.testing.assert_array_equal(recv[j][i], send[i][j])
+
+    @settings(max_examples=25, deadline=None)
+    @given(comm_sizes, data_seeds, fault_plans)
+    def test_allgather_is_concatenation_everywhere(self, p, seed, plan_name):
+        rng = np.random.default_rng(seed)
+        bufs = _payloads(rng, p)
+        out = _comm(p, plan_name, seed).allgather(bufs)
+        want = np.concatenate(bufs)
+        assert len(out) == p
+        for got in out:
+            np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(comm_sizes, data_seeds, fault_plans)
+    def test_bcast_replicates_root(self, p, seed, plan_name):
+        rng = np.random.default_rng(seed)
+        root = int(rng.integers(0, p))
+        bufs = [None] * p
+        bufs[root] = rng.integers(-50, 50, 6).astype(np.int64)
+        out = _comm(p, plan_name, seed).bcast(bufs, root=root)
+        for got in out:
+            np.testing.assert_array_equal(got, bufs[root])
+
+    @settings(max_examples=25, deadline=None)
+    @given(comm_sizes, data_seeds, fault_plans)
+    def test_reduce_scatter_is_reduce_then_split(self, p, seed, plan_name):
+        rng = np.random.default_rng(seed)
+        blk = int(rng.integers(1, 5))
+        bufs = [rng.integers(-99, 99, p * blk).astype(np.int64) for _ in range(p)]
+        out = _comm(p, plan_name, seed).reduce_scatter_block(bufs, np.add)
+        total = np.sum(bufs, axis=0)
+        for r in range(p):
+            np.testing.assert_array_equal(out[r], total[r * blk : (r + 1) * blk])
+
+    @settings(max_examples=25, deadline=None)
+    @given(comm_sizes, data_seeds, fault_plans)
+    def test_allreduce_total_on_every_rank(self, p, seed, plan_name):
+        rng = np.random.default_rng(seed)
+        bufs = [rng.integers(-99, 99, 4).astype(np.int64) for _ in range(p)]
+        out = _comm(p, plan_name, seed).allreduce(bufs, np.add)
+        total = np.sum(bufs, axis=0)
+        for got in out:
+            np.testing.assert_array_equal(got, total)
+
+    @settings(max_examples=25, deadline=None)
+    @given(comm_sizes, data_seeds)
+    def test_words_sent_equals_words_received(self, p, seed):
+        """Bookkeeping conservation: the alltoallv span's per-rank send
+        totals and recv totals both sum to the same global word count."""
+        from repro.obs import Tracer, activate
+
+        rng = np.random.default_rng(seed)
+        send = [[np.asarray(b) for b in _payloads(rng, p)] for _ in range(p)]
+        tr = Tracer()
+        with activate(tr):
+            SimComm(p).alltoallv(send)
+        (span,) = tr.find("alltoallv", "simcomm")
+        assert sum(span.attrs["rank_send_totals"]) == sum(span.attrs["rank_recv_totals"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(comm_sizes, data_seeds)
+    def test_faulted_matches_fault_free(self, p, seed):
+        """A transient fault plan changes timing, never payload."""
+        rng = np.random.default_rng(seed)
+        send = [[np.asarray(b) for b in _payloads(rng, p)] for _ in range(p)]
+        clean = SimComm(p).alltoallv([[b.copy() for b in row] for row in send])
+        faulted = _comm(p, "flaky", seed).alltoallv(send)
+        for i in range(p):
+            for j in range(p):
+                np.testing.assert_array_equal(faulted[i][j], clean[i][j])

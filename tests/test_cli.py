@@ -227,6 +227,56 @@ class TestMCL:
         assert "2 clusters" in out
 
 
+class TestFaults:
+    def test_transient_preset_matches(self, mtx, capsys):
+        assert main(["faults", mtx, "--preset", "flaky", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan: 'flaky'" in out
+        assert "MATCH" in out
+
+    def test_permanent_preset_fails_loudly(self, mtx, capsys):
+        # failing loudly is the documented contract — exit code stays 0
+        assert main(["faults", mtx, "--preset", "permanent", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "CollectiveError" in out or "failing\nloudly" in out or "loudly" in out
+
+    def test_json_record(self, mtx, capsys):
+        assert main(
+            ["faults", mtx, "--preset", "outage", "--seed", "2", "--json"]
+        ) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["preset"] == "outage"
+        assert rec["collective_calls"] > 0
+        assert "correct" in rec or "collective_error" in rec
+
+    def test_events_listing(self, mtx, capsys):
+        assert main(
+            ["faults", mtx, "--preset", "flaky", "--seed", "0", "--events", "3",
+             "--json"]
+        ) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert len(rec["events"]) <= 3
+        for row in rec["events"]:
+            assert {"call", "collective", "kind", "attempt"} <= set(row)
+
+    def test_machine_mode_reports_priced_retries(self, mtx, tmp_path, capsys):
+        trace = tmp_path / "faults.json"
+        assert main(
+            ["faults", mtx, "--preset", "outage", "--seed", "0",
+             "--machine", "laptop", "--nodes", "1", "--trace", str(trace),
+             "--json"]
+        ) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["model"]["seconds_faulted"] > rec["model"]["seconds_fault_free"]
+        assert rec["model"]["retry_spans"] > 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("name") == "retry" for e in events)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "g.mtx", "--preset", "gremlins"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
