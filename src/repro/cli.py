@@ -18,6 +18,10 @@ Commands
     literal SPMD execution through the retry-with-validation envelope,
     verified against union–find, with an optional α–β-priced simulated
     run whose trace shows the recovery time.
+``recover``
+    Run LACC under the :mod:`repro.recovery` checkpoint/restart
+    supervisor with an injected crash (or watchdog deadline), print the
+    recovery-event record, and verify the labels against union–find.
 ``mcl``
     Markov-cluster a graph and print the clusters (HipMCL-lite).
 
@@ -34,6 +38,8 @@ Examples
     python -m repro corpus eukarya --out eukarya.mtx
     python -m repro faults archaea --preset flaky --seed 7
     python -m repro faults archaea --preset outage --machine edison --trace f.json
+    python -m repro recover archaea --driver spmd --seed 7 --after 40
+    python -m repro recover archaea --driver dist --machine edison --trace r.json
     python -m repro mcl similarities.mtx --inflation 2.0
 """
 
@@ -465,6 +471,143 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.baselines.union_find import connected_components as uf_labels
+    from repro.faults import preset
+    from repro.graphs.validate import same_partition
+    from repro.recovery import (
+        DiskCheckpointStore,
+        MemoryCheckpointStore,
+        Supervisor,
+        SupervisorConfig,
+    )
+
+    g = _load_graph(args.graph)
+    plan = None
+    if args.preset != "none":
+        pkw = {}
+        if args.preset in ("crash", "permanent") and args.after:
+            pkw["after"] = args.after
+        if args.preset == "crash" and args.phase:
+            pkw["phase"] = args.phase
+        plan = preset(args.preset, seed=args.seed, **pkw)
+
+    store = (
+        DiskCheckpointStore(args.checkpoint_dir)
+        if args.checkpoint_dir
+        else MemoryCheckpointStore()
+    )
+    sup = Supervisor(
+        store=store,
+        config=SupervisorConfig(
+            checkpoint_interval=args.interval,
+            max_recoveries=args.max_recoveries,
+            iteration_deadline=args.deadline,
+        ),
+    )
+
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
+    if args.driver == "spmd":
+        from repro.core.lacc_spmd import lacc_spmd
+
+        driver, dargs, dkw = lacc_spmd, (g,), dict(ranks=args.ranks, faults=plan)
+    elif args.driver == "2d":
+        from repro.core.lacc_2d import lacc_2d
+
+        driver, dargs, dkw = lacc_2d, (g,), dict(nprocs=args.ranks, faults=plan)
+    elif args.driver == "dist":
+        from repro.core.lacc_dist import lacc_dist
+        from repro.mpisim.machine import load_machine
+
+        machine = load_machine(args.machine)
+        driver = lacc_dist
+        dargs = (g.to_matrix(), machine)
+        dkw = dict(nodes=args.nodes, faults=plan)
+        if tracer is not None:
+            dkw["tracer"] = tracer
+    else:  # serial — no simulated network, only watchdog/checkpoint demo
+        from repro.core.lacc import lacc
+
+        driver, dargs, dkw = lacc, (g.to_matrix(),), {}
+
+    if tracer is not None and "tracer" not in dkw:
+        # literal drivers record through the ambient tracer
+        from repro.obs import activate
+
+        with activate(tracer):
+            res = sup.run(driver, *dargs, **dkw)
+    else:
+        res = sup.run(driver, *dargs, **dkw)
+
+    correct = same_partition(res.labels, uf_labels(g.n, g.u, g.v))
+    record = {
+        "graph": g.name,
+        "vertices": g.n,
+        "edges": g.nedges,
+        "driver": args.driver,
+        "preset": args.preset if plan is not None else None,
+        "seed": args.seed,
+        "components": res.n_components,
+        "iterations": res.n_iterations,
+        "correct": bool(correct),
+        "attempts": res.attempts,
+        "recoveries": res.n_recoveries,
+        "degraded": res.degraded,
+        "checkpoints_written": res.checkpoints_written,
+        "events": [e.to_dict() for e in res.events],
+    }
+    if res.cost is not None:
+        record["simulated_seconds"] = res.cost.total_seconds
+        record["recovery_phase_seconds"] = {
+            k: v.seconds
+            for k, v in res.cost.phases.items()
+            if k in ("checkpoint", "recovery")
+        }
+
+    if args.trace:
+        from repro.obs import chrome_trace, write_chrome_trace
+
+        write_chrome_trace(
+            chrome_trace(tracer, process_name=f"recover {g.name} [{args.driver}]"),
+            args.trace,
+        )
+
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0 if correct else 1
+
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+    print(f"supervised {args.driver} run: {res.n_components} components in "
+          f"{res.n_iterations} iterations, {res.attempts} attempt(s), "
+          f"{res.checkpoints_written} checkpoint(s)")
+    verdict = "MATCH" if correct else "MISMATCH (bug!)"
+    print(f"labels vs union-find: {verdict}"
+          + ("   [degraded: serial replay]" if res.degraded else ""))
+    if res.events:
+        print("recovery events:")
+        for e in res.events:
+            where = "-" if e.iteration is None else f"iter {e.iteration}"
+            print(f"  [{e.simulated_seconds*1e3:9.4f} ms] {e.action:<12s} "
+                  f"{where:<8s} {e.detail}")
+    else:
+        print("recovery events: none (clean run)")
+    if "simulated_seconds" in record:
+        print(f"simulated time: {record['simulated_seconds']*1e3:.3f} ms "
+              f"(recovery phases: "
+              + ", ".join(f"{k}={v*1e3:.4f} ms"
+                          for k, v in record["recovery_phase_seconds"].items())
+              + ")")
+    if args.trace:
+        print(f"trace written to {args.trace} (recovery spans in the "
+              "'recovery' category)")
+    return 0 if correct else 1
+
+
 def _cmd_mcl(args: argparse.Namespace) -> int:
     from repro.mcl import markov_clustering
 
@@ -583,6 +726,45 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--json", action="store_true",
                     help="machine-readable JSON output on stdout")
     fl.set_defaults(fn=_cmd_faults)
+
+    rec = sub.add_parser(
+        "recover",
+        help="run LACC under the checkpoint/restart supervisor with an "
+        "injected crash and verify exact recovery",
+    )
+    rec.add_argument("graph", help=".mtx / edge-list file or corpus name")
+    rec.add_argument("--driver", default="spmd",
+                     choices=["serial", "spmd", "2d", "dist"],
+                     help="which LACC driver to supervise (default: spmd)")
+    rec.add_argument("--preset", default="crash",
+                     choices=["crash", "permanent", "none"],
+                     help="fault scenario; 'none' demonstrates zero-fault "
+                          "checkpointing only")
+    rec.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    rec.add_argument("--after", type=int, default=0, metavar="N",
+                     help="crash on the N-th matching collective call")
+    rec.add_argument("--phase", default=None,
+                     help="restrict the crash to one algorithm phase "
+                          "(cond_hook/starcheck/uncond_hook/shortcut)")
+    rec.add_argument("--ranks", type=int, default=4,
+                     help="ranks for spmd / nprocs for 2d")
+    rec.add_argument("--machine", default="edison",
+                     help="machine preset for --driver dist")
+    rec.add_argument("--nodes", type=int, default=4,
+                     help="node count for --driver dist")
+    rec.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="durable on-disk checkpoints (default: in-memory)")
+    rec.add_argument("--interval", type=int, default=1,
+                     help="checkpoint every K iterations")
+    rec.add_argument("--max-recoveries", type=int, default=3,
+                     help="bounded recovery budget before degrading")
+    rec.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="watchdog: max simulated seconds per iteration")
+    rec.add_argument("--trace", metavar="FILE",
+                     help="write a Chrome trace with recovery spans")
+    rec.add_argument("--json", action="store_true",
+                     help="machine-readable JSON output on stdout")
+    rec.set_defaults(fn=_cmd_recover)
 
     mcl = sub.add_parser("mcl", help="Markov clustering (HipMCL-lite)")
     mcl.add_argument("graph")

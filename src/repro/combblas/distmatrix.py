@@ -115,6 +115,18 @@ class DistMatrix:
         # permuted vertex id, mapped back through inv_perm
         return self.inv_perm[labels_permuted[self.perm]]
 
+    def to_permuted_parents(self, parents_original: np.ndarray) -> np.ndarray:
+        """Map a parent vector from original into permuted vertex space —
+        the inverse of :meth:`to_original_labels`, used when resuming a
+        distributed run from a checkpoint snapshotted in original space."""
+        out = np.empty(self.n, dtype=np.int64)
+        out[self.perm] = self.perm[np.asarray(parents_original, dtype=np.int64)]
+        return out
+
+    def to_permuted_bitmap(self, bitmap_original: np.ndarray) -> np.ndarray:
+        """Map a per-vertex boolean bitmap into permuted vertex space."""
+        return np.asarray(bitmap_original, dtype=bool)[self.inv_perm]
+
     # ------------------------------------------------------------------
     # cost accounting for GrB_mxv (§V-A)
     # ------------------------------------------------------------------

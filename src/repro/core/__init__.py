@@ -7,9 +7,10 @@ distributed machine of :mod:`repro.mpisim` / :mod:`repro.combblas` and
 reports α–β model times for the scaling figures.
 """
 
-from . import convergence, hooking, shortcut, starcheck, stats
+from . import convergence, hooking, shortcut, snapshot, starcheck, stats
 from .lacc import LACCResult, lacc
 from .lacc_lagraph import lacc_lagraph
+from .snapshot import IterationSnapshot
 from .spanning_forest import SpanningForest, spanning_forest
 
 __all__ = [
@@ -18,9 +19,11 @@ __all__ = [
     "lacc_lagraph",
     "spanning_forest",
     "SpanningForest",
+    "IterationSnapshot",
     "hooking",
     "starcheck",
     "shortcut",
+    "snapshot",
     "convergence",
     "stats",
 ]

@@ -34,6 +34,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer, activate
 from .convergence import ActiveSet
 from .hooking import cond_hook, uncond_hook
 from .shortcut import shortcut
+from .snapshot import IterationHook, IterationSnapshot, validate_initial_parents
 from .starcheck import starcheck
 from .stats import IterationStats, LACCStats, steps_from_span
 
@@ -73,6 +74,10 @@ def lacc(
     max_iterations: Optional[int] = None,
     collect_stats: bool = True,
     tracer: Optional[Tracer] = None,
+    initial_parents: Optional[np.ndarray] = None,
+    initial_active: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    on_iteration: Optional[IterationHook] = None,
 ) -> LACCResult:
     """Run LACC on the adjacency matrix of an undirected graph.
 
@@ -100,6 +105,17 @@ def lacc(
         primitive nests its own span (with nvals/flops counters) under
         the step spans — the ``python -m repro profile`` view.  Default:
         a private step-level tracer (no primitive spans, near-zero cost).
+    initial_parents / initial_active / start_iteration:
+        Resume state (see :mod:`repro.core.snapshot`): start from this
+        parent vector / active bitmap instead of the identity forest.
+        Awerbuch–Shiloach converges from any in-range parent forest, so
+        a run can continue from a checkpoint or an audited-and-repaired
+        state.  ``start_iteration`` offsets iteration numbering only.
+    on_iteration:
+        Callback invoked with an :class:`IterationSnapshot` at each
+        iteration boundary — the checkpoint hook of
+        :class:`repro.recovery.Supervisor`.  Exceptions it raises
+        propagate out of the run.
 
     Returns
     -------
@@ -115,12 +131,23 @@ def lacc(
     if max_iterations is None:
         max_iterations = 4 * max(int(np.ceil(np.log2(max(n, 2)))), 1) + 8
 
-    # initialise: every vertex is its own parent — n single-vertex stars
-    f = Vector.iota(n)
+    # initialise: every vertex is its own parent — n single-vertex stars —
+    # unless resuming from a checkpointed/repaired forest
+    if initial_parents is not None:
+        f = Vector.dense(validate_initial_parents(initial_parents, n))
+    else:
+        f = Vector.iota(n)
     active = ActiveSet(n, enabled=use_sparsity)
+    if initial_active is not None and use_sparsity:
+        act0 = np.asarray(initial_active, dtype=bool)
+        if act0.shape != (n,):
+            raise ValueError(f"initial_active must have shape ({n},)")
+        active._active = act0.copy()
 
     if n == 0 or A.nvals == 0:
-        return LACCResult(f.to_numpy(), n, 0, stats)
+        labels0 = f.to_numpy()
+        ncomp0 = int(np.unique(labels0).size) if n else 0
+        return LACCResult(labels0, ncomp0, start_iteration, stats)
 
     # isolated vertices are converged components from the start
     if use_sparsity:
@@ -135,12 +162,12 @@ def lacc(
     tr = tracer if tracer is not None else (Tracer() if collect_stats else NULL_TRACER)
     run_ctx = activate(tr) if tracer is not None else contextlib.nullcontext()
 
-    iteration = 0
+    iteration = start_iteration
     with run_ctx, tr.span("lacc", "run", n=n, nnz=A.nvals):
         star = starcheck(f, active.mask)
         while True:
             iteration += 1
-            if iteration > max_iterations:
+            if iteration - start_iteration > max_iterations:
                 raise RuntimeError(
                     f"LACC did not converge within {max_iterations} iterations — "
                     "this indicates a forest-invariant violation"
@@ -189,6 +216,19 @@ def lacc(
                 break
             # after shortcutting, star memberships may have changed
             star = starcheck(f, active.mask)
+
+            if on_iteration is not None:
+                sv2, sp2 = star.dense_arrays()
+                on_iteration(
+                    IterationSnapshot(
+                        iteration=iteration,
+                        parents=f.to_numpy(),
+                        star=sv2 & sp2,
+                        active=(
+                            active._active.copy() if use_sparsity else None
+                        ),
+                    )
+                )
 
     labels = f.to_numpy()
     n_components = int(np.unique(labels).size)

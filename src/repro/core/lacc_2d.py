@@ -19,6 +19,7 @@ every grid size.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -29,8 +30,10 @@ from repro.graphblas import semirings as sr
 from repro.graphs.generators import EdgeList
 from repro.mpisim.comm import SimComm
 from repro.mpisim.grid import ProcessGrid
+from repro.obs.tracer import current as _obs
 
 from .lacc_spmd import _Dist
+from .snapshot import IterationHook, IterationSnapshot, validate_initial_parents
 
 __all__ = ["lacc_2d", "Grid2DResult"]
 
@@ -54,7 +57,14 @@ class Grid2DResult:
 
 
 def lacc_2d(
-    g: EdgeList, nprocs: int = 4, max_iterations: int = 10_000, faults=None
+    g: EdgeList,
+    nprocs: int = 4,
+    max_iterations: int = 10_000,
+    faults=None,
+    cost=None,
+    initial_parents: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    on_iteration: Optional[IterationHook] = None,
 ) -> Grid2DResult:
     """Run LACC with the 2D-distributed matrix and literal communication.
 
@@ -62,15 +72,24 @@ def lacc_2d(
     paper inherits, §VI-A).  An optional :class:`repro.faults.FaultPlan`
     runs every collective through the :class:`SimComm` retry envelope
     (transient faults recover; permanent ones raise
-    :class:`repro.faults.CollectiveError`).
+    :class:`repro.faults.CollectiveError`); an optional
+    :class:`repro.mpisim.CostModel` (``cost``) prices recovery time.
+    ``initial_parents`` / ``start_iteration`` / ``on_iteration`` are the
+    checkpoint-resume hooks of :mod:`repro.core.snapshot`; each iteration
+    runs inside an ``iteration`` span so raised
+    :class:`~repro.faults.CollectiveError`\\ s carry the iteration number.
     """
     n = g.n
     grid = ProcessGrid(nprocs, n)  # validates squareness
-    comm = SimComm(nprocs, faults=faults)
+    comm = SimComm(nprocs, faults=faults, cost=cost)
     A = g.to_matrix()
     dmat = DistMatrix(A, grid, permute=False)
 
-    f = _Dist(comm, n, np.arange(n, dtype=np.int64))
+    if initial_parents is not None:
+        f0 = validate_initial_parents(initial_parents, n)
+    else:
+        f0 = np.arange(n, dtype=np.int64)
+    f = _Dist(comm, n, f0)
     star = _Dist(comm, n, np.ones(n, dtype=np.int64))
 
     def starcheck() -> None:
@@ -144,21 +163,40 @@ def lacc_2d(
             f.blocks[r][:] = gf[r]
         return changed
 
-    iterations = 0
+    def snapshot(iteration: int) -> IterationSnapshot:
+        return IterationSnapshot(
+            iteration=iteration,
+            parents=f.to_array(),
+            star=star.to_array() == 1,
+            active=None,
+            simulated_seconds=(
+                cost.total_seconds if cost is not None else comm.fault_seconds
+            ),
+            plan_cursor=0 if faults is None else faults.cursor,
+        )
+
+    iterations = start_iteration
     if n and A.nvals:
-        for iterations in range(1, max_iterations + 1):
-            starcheck()
-            hooks = hook(conditional=True)
-            starcheck()
-            hooks += hook(conditional=False)
-            starcheck()
-            changed = shortcut()
-            nonstars = comm.allreduce(
-                [np.array([int((star.blocks[r] == 0).sum())]) for r in range(nprocs)],
-                np.add,
-            )[0][0]
+        for k in range(1, max_iterations + 1):
+            iterations = start_iteration + k
+            with _obs().span("iteration", "iteration", iteration=iterations):
+                starcheck()
+                hooks = hook(conditional=True)
+                starcheck()
+                hooks += hook(conditional=False)
+                starcheck()
+                changed = shortcut()
+                nonstars = comm.allreduce(
+                    [
+                        np.array([int((star.blocks[r] == 0).sum())])
+                        for r in range(nprocs)
+                    ],
+                    np.add,
+                )[0][0]
             if hooks == 0 and changed == 0 and nonstars == 0:
                 break
+            if on_iteration is not None:
+                on_iteration(snapshot(iterations))
         else:
             raise RuntimeError("2D LACC failed to converge (bug)")
 

@@ -41,6 +41,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer, activate
 from .convergence import ActiveSet, converged_star_vertices
 from .hooking import HookReport, cond_hook, uncond_hook
 from .shortcut import shortcut
+from .snapshot import IterationHook, IterationSnapshot, validate_initial_parents
 from .starcheck import starcheck
 from .stats import IterationStats, LACCStats
 
@@ -116,6 +117,11 @@ def lacc_dist(
     trace_comm: bool = False,
     tracer: Optional[Tracer] = None,
     faults=None,
+    cost: Optional[CostModel] = None,
+    initial_parents: Optional[np.ndarray] = None,
+    initial_active: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    on_iteration: Optional[IterationHook] = None,
 ) -> DistLACCResult:
     """Run LACC on the simulated machine.
 
@@ -139,6 +145,15 @@ def lacc_dist(
     host time spent computing the step's values — so model and actual
     time sit side by side.  The tracer is activated for the run, nesting
     GraphBLAS-primitive and collective spans under each step.
+
+    ``cost`` supplies an existing :class:`~repro.mpisim.costmodel.CostModel`
+    to charge into instead of a fresh one — :class:`repro.recovery.Supervisor`
+    passes one master model across restart attempts so the simulated clock
+    runs continuously through recovery.  ``initial_parents`` /
+    ``initial_active`` / ``start_iteration`` / ``on_iteration`` are the
+    checkpoint-resume hooks of :mod:`repro.core.snapshot`; snapshot parents
+    are reported in **original** vertex space (un-permuted), so they are
+    interchangeable with every other driver's.
     """
     if A.nrows != A.ncols or not A.is_symmetric:
         raise ValueError("LACC requires a square symmetric adjacency matrix")
@@ -146,7 +161,8 @@ def lacc_dist(
     nprocs, side = grid_for(machine, nodes)
     grid = ProcessGrid(nprocs, n, distribution=vector_distribution)
     dmat = DistMatrix(A, grid, permute=permute, seed=seed)
-    cost = CostModel(machine, nprocs, nodes, trace=trace_comm, faults=faults)
+    if cost is None:
+        cost = CostModel(machine, nprocs, nodes, trace=trace_comm, faults=faults)
     stats = LACCStats(n_vertices=n)
     tr = tracer if tracer is not None else NULL_TRACER
     if tracer is not None and not tracer.roots and tracer.current is None:
@@ -161,11 +177,23 @@ def lacc_dist(
         max_iterations = 4 * max(int(np.ceil(np.log2(max(n, 2)))), 1) + 8
 
     Ap = dmat.A  # permuted adjacency
-    f = Vector.iota(n)
+    if initial_parents is not None:
+        f = Vector.dense(
+            dmat.to_permuted_parents(validate_initial_parents(initial_parents, n))
+        )
+    else:
+        f = Vector.iota(n)
     active = ActiveSet(n, enabled=use_sparsity)
+    if initial_active is not None and use_sparsity:
+        act0 = np.asarray(initial_active, dtype=bool)
+        if act0.shape != (n,):
+            raise ValueError(f"initial_active must have shape ({n},)")
+        active._active = dmat.to_permuted_bitmap(act0)
     if n == 0 or Ap.nvals == 0:
+        labels0 = dmat.to_original_labels(f.to_numpy())
+        ncomp0 = int(np.unique(labels0).size) if n else 0
         return DistLACCResult(
-            dmat.to_original_labels(f.to_numpy()), n, 0, stats, cost,
+            labels0, ncomp0, start_iteration, stats, cost,
             machine, nodes, nprocs, routing,
         )
     if use_sparsity:
@@ -212,13 +240,13 @@ def lacc_dist(
         """Open a step span that also measures host ('wall') seconds."""
         return _StepSpan(tr, name)
 
-    iteration = 0
+    iteration = start_iteration
     with run_ctx, tr.span("lacc_dist", "run", n=n, nnz=Ap.nvals,
                           machine=machine.name, nodes=nodes, ranks=nprocs):
       star = starcheck(f, active.mask)
       while True:
         iteration += 1
-        if iteration > max_iterations:
+        if iteration - start_iteration > max_iterations:
             raise RuntimeError("distributed LACC failed to converge (bug)")
         it_stats = IterationStats(iteration=iteration, active_vertices=active.active_count)
         _, words0, msgs0 = cost.totals()
@@ -298,6 +326,24 @@ def lacc_dist(
         if active.all_converged() or (hooked == 0 and all_stars):
             break
         star = starcheck(f, active.mask)
+
+        if on_iteration is not None:
+            # snapshot in ORIGINAL vertex space — interchangeable with the
+            # serial driver's, which the degraded replay path relies on
+            sv2, sp2 = star.dense_arrays()
+            plan = getattr(cost, "faults", None)
+            on_iteration(
+                IterationSnapshot(
+                    iteration=iteration,
+                    parents=dmat.to_original_labels(f.to_numpy()),
+                    star=(sv2 & sp2)[dmat.perm],
+                    active=(
+                        active._active[dmat.perm] if use_sparsity else None
+                    ),
+                    simulated_seconds=cost.total_seconds,
+                    plan_cursor=0 if plan is None else plan.cursor,
+                )
+            )
 
     labels = dmat.to_original_labels(f.to_numpy())
     return DistLACCResult(

@@ -32,12 +32,15 @@ actually sends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.generators import EdgeList
 from repro.mpisim.comm import SimComm
+from repro.obs.tracer import current as _obs
+
+from .snapshot import IterationHook, IterationSnapshot, validate_initial_parents
 
 __all__ = ["lacc_spmd", "SPMDResult"]
 
@@ -179,6 +182,9 @@ def lacc_spmd(
     max_iterations: int = 10_000,
     faults=None,
     cost=None,
+    initial_parents: Optional[np.ndarray] = None,
+    start_iteration: int = 0,
+    on_iteration: Optional[IterationHook] = None,
 ) -> SPMDResult:
     """Run LACC with literal per-rank data and SimComm message passing.
 
@@ -199,6 +205,13 @@ def lacc_spmd(
         recovery (stragglers, retransmissions, backoff) in honest α–β
         simulated seconds; without one the lost time is summed into
         :attr:`SPMDResult.fault_seconds`.
+    initial_parents / start_iteration / on_iteration:
+        Checkpoint-resume hooks (:mod:`repro.core.snapshot`): seed the
+        block-distributed parent vector from a snapshot and report an
+        :class:`~repro.core.snapshot.IterationSnapshot` per iteration.
+        Each iteration runs inside an ``iteration`` span, so a
+        :class:`~repro.faults.CollectiveError` raised mid-iteration
+        carries the iteration number for the supervisor's recovery log.
     """
     if ranks < 1:
         raise ValueError("need at least one rank")
@@ -213,7 +226,11 @@ def lacc_spmd(
         (eu[part == r], ev[part == r]) for r in range(ranks)
     ]
 
-    f = _Dist(comm, n, np.arange(n, dtype=np.int64))
+    if initial_parents is not None:
+        f0 = validate_initial_parents(initial_parents, n)
+    else:
+        f0 = np.arange(n, dtype=np.int64)
+    f = _Dist(comm, n, f0)
     star = _Dist(comm, n, np.ones(n, dtype=np.int64))
 
     def starcheck() -> None:
@@ -280,22 +297,42 @@ def lacc_spmd(
             f.blocks[r][:] = gf[r]
         return changed
 
-    iterations = 0
+    def snapshot(iteration: int) -> IterationSnapshot:
+        plan = faults
+        return IterationSnapshot(
+            iteration=iteration,
+            parents=f.to_array(),
+            star=star.to_array() == 1,
+            active=None,
+            simulated_seconds=(
+                cost.total_seconds if cost is not None else comm.fault_seconds
+            ),
+            plan_cursor=0 if plan is None else plan.cursor,
+        )
+
+    iterations = start_iteration
     if n and eu.size:
-        for iterations in range(1, max_iterations + 1):
-            starcheck()
-            hooks = hook(conditional=True)
-            starcheck()
-            hooks += hook(conditional=False)
-            starcheck()
-            changed = shortcut()
-            # allreduce the termination predicate
-            nonstars = comm.allreduce(
-                [np.array([int((star.blocks[r] == 0).sum())]) for r in range(ranks)],
-                np.add,
-            )[0][0]
+        for k in range(1, max_iterations + 1):
+            iterations = start_iteration + k
+            with _obs().span("iteration", "iteration", iteration=iterations):
+                starcheck()
+                hooks = hook(conditional=True)
+                starcheck()
+                hooks += hook(conditional=False)
+                starcheck()
+                changed = shortcut()
+                # allreduce the termination predicate
+                nonstars = comm.allreduce(
+                    [
+                        np.array([int((star.blocks[r] == 0).sum())])
+                        for r in range(ranks)
+                    ],
+                    np.add,
+                )[0][0]
             if hooks == 0 and changed == 0 and nonstars == 0:
                 break
+            if on_iteration is not None:
+                on_iteration(snapshot(iterations))
         else:
             raise RuntimeError("SPMD LACC failed to converge (bug)")
 

@@ -23,9 +23,13 @@ class CollectiveError(FaultError):
     """A collective could not deliver validated buffers.
 
     Raised by the retry envelope after ``attempts`` deliveries all failed
-    checksum validation (or raised transport failures).  Carries enough
-    context to diagnose *which* collective died, under which phase, and
-    what kinds of faults were still active when retries ran out.
+    checksum validation (or raised transport failures), and immediately —
+    with ``attempts=1`` — by an unrecoverable ``crash`` fault.  Carries
+    enough context to diagnose *which* collective died, in which iteration
+    and cost-model phase, after how many attempts, and what kinds of
+    faults were still active when retries ran out: multi-phase traces
+    interleave many collectives, so every field is both an attribute and
+    part of the message.
     """
 
     def __init__(
@@ -34,14 +38,25 @@ class CollectiveError(FaultError):
         attempts: int,
         kinds: Sequence[str] = (),
         phase: Optional[str] = None,
+        iteration: Optional[int] = None,
     ):
         self.collective = collective
         self.attempts = int(attempts)
         self.kinds = tuple(kinds)
         self.phase = phase
-        where = f" (phase {phase!r})" if phase else ""
+        self.iteration = None if iteration is None else int(iteration)
+        where = ""
+        if iteration is not None:
+            where += f" in iteration {iteration}"
+        if phase:
+            where += f" (phase {phase!r})"
         what = f" [{', '.join(self.kinds)}]" if self.kinds else ""
+        verdict = (
+            "unrecoverable crash, not retrying"
+            if "crash" in self.kinds
+            else "permanent fault, giving up"
+        )
         super().__init__(
             f"collective {collective!r}{where} failed validation after "
-            f"{attempts} delivery attempt(s){what}: permanent fault, giving up"
+            f"{attempts} delivery attempt(s){what}: {verdict}"
         )

@@ -46,11 +46,14 @@ __all__ = [
     "preset",
 ]
 
-#: Buffer-mutating kinds (detected by checksum validation) plus the two
+#: Buffer-mutating kinds (detected by checksum validation) plus the three
 #: envelope-level kinds: ``delay`` (straggler, costs time but delivers
-#: correct data) and ``fail`` (the transport itself errors).
+#: correct data), ``fail`` (the transport itself errors, retryable) and
+#: ``crash`` (a rank dies mid-collective — unrecoverable by retry; the
+#: envelope raises :class:`~repro.faults.errors.CollectiveError`
+#: immediately and recovery is the job of ``repro.recovery``).
 DATA_FAULT_KINDS = ("truncate", "corrupt", "duplicate", "zero")
-FAULT_KINDS = DATA_FAULT_KINDS + ("delay", "fail")
+FAULT_KINDS = DATA_FAULT_KINDS + ("delay", "fail", "crash")
 
 
 @dataclass(frozen=True)
@@ -124,6 +127,8 @@ class FaultRule:
         """Is the fault still corrupting delivery attempt *attempt*?"""
         if self.kind == "delay":
             return attempt == 0  # stragglers slow the first delivery only
+        if self.kind == "crash":
+            return True  # a dead rank stays dead — no retry can heal it
         return self.permanent or attempt < self.attempts
 
 
@@ -176,13 +181,21 @@ class FaultCall:
         return bool(self.fired)
 
     def active(self, attempt: int) -> List[FaultRule]:
-        """Non-delay rules still corrupting this delivery attempt."""
+        """Rules still corrupting this delivery attempt (``delay`` and
+        ``crash`` are handled by the envelope before delivery)."""
         return [
-            r for r in self.fired if r.kind != "delay" and r.active_at(attempt)
+            r
+            for r in self.fired
+            if r.kind not in ("delay", "crash") and r.active_at(attempt)
         ]
 
     def delays(self) -> List[FaultRule]:
         return [r for r in self.fired if r.kind == "delay"]
+
+    def crashes(self) -> List[FaultRule]:
+        """Crash rules that fired on this call (checked before delivery:
+        a dead rank never produces buffers to validate)."""
+        return [r for r in self.fired if r.kind == "crash"]
 
     def rng(self, attempt: int) -> np.random.Generator:
         """Deterministic generator for payload mutations of one attempt."""
@@ -278,6 +291,13 @@ class FaultPlan:
         return self._n_calls
 
     @property
+    def cursor(self) -> int:
+        """The plan's RNG cursor: how many collective calls have consumed
+        randomness so far.  Checkpoints record it so a resumed run's fault
+        schedule can be audited against the injection log."""
+        return self._n_calls
+
+    @property
     def n_injected(self) -> int:
         return len(self.events)
 
@@ -288,6 +308,41 @@ class FaultPlan:
     def to_json(self) -> str:
         """Canonical JSON of the log — byte-reproducible given a seed."""
         return json.dumps(self.log(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`: rebuild a plan whose event log is
+        the serialized one, byte-for-byte.
+
+        The returned plan carries no rules (it is a *replay log*, not a
+        schedule — it cannot inject new faults), but its
+        :attr:`events` / :meth:`log` / :meth:`to_json` round-trip exactly:
+        ``FaultPlan.from_json(p.to_json()).to_json() == p.to_json()``.
+        The call cursor is advanced past the last logged call so resumed
+        bookkeeping (checkpoint cursors, summaries) stays consistent.
+        """
+        rows = json.loads(text)
+        if not isinstance(rows, list):
+            raise ValueError("fault log JSON must be a list of event records")
+        plan = cls([], name="replay")
+        for i, row in enumerate(rows):
+            try:
+                ev = FaultEvent(
+                    index=int(row["index"]),
+                    call=int(row["call"]),
+                    collective=str(row["collective"]),
+                    phase=row["phase"],
+                    kind=str(row["kind"]),
+                    attempt=int(row["attempt"]),
+                    rank=row["rank"],
+                    detail=str(row.get("detail", "")),
+                )
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"malformed fault event at row {i}: {exc}") from None
+            plan.events.append(ev)
+        if plan.events:
+            plan._n_calls = max(e.call for e in plan.events) + 1
+        return plan
 
     def summary(self) -> Dict[str, int]:
         """Injection counts by fault kind."""
@@ -357,6 +412,32 @@ def _permanent(
     )
 
 
+def _crash(
+    seed: int = 0,
+    collective: Optional[str] = None,
+    phase: Optional[str] = None,
+    after: int = 5,
+) -> FaultPlan:
+    """A rank dies mid-collective: the *after*-th matching call raises
+    :class:`~repro.faults.errors.CollectiveError` immediately — no retry
+    can resurrect a dead rank.  Exactly one crash fires per plan; a
+    supervisor that restarts the run (``repro.recovery``) then proceeds
+    on the surviving schedule."""
+    return FaultPlan(
+        [
+            FaultRule(
+                kind="crash",
+                collective=collective,
+                phase=phase,
+                skip_calls=max(after - 1, 0),
+                max_injections=1,
+            )
+        ],
+        seed=seed,
+        name="crash",
+    )
+
+
 #: name → factory, for ``FaultPlan`` construction by preset name
 #: (CLI ``--preset`` and the differential fault matrix).
 PRESETS = {
@@ -364,6 +445,7 @@ PRESETS = {
     "stragglers": _stragglers,
     "outage": _outage,
     "permanent": _permanent,
+    "crash": _crash,
 }
 
 

@@ -9,15 +9,24 @@ Round-trips are exact (tested), and files are self-describing via a
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Union
+from typing import Any, Dict, Mapping, Tuple, Union
 
 import numpy as np
 
 from .matrix import Matrix
 from .vector import Vector
 
-__all__ = ["save_matrix", "load_matrix", "save_vector", "load_vector", "load"]
+__all__ = [
+    "save_matrix",
+    "load_matrix",
+    "save_vector",
+    "load_vector",
+    "save_state",
+    "load_state",
+    "load",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -68,6 +77,52 @@ def load_vector(path: PathLike) -> Vector:
         return Vector.sparse(int(z["size"]), z["indices"], z["values"])
 
 
+def save_state(
+    path: PathLike,
+    vectors: Mapping[str, Vector],
+    meta: Mapping[str, Any] | None = None,
+) -> None:
+    """Write several named vectors plus a JSON metadata blob in one ``.npz``.
+
+    This is the checkpoint container of :mod:`repro.recovery`: one archive
+    holds the parent vector, star flags and active bitmap of a LACC
+    iteration, next to scalar facts (iteration number, simulated clock,
+    fault-plan cursor, CRC) that must survive a process restart.  Names
+    must be simple identifiers; each vector is stored exactly like
+    :func:`save_vector` (sparse arrays + logical size), so round-trips are
+    lossless across all dtypes and storage modes.
+    """
+    payload: Dict[str, Any] = {
+        "kind": "state",
+        "meta_json": json.dumps(dict(meta or {}), sort_keys=True),
+        "names": np.array(sorted(vectors), dtype=np.str_),
+    }
+    for name, v in vectors.items():
+        if not name.isidentifier():
+            raise ValueError(f"state entry name {name!r} must be an identifier")
+        idx, vals = v.sparse_arrays()
+        payload[f"v_{name}_size"] = v.size
+        payload[f"v_{name}_indices"] = idx
+        payload[f"v_{name}_values"] = vals
+    np.savez_compressed(path, **payload)
+
+
+def load_state(path: PathLike) -> Tuple[Dict[str, Vector], Dict[str, Any]]:
+    """Read a ``(vectors, meta)`` bundle written by :func:`save_state`."""
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["kind"]) != "state":
+            raise ValueError(f"{path}: not a serialized state bundle")
+        meta = json.loads(str(z["meta_json"]))
+        vectors: Dict[str, Vector] = {}
+        for name in [str(x) for x in z["names"]]:
+            vectors[name] = Vector.sparse(
+                int(z[f"v_{name}_size"]),
+                z[f"v_{name}_indices"],
+                z[f"v_{name}_values"],
+            )
+    return vectors, meta
+
+
 def load(path: PathLike):
     """Dispatch on the archive's ``kind`` field."""
     with np.load(path, allow_pickle=False) as z:
@@ -76,4 +131,6 @@ def load(path: PathLike):
         return load_matrix(path)
     if kind == "vector":
         return load_vector(path)
+    if kind == "state":
+        return load_state(path)
     raise ValueError(f"{path}: unknown serialized kind {kind!r}")

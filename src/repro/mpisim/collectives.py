@@ -62,6 +62,12 @@ def _log2(p: int) -> float:
     return math.log2(p) if p > 1 else 0.0
 
 
+def _calling_iteration() -> Optional[int]:
+    """Iteration of the innermost open ``iteration`` span, if any."""
+    sp = _obs().innermost("iteration")
+    return None if sp is None else sp.attrs.get("iteration")
+
+
 def _with_faults(
     cost: CostModel, name: str, phase: Optional[str], charge: Callable[[], float]
 ) -> float:
@@ -75,6 +81,16 @@ def _with_faults(
     if plan is None:
         return charge()
     call = plan.begin_call(name, phase)
+    crashed = call.crashes()
+    if crashed:
+        # a rank died mid-collective — the collective never completes, so
+        # nothing further is charged and no retry is priced; recovery is
+        # the supervisor's job (repro.recovery)
+        for rule in crashed:
+            call.record(rule, 0, None, "rank died mid-collective")
+        raise CollectiveError(
+            name, 1, ["crash"], phase, iteration=_calling_iteration()
+        )
     dt = charge()
     if not call:
         return dt
@@ -95,7 +111,11 @@ def _with_faults(
         attempt += 1
         if attempt > plan.max_retries:
             raise CollectiveError(
-                name, attempt, sorted({r.kind for r in active}), phase
+                name,
+                attempt,
+                sorted({r.kind for r in active}),
+                phase,
+                iteration=_calling_iteration(),
             )
         backoff = backoff_base * (2 ** (attempt - 1))
         with _obs().span("retry", "fault", collective=name, attempt=attempt) as rsp:

@@ -46,6 +46,13 @@ from repro.obs.tracer import current as _obs
 __all__ = ["SimComm"]
 
 
+def _calling_iteration() -> Optional[int]:
+    """Iteration of the innermost open ``iteration`` span, if any — so a
+    :class:`CollectiveError` can say *when* the collective died."""
+    sp = _obs().innermost("iteration")
+    return None if sp is None else sp.attrs.get("iteration")
+
+
 class SimComm:
     """A world of *p* simulated ranks with contiguous ids ``0..p-1``.
 
@@ -144,6 +151,19 @@ class SimComm:
         call = plan.begin_call(name)
         if not call:
             return rebuild(leaves)
+        crashed = call.crashes()
+        if crashed:
+            # a rank died mid-collective: nothing was delivered and no
+            # retry can bring the rank back — fail immediately and let a
+            # supervisor (repro.recovery) restart from checkpointed state
+            for rule in crashed:
+                call.record(rule, 0, None, "rank died mid-collective")
+            if sp:
+                sp.add("faults_detected", len(crashed))
+                sp.set("crashed", True)
+            raise CollectiveError(
+                name, 1, ["crash"], iteration=_calling_iteration()
+            )
         expected = checksums(leaves)
         for rule in call.delays():
             extra = self._price_delay(rule.delay_factor, words, messages)
@@ -181,7 +201,9 @@ class SimComm:
             kinds = sorted({r.kind for r in active})
             attempt += 1
             if attempt >= max_attempts:
-                raise CollectiveError(name, attempt, kinds)
+                raise CollectiveError(
+                    name, attempt, kinds, iteration=_calling_iteration()
+                )
             backoff = self.backoff_base * (2 ** (attempt - 1))
             with _obs().span(
                 "retry", "fault", collective=name, attempt=attempt

@@ -178,6 +178,21 @@ class Tracer:
         """The innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None
 
+    def innermost(
+        self, name: Optional[str] = None, cat: Optional[str] = None
+    ) -> Optional[Span]:
+        """The innermost *open* span matching *name*/*cat*, or ``None``.
+
+        Lets deeply nested code attribute events to an enclosing region
+        without threading it through every call signature — e.g. the fault
+        envelope stamps :class:`~repro.faults.CollectiveError` with the
+        iteration of the enclosing ``iteration`` span.
+        """
+        for sp in reversed(self._stack):
+            if (name is None or sp.name == name) and (cat is None or sp.cat == cat):
+                return sp
+        return None
+
     @property
     def enabled(self) -> bool:
         return True
@@ -248,6 +263,9 @@ class NullTracer:
 
     @property
     def current(self) -> None:
+        return None
+
+    def innermost(self, name: Optional[str] = None, cat: Optional[str] = None) -> None:
         return None
 
     @property

@@ -1,0 +1,67 @@
+"""repro.recovery — checkpoint/restart supervision with self-healing
+state repair.
+
+The fault layer (:mod:`repro.faults`) ends at *fail loud or answer
+right*: transient faults heal inside the collectives' retry envelope,
+permanent ones raise :class:`~repro.faults.CollectiveError`.  This
+package closes the loop for the permanent side — including the
+unrecoverable ``crash`` fault kind (a rank dying mid-collective) and
+hangs (watchdog deadlines on the simulated clock):
+
+* :mod:`repro.recovery.checkpoint` — versioned, CRC-checksummed
+  :class:`Checkpoint` snapshots of LACC iteration state, with in-memory
+  (:class:`MemoryCheckpointStore`) and on-disk
+  (:class:`DiskCheckpointStore`) backends over
+  :mod:`repro.graphblas.serialize`;
+* :mod:`repro.recovery.auditor` — :class:`StateAuditor`, which validates
+  the parent-forest invariants and repairs violations in place, leaning
+  on Awerbuch–Shiloach's self-stabilization (any in-range acyclic forest
+  converges);
+* :mod:`repro.recovery.supervisor` — :class:`Supervisor`, the
+  run → audit → repair → rollback → degrade state machine wrapping all
+  four LACC drivers, with a bounded recovery budget, α–β-charged
+  recovery time and a structured recovery-event record.
+
+Typical use::
+
+    from repro.faults import preset
+    from repro.recovery import Supervisor, SupervisorConfig
+    from repro.core.lacc_spmd import lacc_spmd
+
+    sup = Supervisor(config=SupervisorConfig(max_recoveries=3))
+    res = sup.run(lacc_spmd, g, ranks=4,
+                  faults=preset("crash", seed=7, phase="shortcut"))
+    res.labels          # exact, crash or no crash
+    res.events          # what recovery did, on the simulated timeline
+
+See ``docs/ROBUSTNESS.md`` for the recovery model and guarantees.
+"""
+
+from .auditor import AuditReport, StateAuditor
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
+from .errors import CheckpointCorrupt, RecoveryError, RecoveryExhausted, WatchdogTimeout
+from .supervisor import RecoveryEvent, SupervisedResult, Supervisor, SupervisorConfig
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DiskCheckpointStore",
+    "StateAuditor",
+    "AuditReport",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisedResult",
+    "RecoveryEvent",
+    "RecoveryError",
+    "WatchdogTimeout",
+    "RecoveryExhausted",
+    "CheckpointCorrupt",
+]

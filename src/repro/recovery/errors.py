@@ -1,0 +1,59 @@
+"""Typed failures of the checkpoint/restart layer.
+
+All three inherit :class:`RecoveryError`, so callers can catch the whole
+family; each carries the structured facts (iteration, budgets, CRCs) the
+:class:`~repro.recovery.Supervisor` logs into its recovery-event record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["RecoveryError", "WatchdogTimeout", "RecoveryExhausted", "CheckpointCorrupt"]
+
+
+class RecoveryError(RuntimeError):
+    """Base class for recovery-layer failures."""
+
+
+class WatchdogTimeout(RecoveryError):
+    """An iteration overran the supervisor's deadline on the simulated
+    clock — the hang analogue of a crash (a deadlocked collective never
+    raises on its own)."""
+
+    def __init__(self, iteration: int, elapsed: float, deadline: float):
+        self.iteration = iteration
+        self.elapsed = elapsed
+        self.deadline = deadline
+        super().__init__(
+            f"iteration {iteration} took {elapsed:.6g} simulated seconds, "
+            f"over the {deadline:.6g}s watchdog deadline"
+        )
+
+
+class RecoveryExhausted(RecoveryError):
+    """The bounded recovery budget ran out and no degraded fallback was
+    allowed (``SupervisorConfig.allow_degraded=False``)."""
+
+    def __init__(self, attempts: int, budget: int, last_error: Optional[BaseException]):
+        self.attempts = attempts
+        self.budget = budget
+        self.last_error = last_error
+        super().__init__(
+            f"recovery budget exhausted after {attempts} attempt(s) "
+            f"(budget {budget}); last error: {last_error!r}"
+        )
+
+
+class CheckpointCorrupt(RecoveryError):
+    """A checkpoint failed its CRC or version check on load.
+
+    The supervisor treats this as a *skippable* condition during rollback
+    (it walks to the next-older checkpoint), but surfaces it loudly when a
+    checkpoint is loaded directly.
+    """
+
+    def __init__(self, iteration: int, reason: str):
+        self.iteration = iteration
+        self.reason = reason
+        super().__init__(f"checkpoint for iteration {iteration} is corrupt: {reason}")

@@ -1,0 +1,446 @@
+"""Checkpoint/restart supervision of LACC drivers.
+
+:class:`Supervisor` wraps any of the four drivers (:func:`repro.core.lacc`,
+:func:`~repro.core.lacc_dist.lacc_dist`,
+:func:`~repro.core.lacc_spmd.lacc_spmd`,
+:func:`~repro.core.lacc_2d.lacc_2d`) with a recovery state machine::
+
+    run ──fault/deadline──▶ audit ──violations──▶ repair ──▶ resume
+     ▲                        │                                │
+     │                        └─recurring failure─▶ rollback ──┘
+     └──────── budget exhausted ─▶ degrade (serial replay) ─▶ done
+
+* every iteration boundary, the driver's ``on_iteration`` hook snapshots
+  state; every ``checkpoint_interval``-th snapshot is sealed into a
+  CRC-checksummed :class:`~repro.recovery.checkpoint.Checkpoint` and
+  written to the store (checkpoint traffic is charged through the α–β
+  cost model under the ``checkpoint`` phase);
+* a permanent :class:`~repro.faults.CollectiveError` (including the
+  unrecoverable ``crash`` fault kind) or a
+  :class:`~repro.recovery.WatchdogTimeout` (iteration overran
+  ``iteration_deadline`` simulated seconds) triggers recovery;
+* recovery prefers **audit-repair** — run the
+  :class:`~repro.recovery.StateAuditor` over the freshest in-memory
+  snapshot and resume from it (cheap: Awerbuch–Shiloach is
+  self-stabilizing, see the auditor's module docstring) — and escalates
+  to **rollback** (newest CRC-valid durable checkpoint, walking older on
+  repeats) when failures recur at the same iteration;
+* when the bounded budget (``max_recoveries``) is spent, the run
+  **degrades**: the repaired best-known state replays on the serial
+  single-node driver, which bypasses the faulty simulated network
+  entirely and is guaranteed to finish — labels stay exact, only the
+  performance story weakens (``SupervisedResult.degraded`` flags it).
+
+Every action lands in :attr:`SupervisedResult.events` and as ``recovery``
+-category spans on the active tracer, so a Chrome trace of a supervised
+run shows checkpoint writes, repairs and rollbacks on the simulated
+timeline next to the algorithm's own phases.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.core.snapshot import IterationSnapshot
+from repro.faults.errors import CollectiveError
+from repro.mpisim.costmodel import CostModel
+from repro.obs.tracer import activate
+from repro.obs.tracer import current as _obs
+
+from .auditor import StateAuditor
+from .checkpoint import Checkpoint, CheckpointStore, MemoryCheckpointStore
+from .errors import RecoveryExhausted, WatchdogTimeout
+
+__all__ = ["SupervisorConfig", "RecoveryEvent", "SupervisedResult", "Supervisor"]
+
+
+@dataclass
+class SupervisorConfig:
+    """Tuning knobs of the recovery state machine."""
+
+    #: seal every k-th iteration snapshot into the store (0 disables)
+    checkpoint_interval: int = 1
+    #: bounded recovery budget: recoveries beyond this degrade (or raise)
+    max_recoveries: int = 3
+    #: watchdog: max simulated seconds one iteration may take (None = off;
+    #: wall-clock drivers report 0 simulated seconds, so it never fires
+    #: for plain serial runs)
+    iteration_deadline: Optional[float] = None
+    #: on budget exhaustion, replay serially instead of raising
+    allow_degraded: bool = True
+    #: charge checkpoint traffic + restart penalties into the cost model
+    charge_recovery: bool = True
+    #: extra simulated seconds charged per recovery (job-restart cost)
+    restart_penalty_seconds: float = 0.0
+
+
+@dataclass
+class RecoveryEvent:
+    """One row of the recovery-event record (the CI artifact)."""
+
+    action: str  # "fault" | "watchdog" | "audit_repair" | "rollback" | "degrade"
+    iteration: Optional[int]
+    simulated_seconds: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "iteration": self.iteration,
+            "simulated_seconds": self.simulated_seconds,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SupervisedResult:
+    """A driver result plus the supervision record around it."""
+
+    result: Any  # LACCResult / DistLACCResult / SPMDResult / Grid2DResult
+    events: List[RecoveryEvent] = field(default_factory=list)
+    degraded: bool = False
+    checkpoints_written: int = 0
+    attempts: int = 1  # driver invocations (1 = clean run)
+    cost: Optional[CostModel] = None
+
+    @property
+    def parents(self) -> np.ndarray:
+        return self.result.parents
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.result.labels
+
+    @property
+    def n_components(self) -> int:
+        return self.result.n_components
+
+    @property
+    def n_iterations(self) -> int:
+        return self.result.n_iterations
+
+    @property
+    def n_recoveries(self) -> int:
+        """Recovery actions taken (repairs + rollbacks + degrades)."""
+        return sum(
+            1 for e in self.events if e.action in ("audit_repair", "rollback", "degrade")
+        )
+
+
+class Supervisor:
+    """Runs a LACC driver under checkpoint/restart supervision.
+
+    Parameters
+    ----------
+    store:
+        Checkpoint backend; defaults to a fresh
+        :class:`~repro.recovery.MemoryCheckpointStore`.
+    config:
+        :class:`SupervisorConfig`; defaults are sensible for tests.
+    auditor:
+        :class:`~repro.recovery.StateAuditor` used by audit-repair and to
+        sanitise the degraded replay's input.
+    """
+
+    def __init__(
+        self,
+        store: Optional[CheckpointStore] = None,
+        config: Optional[SupervisorConfig] = None,
+        auditor: Optional[StateAuditor] = None,
+    ):
+        self.store = store if store is not None else MemoryCheckpointStore()
+        self.config = config if config is not None else SupervisorConfig()
+        self.auditor = auditor if auditor is not None else StateAuditor()
+
+    # ------------------------------------------------------------------
+    def run(self, driver: Callable, *args: Any, **kwargs: Any) -> SupervisedResult:
+        """Invoke ``driver(*args, **kwargs)`` under supervision.
+
+        The driver must expose the checkpoint-resume surface of
+        :mod:`repro.core.snapshot` (``on_iteration`` / ``initial_parents``
+        / ``start_iteration``) — all four in-tree drivers do.  A caller-
+        supplied ``on_iteration`` is chained after the supervisor's own
+        hook; a caller-supplied ``cost`` model is reused across restart
+        attempts so the simulated clock runs continuously (for
+        :func:`~repro.core.lacc_dist.lacc_dist` one is created
+        automatically when absent).
+        """
+        cfg = self.config
+        params = inspect.signature(driver).parameters
+        for req in ("on_iteration", "initial_parents", "start_iteration"):
+            if req not in params:
+                raise TypeError(
+                    f"driver {getattr(driver, '__name__', driver)!r} does not "
+                    f"accept {req!r} — not supervisable"
+                )
+        kw = dict(kwargs)
+        user_hook = kw.pop("on_iteration", None)
+        master_cost: Optional[CostModel] = kw.get("cost")
+        if master_cost is None and "cost" in params and "machine" in params:
+            # lacc_dist: build one master model up front so recovery time
+            # and all attempts share a single continuous simulated clock
+            machine = kw.get("machine", args[1] if len(args) > 1 else None)
+            if machine is not None:
+                from repro.core.lacc_dist import grid_for
+
+                nodes = int(kw.get("nodes", 1))
+                nprocs, _ = grid_for(machine, nodes)
+                master_cost = CostModel(
+                    machine,
+                    nprocs,
+                    nodes,
+                    trace=bool(kw.get("trace_comm", False)),
+                    faults=kw.get("faults"),
+                )
+                kw["cost"] = master_cost
+
+        events: List[RecoveryEvent] = []
+        latest: List[Optional[IterationSnapshot]] = [None]  # freshest in-memory
+        ckpts_written = [0]
+        last_sim = [0.0]
+        tracer = kw.get("tracer")
+
+        def rec_ctx():
+            # recovery actions run outside the driver (which activates the
+            # tracer itself); re-activate it here so audit/rollback/degrade
+            # spans land in the same trace, on the same simulated clock
+            return activate(tracer) if tracer is not None else contextlib.nullcontext()
+
+        def now() -> float:
+            if master_cost is not None:
+                return master_cost.total_seconds
+            snap = latest[0]
+            return 0.0 if snap is None else snap.simulated_seconds
+
+        def hook(snap: IterationSnapshot) -> None:
+            dt = snap.simulated_seconds - last_sim[0]
+            last_sim[0] = snap.simulated_seconds
+            latest[0] = snap
+            if cfg.checkpoint_interval and snap.iteration % cfg.checkpoint_interval == 0:
+                ck = Checkpoint.from_snapshot(snap)
+                with _obs().span(
+                    "checkpoint", "recovery", iteration=snap.iteration
+                ) as sp:
+                    self.store.save(ck)
+                    if master_cost is not None and cfg.charge_recovery:
+                        # writing the state to stable storage moves words
+                        master_cost.charge_comm(ck.words, 1, "checkpoint")
+                    if sp:
+                        sp.set("words", ck.words)
+                ckpts_written[0] += 1
+            if user_hook is not None:
+                user_hook(snap)
+            if cfg.iteration_deadline is not None and dt > cfg.iteration_deadline:
+                raise WatchdogTimeout(snap.iteration, dt, cfg.iteration_deadline)
+
+        resume: Optional[IterationSnapshot] = None
+        attempts = 0
+        recoveries = 0
+        last_failure_iter: Optional[int] = None
+        rollback_depth = 0
+
+        while True:
+            attempts += 1
+            kw2 = dict(kw)
+            kw2["on_iteration"] = hook
+            if resume is not None:
+                kw2["initial_parents"] = resume.parents
+                kw2["start_iteration"] = resume.iteration
+                if resume.active is not None and "initial_active" in params:
+                    kw2["initial_active"] = resume.active
+            try:
+                result = driver(*args, **kw2)
+            except (CollectiveError, WatchdogTimeout) as exc:
+                recoveries += 1
+                fail_iter = getattr(exc, "iteration", None)
+                if fail_iter is None and latest[0] is not None:
+                    fail_iter = latest[0].iteration + 1  # mid-flight iteration
+                events.append(
+                    RecoveryEvent(
+                        "watchdog" if isinstance(exc, WatchdogTimeout) else "fault",
+                        fail_iter,
+                        now(),
+                        str(exc),
+                    )
+                )
+                with rec_ctx():
+                    if recoveries > cfg.max_recoveries:
+                        return self._degrade(
+                            exc, args, kw, events, latest[0], resume,
+                            ckpts_written[0], attempts, master_cost,
+                        )
+                    if (
+                        last_failure_iter is not None
+                        and fail_iter is not None
+                        and fail_iter <= last_failure_iter
+                    ):
+                        # audit-repair did not get us past this point — the
+                        # in-memory state is suspect, fall back to durable,
+                        # CRC-verified checkpoints, one older per repeat
+                        rollback_depth += 1
+                        resume = self._rollback(rollback_depth, events)
+                    else:
+                        rollback_depth = 0
+                        resume = self._audit_repair(latest[0], events)
+                    last_failure_iter = fail_iter
+                    if master_cost is not None and cfg.charge_recovery:
+                        with _obs().span(
+                            "recovery", "recovery", action=events[-1].action
+                        ):
+                            master_cost.charge_seconds(
+                                cfg.restart_penalty_seconds, "recovery", "recovery"
+                            )
+                            if resume is not None:
+                                # reading the resume state back moves words
+                                master_cost.charge_comm(
+                                    Checkpoint.from_snapshot(resume).words,
+                                    1,
+                                    "recovery",
+                                )
+                last_sim[0] = now() if master_cost is not None else (
+                    resume.simulated_seconds if resume is not None else 0.0
+                )
+                continue
+            return SupervisedResult(
+                result=result,
+                events=events,
+                degraded=False,
+                checkpoints_written=ckpts_written[0],
+                attempts=attempts,
+                cost=master_cost if master_cost is not None
+                else getattr(result, "cost", None),
+            )
+
+    # ------------------------------------------------------------------
+    def _audit_repair(
+        self,
+        latest: Optional[IterationSnapshot],
+        events: List[RecoveryEvent],
+    ) -> Optional[IterationSnapshot]:
+        """Repair the freshest in-memory snapshot and resume from it; fall
+        back to the newest durable checkpoint, then to a fresh start."""
+        source = latest
+        if source is None:
+            ck = self.store.latest_valid()
+            source = None if ck is None else ck.to_snapshot()
+        if source is None:
+            events.append(
+                RecoveryEvent("audit_repair", None, 0.0, "no state yet — fresh start")
+            )
+            return None
+        snap = IterationSnapshot(
+            iteration=source.iteration,
+            parents=np.array(source.parents, dtype=np.int64, copy=True),
+            star=None if source.star is None else source.star.copy(),
+            active=None if source.active is None else source.active.copy(),
+            simulated_seconds=source.simulated_seconds,
+            plan_cursor=source.plan_cursor,
+        )
+        report = self.auditor.repair(snap)
+        events.append(
+            RecoveryEvent(
+                "audit_repair", snap.iteration, snap.simulated_seconds,
+                report.summary(),
+            )
+        )
+        return snap
+
+    def _rollback(
+        self, depth: int, events: List[RecoveryEvent]
+    ) -> Optional[IterationSnapshot]:
+        """Resume from the *depth*-th newest CRC-valid checkpoint (corrupt
+        ones skipped); an exhausted store restarts from scratch."""
+        valid: List[Checkpoint] = []
+        before: Optional[int] = None
+        for _ in range(depth):
+            ck = self.store.latest_valid(before=before)
+            if ck is None:
+                break
+            valid.append(ck)
+            before = ck.iteration
+        if not valid:
+            events.append(
+                RecoveryEvent("rollback", None, 0.0, "no valid checkpoint — restart")
+            )
+            return None
+        ck = valid[-1]
+        snap = ck.to_snapshot()
+        # a CRC-valid checkpoint has exact bytes, but run the semantic
+        # audit anyway — it is cheap and recomputes the advisory flags
+        self.auditor.repair(snap)
+        events.append(
+            RecoveryEvent(
+                "rollback", ck.iteration, ck.simulated_seconds,
+                f"checkpoint iteration {ck.iteration} (depth {len(valid)})",
+            )
+        )
+        return snap
+
+    def _degrade(
+        self,
+        exc: BaseException,
+        args: tuple,
+        kw: dict,
+        events: List[RecoveryEvent],
+        latest: Optional[IterationSnapshot],
+        resume: Optional[IterationSnapshot],
+        ckpts_written: int,
+        attempts: int,
+        master_cost: Optional[CostModel],
+    ) -> SupervisedResult:
+        """Budget exhausted: replay serially from the best known state.
+
+        The serial driver touches no simulated network, so it cannot hit
+        the faults that burned the budget — completion is guaranteed and
+        the labels stay exact; only the distributed performance story is
+        lost, which :attr:`SupervisedResult.degraded` records.
+        """
+        cfg = self.config
+        if not cfg.allow_degraded:
+            raise RecoveryExhausted(attempts, cfg.max_recoveries, exc)
+        from repro.core.lacc import lacc
+
+        target = args[0] if args else kw.get("A", kw.get("g"))
+        A = target.to_matrix() if hasattr(target, "to_matrix") else target
+        # best known state: freshest of the in-memory snapshot, the current
+        # resume state, and the newest CRC-valid durable checkpoint
+        best = latest if latest is not None else resume
+        ck = self.store.latest_valid()
+        if ck is not None and (best is None or ck.iteration > best.iteration):
+            best = ck.to_snapshot()
+        kw_serial: dict = {}
+        detail = "serial replay from scratch"
+        if best is not None:
+            self.auditor.repair(best)  # sanitise before handing to lacc
+            kw_serial = dict(
+                initial_parents=best.parents, start_iteration=best.iteration
+            )
+            if best.active is not None:
+                kw_serial["initial_active"] = best.active
+            detail = f"serial replay from iteration {best.iteration}"
+        with _obs().span(
+            "degrade", "recovery",
+            from_iteration=0 if best is None else best.iteration,
+        ):
+            result = lacc(A, **kw_serial)
+        events.append(
+            RecoveryEvent(
+                "degrade",
+                None if best is None else best.iteration,
+                0.0 if master_cost is None else master_cost.total_seconds,
+                detail,
+            )
+        )
+        return SupervisedResult(
+            result=result,
+            events=events,
+            degraded=True,
+            checkpoints_written=ckpts_written,
+            attempts=attempts + 1,
+            cost=master_cost,
+        )

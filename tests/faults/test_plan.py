@@ -151,7 +151,11 @@ class TestPresets:
 
     def test_fault_kind_lists_consistent(self):
         assert set(DATA_FAULT_KINDS) < set(FAULT_KINDS)
-        assert set(FAULT_KINDS) - set(DATA_FAULT_KINDS) == {"delay", "fail"}
+        assert set(FAULT_KINDS) - set(DATA_FAULT_KINDS) == {
+            "delay",
+            "fail",
+            "crash",
+        }
 
 
 class TestInjector:
@@ -197,3 +201,74 @@ class TestInjector:
         leaves = [np.array([True, False, True])]
         damaged, idx, _ = inject("corrupt", leaves, rng)
         assert (damaged[0] != leaves[0]).sum() == 1
+
+
+class TestJsonRoundTrip:
+    """``from_json`` is the byte-exact inverse of ``to_json``."""
+
+    def drive(self, plan, calls=6):
+        """Exercise a plan the way a collective envelope would."""
+        for _ in range(calls):
+            call = plan.begin_call("allgather", "cond_hook")
+            for rule in call.crashes():
+                call.record(rule, 0, None, "rank died mid-collective")
+            for rule in call.delays():
+                call.record(rule, 0, None, "straggler")
+            for rule in call.active(0):
+                call.record(rule, 0, 1, "detected by validation")
+        return plan
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_round_trip_every_preset(self, name):
+        plan = self.drive(preset(name, seed=3))
+        text = plan.to_json()
+        replay = FaultPlan.from_json(text)
+        assert replay.to_json() == text  # byte-for-byte
+
+    def test_replay_preserves_log_and_cursor(self):
+        plan = self.drive(preset("flaky", seed=1, rate=1.0))
+        replay = FaultPlan.from_json(plan.to_json())
+        assert replay.log() == plan.log()
+        assert replay.summary() == plan.summary()
+        assert replay.n_injected == plan.n_injected
+        # cursor advanced past the last logged call
+        assert replay.cursor == max(e.call for e in plan.events) + 1
+
+    def test_replay_carries_no_rules(self):
+        plan = self.drive(preset("crash", seed=0, after=1))
+        replay = FaultPlan.from_json(plan.to_json())
+        assert replay.rules == ()
+        assert not replay.begin_call("allgather", "cond_hook").fired
+
+    def test_empty_log_round_trips(self):
+        replay = FaultPlan.from_json(FaultPlan([], seed=0).to_json())
+        assert replay.to_json() == "[]" and replay.cursor == 0
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            FaultPlan.from_json('{"not": "a list"}')
+        with pytest.raises(ValueError, match="malformed fault event"):
+            FaultPlan.from_json('[{"index": 0}]')
+
+
+class TestCrashKind:
+    """The unrecoverable fault the recovery supervisor exists for."""
+
+    def test_crash_fires_exactly_once(self):
+        plan = preset("crash", seed=0, after=3)
+        hits = [bool(plan.begin_call("bcast").crashes()) for _ in range(8)]
+        assert hits == [False, False, True, False, False, False, False, False]
+
+    def test_crash_excluded_from_delivery_faults(self):
+        plan = preset("crash", seed=0, after=1)
+        call = plan.begin_call("bcast")
+        assert call.crashes()
+        # the retry envelope must never see it as a retryable fault
+        for attempt in range(4):
+            assert call.active(attempt) == []
+        assert call.delays() == []
+
+    def test_crash_respects_phase_filter(self):
+        plan = preset("crash", seed=0, phase="shortcut", after=1)
+        assert not plan.begin_call("bcast", "cond_hook").crashes()
+        assert plan.begin_call("bcast", "shortcut").crashes()

@@ -106,3 +106,96 @@ class TestDispatch:
         r1 = lacc(A)
         r2 = lacc(serialize.load_matrix(p))
         np.testing.assert_array_equal(r1.parents, r2.parents)
+
+
+DTYPES = [np.bool_, np.int32, np.int64, np.uint64, np.float64]
+
+
+def _values_for(dtype, rng, k):
+    if dtype is np.bool_:
+        return rng.integers(0, 2, size=k).astype(np.bool_)
+    if dtype is np.uint64:
+        return rng.integers(0, 2**63, size=k, dtype=np.uint64)
+    if dtype is np.float64:
+        return rng.standard_normal(k)
+    return rng.integers(-1000, 1000, size=k).astype(dtype)
+
+
+class TestDtypeMatrix:
+    """Round-trips across every dtype the LACC stack stores, in both
+    storage modes — the contract checkpointing leans on."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_sparse_mode(self, dtype, tmp_path):
+        rng = np.random.default_rng(hash(np.dtype(dtype).name) % 2**32)
+        idx = np.sort(rng.choice(64, size=17, replace=False))
+        v = Vector.sparse(64, idx, _values_for(dtype, rng, 17), dtype=dtype)
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        back = serialize.load_vector(p)
+        assert back.dtype == np.dtype(dtype)
+        assert back.isequal(v)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_dense_mode(self, dtype, tmp_path):
+        # dense mode marks every position present, so falsy values (bool
+        # False, 0) must survive the sparse on-disk layout
+        rng = np.random.default_rng(1)
+        v = Vector.dense(_values_for(dtype, rng, 40))
+        assert v.mode == "dense" and v.nvals == 40
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        back = serialize.load_vector(p)
+        assert back.dtype == np.dtype(dtype)
+        assert back.nvals == 40
+        assert back.isequal(v)
+
+    def test_uint64_upper_range_exact(self, tmp_path):
+        v = Vector.sparse(
+            4, [0, 3], np.array([2**63 + 5, 2**64 - 1], dtype=np.uint64),
+            dtype=np.uint64,
+        )
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, v)
+        idx, vals = serialize.load_vector(p).sparse_arrays()
+        np.testing.assert_array_equal(vals, [2**63 + 5, 2**64 - 1])
+
+
+class TestStateBundle:
+    """save_state/load_state — the checkpoint container."""
+
+    def test_round_trip_vectors_and_meta(self, tmp_path):
+        parents = Vector.dense(np.array([0, 0, 2, 2], dtype=np.int64))
+        star = Vector.dense(np.array([True, True, False, True]))
+        meta = {"iteration": 3, "simulated_seconds": 1.25, "crc": 12345}
+        p = tmp_path / "state.npz"
+        serialize.save_state(p, {"parents": parents, "star": star}, meta=meta)
+        vectors, back_meta = serialize.load_state(p)
+        assert set(vectors) == {"parents", "star"}
+        np.testing.assert_array_equal(vectors["parents"].to_numpy(), [0, 0, 2, 2])
+        np.testing.assert_array_equal(
+            vectors["star"].to_numpy().astype(bool), [True, True, False, True]
+        )
+        assert back_meta == meta
+
+    def test_meta_optional(self, tmp_path):
+        p = tmp_path / "state.npz"
+        serialize.save_state(p, {"x": Vector.iota(3)})
+        vectors, meta = serialize.load_state(p)
+        assert meta == {} and vectors["x"].isequal(Vector.iota(3))
+
+    def test_bad_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="identifier"):
+            serialize.save_state(tmp_path / "s.npz", {"no-dash": Vector.iota(2)})
+
+    def test_load_dispatches_state(self, tmp_path):
+        p = tmp_path / "state.npz"
+        serialize.save_state(p, {"x": Vector.iota(2)}, meta={"k": 1})
+        vectors, meta = serialize.load(p)
+        assert meta == {"k": 1} and "x" in vectors
+
+    def test_vector_archive_is_not_state(self, tmp_path):
+        p = tmp_path / "v.npz"
+        serialize.save_vector(p, Vector.iota(3))
+        with pytest.raises(ValueError, match="not a serialized state"):
+            serialize.load_state(p)

@@ -1,0 +1,1 @@
+"""Tests for repro.recovery — checkpointing, state repair, supervision."""

@@ -1,0 +1,136 @@
+"""StateAuditor: invariant checking and in-place self-healing repair.
+
+The convergence tests lean on Awerbuch–Shiloach self-stabilization: a
+repaired (in-range, acyclic) forest resumed on the serial driver must
+still reach the exact oracle partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lacc import lacc
+from repro.core.snapshot import IterationSnapshot
+from repro.graphs import generators as gen
+from repro.graphs.validate import same_partition
+from repro.recovery import StateAuditor
+
+
+def oracle_labels(g):
+    """Union–find oracle (min-vertex-id labels)."""
+    from repro.baselines import union_find
+
+    return union_find.connected_components(g.n, g.u, g.v)
+
+
+def make_snap(parents, active=True):
+    p = np.asarray(parents, dtype=np.int64)
+    n = p.size
+    return IterationSnapshot(
+        iteration=2,
+        parents=p,
+        star=np.zeros(n, dtype=bool),
+        active=np.zeros(n, dtype=bool) if active else None,
+    )
+
+
+class TestAudit:
+    def test_clean_forest(self):
+        rep = StateAuditor().audit(np.array([0, 0, 1, 3, 3]))
+        assert rep.clean
+        assert rep.out_of_range == 0 and rep.cycles_broken == 0
+        assert "clean" in rep.summary()
+
+    def test_out_of_range_counted(self):
+        rep = StateAuditor().audit(np.array([0, 99, -1, 0]))
+        assert rep.out_of_range == 2
+        assert rep.cycles_broken == 0  # clamped vertices become roots
+        assert not rep.clean
+
+    def test_cycle_counted(self):
+        # 1→2→3→1 is a 3-cycle; 4 hangs under it
+        rep = StateAuditor().audit(np.array([0, 2, 3, 1, 1]))
+        assert rep.out_of_range == 0
+        assert rep.cycles_broken == 4
+        assert "repaired" in rep.summary()
+
+    def test_audit_does_not_mutate(self):
+        p = np.array([0, 99, 2, 1])
+        q = p.copy()
+        StateAuditor().audit(p)
+        np.testing.assert_array_equal(p, q)
+
+    def test_empty(self):
+        assert StateAuditor().audit(np.array([], dtype=np.int64)).clean
+
+
+class TestRepair:
+    def test_clamps_out_of_range(self):
+        snap = make_snap([0, 99, -5, 2])
+        rep = StateAuditor().repair(snap)
+        assert rep.out_of_range == 2
+        np.testing.assert_array_equal(snap.parents, [0, 1, 2, 2])
+
+    def test_breaks_cycles(self):
+        snap = make_snap([0, 2, 3, 1, 1])
+        rep = StateAuditor().repair(snap)
+        assert rep.cycles_broken == 4
+        # repaired forest must reach roots everywhere
+        assert StateAuditor().audit(snap.parents).clean
+
+    def test_two_cycle(self):
+        # pointer jumping alone maps a 2-cycle to itself — repair must break it
+        snap = make_snap([1, 0])
+        StateAuditor().repair(snap)
+        np.testing.assert_array_equal(snap.parents, [0, 1])
+
+    def test_recomputes_stars(self):
+        # vertex 2 at depth 2 ⇒ its whole tree {0,1,2} is not a star
+        snap = make_snap([0, 0, 1, 3])
+        rep = StateAuditor().repair(snap)
+        assert rep.stars_recomputed
+        np.testing.assert_array_equal(snap.star, [False, False, False, True])
+
+    def test_reactivates_on_repair(self):
+        snap = make_snap([0, 99, 2, 1])
+        rep = StateAuditor().repair(snap)
+        assert rep.reactivated == 4
+        assert snap.active.all()
+
+    def test_clean_state_keeps_active(self):
+        snap = make_snap([0, 0, 1, 3])
+        rep = StateAuditor().repair(snap)
+        assert rep.clean and rep.reactivated == 0
+        assert not snap.active.any()  # untouched
+
+    def test_repaired_state_converges_to_oracle(self):
+        # corrupt a mid-run snapshot six ways, repair, resume serially:
+        # Awerbuch–Shiloach self-stabilization → exact components anyway
+        g = gen.component_mixture([40, 25, 10, 5], seed=3)
+        A = g.to_matrix()
+        snaps = []
+        lacc(A, on_iteration=snaps.append)
+        assert len(snaps) >= 2
+        snap = snaps[0]
+        rng = np.random.default_rng(0)
+        idx = rng.choice(g.n, size=6, replace=False)
+        snap.parents[idx[:2]] = g.n + 17  # out of range
+        snap.parents[idx[2]] = -3
+        a, b, c = idx[3:]
+        snap.parents[[a, b, c]] = [b, c, a]  # 3-cycle
+        rep = StateAuditor().repair(snap)
+        assert not rep.clean
+        res = lacc(
+            A,
+            initial_parents=snap.parents,
+            initial_active=snap.active,
+            start_iteration=snap.iteration,
+        )
+        assert same_partition(res.labels, oracle_labels(g))
+        np.testing.assert_array_equal(res.labels, oracle_labels(g))
+
+    def test_recompute_star_matches_definition(self):
+        parents = np.array([0, 0, 0, 3, 3, 4], dtype=np.int64)
+        star = StateAuditor.recompute_star(parents)
+        # component {0,1,2} is a star; {3,4,5} has depth 2 → not a star
+        np.testing.assert_array_equal(star, [1, 1, 1, 0, 0, 0])

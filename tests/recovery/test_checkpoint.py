@@ -1,0 +1,181 @@
+"""Checkpoint sealing, CRC verification and both store backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot import IterationSnapshot
+from repro.recovery import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointCorrupt,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
+
+
+def snap(iteration=3, n=10, seconds=1.5, cursor=7):
+    rng = np.random.default_rng(iteration)
+    parents = rng.integers(0, n, size=n).astype(np.int64)
+    parents[0] = 0  # at least one root
+    return IterationSnapshot(
+        iteration=iteration,
+        parents=parents,
+        star=parents == np.arange(n),
+        active=np.ones(n, dtype=bool),
+        simulated_seconds=seconds,
+        plan_cursor=cursor,
+    )
+
+
+class TestCheckpoint:
+    def test_seal_and_verify(self):
+        ck = Checkpoint.from_snapshot(snap())
+        assert ck.version == CHECKPOINT_VERSION
+        assert ck.crc == ck.compute_crc() != 0
+        ck.verify()  # no raise
+
+    def test_crc_catches_bit_flip(self):
+        ck = Checkpoint.from_snapshot(snap())
+        ck.parents[4] ^= 1
+        with pytest.raises(CheckpointCorrupt):
+            ck.verify()
+
+    def test_crc_catches_iteration_tamper(self):
+        ck = Checkpoint.from_snapshot(snap(iteration=5))
+        ck.iteration = 6
+        with pytest.raises(CheckpointCorrupt):
+            ck.verify()
+
+    def test_version_mismatch_rejected(self):
+        ck = Checkpoint.from_snapshot(snap())
+        ck.version = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointCorrupt):
+            ck.verify()
+
+    def test_words_counts_all_arrays(self):
+        ck = Checkpoint.from_snapshot(snap(n=10))
+        assert ck.words == 30  # parents + star + active
+        bare = Checkpoint.from_snapshot(
+            IterationSnapshot(iteration=1, parents=np.zeros(10, dtype=np.int64))
+        )
+        assert bare.words == 10
+
+    def test_to_snapshot_round_trip_and_isolation(self):
+        s = snap()
+        ck = Checkpoint.from_snapshot(s)
+        back = ck.to_snapshot()
+        np.testing.assert_array_equal(back.parents, s.parents)
+        np.testing.assert_array_equal(back.star, s.star)
+        np.testing.assert_array_equal(back.active, s.active)
+        assert back.iteration == s.iteration
+        assert back.simulated_seconds == s.simulated_seconds
+        assert back.plan_cursor == s.plan_cursor
+        back.parents[0] = 9  # copies, not views
+        assert ck.parents[0] != 9 or s.parents[0] == ck.parents[0]
+        ck.verify()
+
+
+def stores(tmp_path):
+    return [
+        MemoryCheckpointStore(),
+        DiskCheckpointStore(str(tmp_path / "ckpts")),
+    ]
+
+
+class TestStores:
+    def test_save_load_round_trip(self, tmp_path):
+        for store in stores(tmp_path):
+            ck = Checkpoint.from_snapshot(snap(iteration=4))
+            store.save(ck)
+            back = store.load(4)
+            np.testing.assert_array_equal(back.parents, ck.parents)
+            np.testing.assert_array_equal(back.star, ck.star)
+            np.testing.assert_array_equal(back.active, ck.active)
+            assert back.simulated_seconds == ck.simulated_seconds
+            assert back.plan_cursor == ck.plan_cursor
+            assert back.crc == ck.crc
+
+    def test_load_newest_by_default(self, tmp_path):
+        for store in stores(tmp_path):
+            for it in (1, 3, 2):
+                store.save(Checkpoint.from_snapshot(snap(iteration=it)))
+            assert store.load().iteration == 3
+
+    def test_save_seals_unsealed(self, tmp_path):
+        for store in stores(tmp_path):
+            s = snap(iteration=2)
+            ck = Checkpoint(
+                iteration=2, parents=s.parents, star=s.star, active=s.active
+            )
+            assert ck.crc == 0
+            store.save(ck)
+            store.load(2)  # verifies
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        for store in (
+            MemoryCheckpointStore(keep=2),
+            DiskCheckpointStore(str(tmp_path / "pruned"), keep=2),
+        ):
+            for it in range(1, 6):
+                store.save(Checkpoint.from_snapshot(snap(iteration=it)))
+            assert store.iterations() == [4, 5]
+            assert len(store) == 2
+
+    def test_keep_validation(self):
+        with pytest.raises(ValueError):
+            MemoryCheckpointStore(keep=0)
+
+    def test_empty_store(self, tmp_path):
+        for store in stores(tmp_path):
+            with pytest.raises(CheckpointCorrupt):
+                store.load()
+            assert store.latest_valid() is None
+
+    def test_missing_iteration(self, tmp_path):
+        for store in stores(tmp_path):
+            store.save(Checkpoint.from_snapshot(snap(iteration=1)))
+            with pytest.raises(CheckpointCorrupt):
+                store.load(9)
+
+    def test_latest_valid_skips_corrupt(self, tmp_path):
+        # memory: corrupt the newest in place
+        mem = MemoryCheckpointStore()
+        for it in (1, 2, 3):
+            mem.save(Checkpoint.from_snapshot(snap(iteration=it)))
+        mem._by_iter[3].parents[0] += 1
+        assert mem.latest_valid().iteration == 2
+        # disk: truncate the newest archive
+        disk = DiskCheckpointStore(str(tmp_path / "corrupt"))
+        for it in (1, 2, 3):
+            disk.save(Checkpoint.from_snapshot(snap(iteration=it)))
+        with open(disk._path(3), "wb") as fh:
+            fh.write(b"not an npz")
+        with pytest.raises(CheckpointCorrupt):
+            disk.load(3)
+        assert disk.latest_valid().iteration == 2
+
+    def test_latest_valid_before(self, tmp_path):
+        for store in stores(tmp_path):
+            for it in (1, 2, 3):
+                store.save(Checkpoint.from_snapshot(snap(iteration=it)))
+            assert store.latest_valid(before=3).iteration == 2
+            assert store.latest_valid(before=1) is None
+
+    def test_disk_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "durable")
+        DiskCheckpointStore(path).save(Checkpoint.from_snapshot(snap(iteration=7)))
+        reopened = DiskCheckpointStore(path)
+        assert reopened.iterations() == [7]
+        assert reopened.load().iteration == 7
+
+    def test_disk_none_star_active(self, tmp_path):
+        store = DiskCheckpointStore(str(tmp_path / "bare"))
+        ck = Checkpoint.from_snapshot(
+            IterationSnapshot(iteration=1, parents=np.arange(6, dtype=np.int64))
+        )
+        store.save(ck)
+        back = store.load(1)
+        assert back.star is None and back.active is None
+        np.testing.assert_array_equal(back.parents, np.arange(6))
