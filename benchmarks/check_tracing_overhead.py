@@ -1,25 +1,29 @@
 #!/usr/bin/env python
-"""Tracing-overhead smoke check (run by CI).
+"""Disabled-observability overhead gate (run by CI).
 
-The observability hooks in :mod:`repro.graphblas` / :mod:`repro.mpisim` are
-designed to be free when tracing is off: every instrumented call site costs
-one ``current()`` lookup, one ``NullTracer.span`` call returning the shared
-:class:`~repro.obs.tracer.NullSpan`, and a falsy ``if sp:`` guard — no
-allocation, no clock read.  This script pins that property on a
-50k+-vertex RMAT graph:
+The tracing and metrics hooks across :mod:`repro.graphblas` /
+:mod:`repro.mpisim` / :mod:`repro.combblas` are designed to be free when
+off: every instrumented call site costs one module-global lookup, a falsy
+check, and nothing else — no allocation, no clock read.  This script pins
+that property with two checks built on the shared protocol in
+:mod:`repro.obs.overhead` (interleaved rounds, best-of minima, 5% budget
+plus a small absolute noise floor):
 
-* **baseline** — ``lacc(A, collect_stats=False)`` with nothing activated
-  (the module-global tracer is :data:`NULL_TRACER`; the disabled fast
-  path);
-* **probe** — the identical call under an explicitly activated
-  ``NullTracer`` (what ``--trace``-capable tools run when tracing is off).
+* **NullTracer** — serial ``lacc`` on a 50k+-vertex RMAT graph with an
+  explicitly activated :class:`~repro.obs.tracer.NullTracer` vs. nothing
+  activated;
+* **NullRegistry** — the Figure 8 driver ``lacc_dist`` (eukarya on the
+  Edison model, 16 nodes) with an activated
+  :class:`~repro.obs.metrics.NullRegistry` vs. nothing activated.  This
+  is the acceptance criterion for the metrics layer: the per-kernel /
+  per-collective counters must cost nothing when no registry is live.
 
-Both are timed best-of-``ROUNDS`` with interleaved rounds so drift hits
-both sides equally, and the probe must stay within ``TOLERANCE`` of the
-baseline (plus a small absolute floor so ~100 ms runs don't fail on
-scheduler noise).  If someone makes ``NullTracer.span`` allocate, read a
-clock, or accidentally routes the disabled path through a real tracer,
-this check fails.
+If someone makes a null object allocate, read a clock, or routes the
+disabled path through a real tracer/registry, this check fails.
+
+The same protocol runs at smaller scale inside tier-1
+(``tests/obs/test_overhead_gate.py``); this script is the full-scale
+version.
 
 Usage:  PYTHONPATH=src python benchmarks/check_tracing_overhead.py
 Writes ``benchmarks/results/BENCH_tracing_overhead.json``.
@@ -28,80 +32,99 @@ Writes ``benchmarks/results/BENCH_tracing_overhead.json``.
 import json
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
 
 from tableio import RESULTS_DIR  # noqa: E402
 
-SCALE = 16  # 2**16 = 65536 vertices
+SCALE = 16  # 2**16 = 65536 vertices for the serial NullTracer check
 EDGE_FACTOR = 8
 ROUNDS = 5
 TOLERANCE = 0.05
 NOISE_FLOOR_S = 0.050
-
-
-def best_of(fn, rounds=ROUNDS):
-    times = []
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return min(times), times
+DIST_GRAPH = "eukarya"  # Figure 8's largest protein-similarity input here
+DIST_NODES = 16
 
 
 def main() -> int:
     from repro.core import lacc
+    from repro.core.lacc_dist import lacc_dist
+    from repro.graphs import corpus
     from repro.graphs.generators import rmat
-    from repro.obs import NullTracer, activate
+    from repro.mpisim import EDISON
+    from repro.obs import NullRegistry, NullTracer, activate, activate_metrics
+    from repro.obs.overhead import measure_overhead
 
     g = rmat(SCALE, edge_factor=EDGE_FACTOR, seed=7)
     A = g.to_matrix()
     print(f"RMAT scale {SCALE}: {g.n} vertices, {g.nedges} edges")
     assert g.n >= 50_000
 
-    def baseline():
-        lacc(A, collect_stats=False)
-
     null_tracer = NullTracer()
 
-    def probe():
+    def probe_tracer():
         with activate(null_tracer):
             lacc(A, collect_stats=False)
 
-    baseline()  # warm caches before timing either side
-    base_times, probe_times = [], []
-    for _ in range(ROUNDS):  # interleave so drift hits both sides
-        t0 = time.perf_counter(); baseline(); base_times.append(time.perf_counter() - t0)
-        t0 = time.perf_counter(); probe(); probe_times.append(time.perf_counter() - t0)
-    base, probe_t = min(base_times), min(probe_times)
+    tracer_res = measure_overhead(
+        baseline=lambda: lacc(A, collect_stats=False),
+        probe=probe_tracer,
+        name="nulltracer_lacc",
+        rounds=ROUNDS,
+        tolerance=TOLERANCE,
+        noise_floor_s=NOISE_FLOOR_S,
+    )
+    print(tracer_res.summary())
 
-    budget = base * (1 + TOLERANCE) + NOISE_FLOOR_S
-    overhead = probe_t / base - 1
+    gd = corpus.load(DIST_GRAPH)
+    Ad = gd.to_matrix()
+    print(f"{DIST_GRAPH}: {gd.n} vertices, {gd.nedges} edges "
+          f"(lacc_dist, Edison, {DIST_NODES} nodes)")
+
+    null_reg = NullRegistry()
+
+    def probe_registry():
+        with activate_metrics(null_reg):
+            lacc_dist(Ad, EDISON, nodes=DIST_NODES)
+
+    registry_res = measure_overhead(
+        baseline=lambda: lacc_dist(Ad, EDISON, nodes=DIST_NODES),
+        probe=probe_registry,
+        name="nullregistry_lacc_dist",
+        rounds=ROUNDS,
+        tolerance=TOLERANCE,
+        noise_floor_s=NOISE_FLOOR_S,
+    )
+    print(registry_res.summary())
+
     record = {
-        "check": "tracing_overhead",
-        "graph": {"kind": "rmat", "scale": SCALE, "edge_factor": EDGE_FACTOR,
-                  "vertices": g.n, "edges": g.nedges},
-        "rounds": ROUNDS,
-        "baseline_seconds": base,
-        "nulltracer_seconds": probe_t,
-        "overhead_fraction": overhead,
+        "check": "observability_overhead",
+        "graphs": {
+            "serial": {"kind": "rmat", "scale": SCALE,
+                       "edge_factor": EDGE_FACTOR,
+                       "vertices": g.n, "edges": g.nedges},
+            "dist": {"kind": "corpus", "name": DIST_GRAPH,
+                     "vertices": gd.n, "edges": gd.nedges,
+                     "machine": "Edison", "nodes": DIST_NODES},
+        },
+        "nulltracer": tracer_res.to_dict(),
+        "nullregistry": registry_res.to_dict(),
+        # kept for older tooling reading the flat schema
+        "baseline_seconds": tracer_res.baseline_seconds,
+        "nulltracer_seconds": tracer_res.probe_seconds,
+        "overhead_fraction": tracer_res.overhead_fraction,
         "tolerance": TOLERANCE,
-        "baseline_times": base_times,
-        "nulltracer_times": probe_times,
+        "rounds": ROUNDS,
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
     out = os.path.join(RESULTS_DIR, "BENCH_tracing_overhead.json")
     with open(out, "w") as fh:
         json.dump(record, fh, indent=2)
-
-    print(f"baseline (tracing off):   {base*1e3:8.1f} ms  (best of {ROUNDS})")
-    print(f"NullTracer activated:     {probe_t*1e3:8.1f} ms  (best of {ROUNDS})")
-    print(f"overhead:                 {overhead*100:+.2f}%  "
-          f"(budget {TOLERANCE*100:.0f}% + {NOISE_FLOOR_S*1e3:.0f} ms floor)")
     print(f"[written to {os.path.relpath(out)}]")
-    if probe_t > budget:
-        print("FAIL: NullTracer-mode LACC exceeded the overhead budget")
+
+    failed = [r.name for r in (tracer_res, registry_res) if not r.within_budget]
+    if failed:
+        print(f"FAIL: disabled-mode overhead budget exceeded: {', '.join(failed)}")
         return 1
     print("OK")
     return 0

@@ -1,0 +1,42 @@
+"""repro.bench — the benchmark regression observatory.
+
+Three pieces, all behind the CLI:
+
+* :mod:`repro.bench.record` — the schema-versioned JSON record
+  (``BENCH_lacc.json`` at the repo root) with per-metric noise classes;
+* :mod:`repro.bench.suite` — ``python -m repro bench``: run the serial +
+  simulated-distributed suite, collect model/wall/λ metrics, optionally
+  dump the live metric registry as Prometheus text;
+* :mod:`repro.bench.regress` — ``python -m repro regress``: compare a
+  fresh record against the committed baseline with noise-aware
+  thresholds and exit nonzero on regression.
+"""
+
+from .record import (
+    DEFAULT_RECORD_NAME,
+    NOISE_CLASSES,
+    SCHEMA_VERSION,
+    load_record,
+    make_record,
+    metric,
+    validate_record,
+    write_record,
+)
+from .regress import Finding, RegressReport, compare
+from .suite import consolidate_artifacts, run_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NOISE_CLASSES",
+    "DEFAULT_RECORD_NAME",
+    "metric",
+    "make_record",
+    "load_record",
+    "write_record",
+    "validate_record",
+    "run_suite",
+    "consolidate_artifacts",
+    "compare",
+    "Finding",
+    "RegressReport",
+]

@@ -1,0 +1,133 @@
+"""Schema for the consolidated benchmark record (``BENCH_lacc.json``).
+
+One JSON document at the repo root is the canonical machine-readable
+performance record of the reproduction: per-bench metrics (model seconds,
+words, messages, per-phase λ, wall seconds, …) each tagged with a *noise
+class* that tells the regression comparator how tightly to hold it:
+
+* ``exact`` — integer counts (iterations, components, hooks).  The
+  simulator is deterministic, so these must match the baseline exactly.
+* ``deterministic`` — α–β model quantities (seconds, words).  Also
+  deterministic in principle, but compared with a hair of float
+  tolerance so refactors that reorder float additions don't trip it.
+* ``wall`` — host wall-clock.  Compared loosely (CI machines are noisy)
+  and only in the slower direction.
+
+The document::
+
+    {
+      "schema_version": 1,
+      "suite": "lacc",
+      "quick": true,
+      "benches": {
+        "<bench>": {
+          "meta": {...},
+          "metrics": {"<name>": {"value": 1.23, "noise": "deterministic",
+                                  "unit": "s"}}
+        }
+      },
+      "artifacts": {...}          # consolidated benchmarks/results records
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NOISE_CLASSES",
+    "DEFAULT_RECORD_NAME",
+    "metric",
+    "make_record",
+    "load_record",
+    "write_record",
+    "validate_record",
+]
+
+SCHEMA_VERSION = 1
+
+#: noise class → relative tolerance used by :mod:`repro.bench.regress`
+NOISE_CLASSES: Dict[str, float] = {
+    "exact": 0.0,
+    "deterministic": 0.02,
+    "wall": 0.5,
+}
+
+#: absolute floor (seconds) added to wall-clock budgets so ~100 ms
+#: benches don't fail on scheduler noise
+WALL_NOISE_FLOOR_S = 0.050
+
+DEFAULT_RECORD_NAME = "BENCH_lacc.json"
+
+
+def metric(value: float, noise: str, unit: str = "") -> Dict[str, Any]:
+    """One metric cell; *noise* must be a :data:`NOISE_CLASSES` key."""
+    if noise not in NOISE_CLASSES:
+        raise ValueError(f"unknown noise class {noise!r}; "
+                         f"expected one of {sorted(NOISE_CLASSES)}")
+    cell: Dict[str, Any] = {"value": float(value), "noise": noise}
+    if unit:
+        cell["unit"] = unit
+    return cell
+
+
+def make_record(
+    benches: Dict[str, Dict[str, Any]],
+    quick: bool,
+    artifacts: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    rec: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "lacc",
+        "quick": bool(quick),
+        "benches": benches,
+    }
+    if artifacts:
+        rec["artifacts"] = artifacts
+    return rec
+
+
+def validate_record(rec: Dict[str, Any], source: str = "record") -> Dict[str, Any]:
+    """Check the envelope; raises ``ValueError`` on schema mismatch."""
+    if not isinstance(rec, dict):
+        raise ValueError(f"{source}: not a JSON object")
+    v = rec.get("schema_version")
+    if v != SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: schema_version {v!r} unsupported "
+            f"(this tool reads version {SCHEMA_VERSION})"
+        )
+    benches = rec.get("benches")
+    if not isinstance(benches, dict):
+        raise ValueError(f"{source}: missing 'benches' mapping")
+    for bname, b in benches.items():
+        metrics = b.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError(f"{source}: bench {bname!r} has no 'metrics'")
+        for mname, cell in metrics.items():
+            if not isinstance(cell, dict) or "value" not in cell:
+                raise ValueError(
+                    f"{source}: metric {bname}/{mname} is not a metric cell"
+                )
+            if cell.get("noise") not in NOISE_CLASSES:
+                raise ValueError(
+                    f"{source}: metric {bname}/{mname} has unknown noise "
+                    f"class {cell.get('noise')!r}"
+                )
+    return rec
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        rec = json.load(fh)
+    return validate_record(rec, source=path)
+
+
+def write_record(rec: Dict[str, Any], path: str) -> str:
+    validate_record(rec)
+    with open(path, "w") as fh:
+        json.dump(rec, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,190 @@
+"""Noise-aware regression comparison for benchmark records.
+
+``python -m repro regress`` compares a freshly produced record against
+the committed baseline (``BENCH_lacc.json``) and exits nonzero on any
+regression.  The comparison is per metric, using the noise class stamped
+into the baseline cell (see :mod:`repro.bench.record`):
+
+* ``exact`` — values must match exactly (deterministic counts);
+* ``deterministic`` — current may drift ±2% (float-reassociation slack
+  on otherwise deterministic model quantities); a drop beyond the band
+  is reported as an *improvement*, not a failure — refresh the baseline
+  to lock it in;
+* ``wall`` — current must stay under ``base × 1.5 + 50 ms``; faster is
+  always fine.
+
+A bench or metric present in the baseline but missing from the current
+record is a failure (silently dropping coverage is itself a regression);
+new metrics in the current record are listed as notes.  One exception:
+when the current record came from ``--quick``, full-suite-only benches
+in the baseline (``meta.quick: false``) are skipped, so a committed
+full baseline serves quick CI runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from .record import NOISE_CLASSES, WALL_NOISE_FLOOR_S
+
+__all__ = ["Finding", "RegressReport", "compare"]
+
+# statuses ordered by severity for the report
+_FAIL = ("regression", "missing")
+_NOTE = ("improvement", "new", "skipped")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """Outcome of comparing one metric (or noticing its absence)."""
+
+    bench: str
+    metric: str
+    status: str  # "ok" | "regression" | "improvement" | "missing" | "new"
+    noise: str
+    baseline: float
+    current: float
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in _FAIL
+
+
+@dataclass
+class RegressReport:
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[Finding]:
+        return [f for f in self.findings if f.failed]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+    def render(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        order = {s: i for i, s in enumerate(_FAIL + _NOTE + ("ok",))}
+        shown = [
+            f for f in sorted(
+                self.findings, key=lambda f: (order.get(f.status, 9), f.bench, f.metric)
+            )
+            if verbose or f.status != "ok"
+        ]
+        for f in shown:
+            lines.append(
+                f"  [{f.status:<11}] {f.bench}/{f.metric} ({f.noise}): "
+                f"{f.detail}" if f.detail else
+                f"  [{f.status:<11}] {f.bench}/{f.metric} ({f.noise})"
+            )
+        ok = sum(1 for f in self.findings if f.status == "ok")
+        n_fail = len(self.failures)
+        notes = sum(1 for f in self.findings if f.status in _NOTE)
+        lines.append(
+            f"regress: {ok} ok, {notes} notes, {n_fail} failures "
+            f"across {len(self.findings)} comparisons"
+        )
+        lines.append("RESULT: " + ("REGRESSION" if self.failed else "PASS"))
+        return "\n".join(lines)
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.6g}"
+
+
+def _compare_metric(bench: str, name: str, base_cell: Dict[str, Any],
+                    cur_cell: Dict[str, Any]) -> Finding:
+    noise = base_cell.get("noise", "deterministic")
+    tol = NOISE_CLASSES.get(noise, 0.02)
+    b = float(base_cell["value"])
+    c = float(cur_cell["value"])
+
+    if noise == "exact":
+        if b == c:
+            return Finding(bench, name, "ok", noise, b, c)
+        return Finding(
+            bench, name, "regression", noise, b, c,
+            detail=f"expected exactly {_fmt(b)}, got {_fmt(c)}",
+        )
+
+    if noise == "wall":
+        budget = b * (1.0 + tol) + WALL_NOISE_FLOOR_S
+        if c <= budget:
+            return Finding(bench, name, "ok", noise, b, c)
+        return Finding(
+            bench, name, "regression", noise, b, c,
+            detail=f"{_fmt(c)} > budget {_fmt(budget)} "
+                   f"(baseline {_fmt(b)} × {1 + tol:g} + "
+                   f"{WALL_NOISE_FLOOR_S * 1e3:.0f} ms)",
+        )
+
+    # deterministic: symmetric band; above = regression, below = improvement
+    hi = b * (1.0 + tol)
+    lo = b * (1.0 - tol)
+    if c > hi and c - b > 1e-12:
+        return Finding(
+            bench, name, "regression", noise, b, c,
+            detail=f"{_fmt(c)} > {_fmt(b)} by "
+                   f"{100 * (c / b - 1) if b else 0:.1f}% (tol {100 * tol:.0f}%)",
+        )
+    if c < lo and b - c > 1e-12:
+        return Finding(
+            bench, name, "improvement", noise, b, c,
+            detail=f"{_fmt(c)} < {_fmt(b)} by "
+                   f"{100 * (1 - c / b) if b else 0:.1f}% — refresh the baseline",
+        )
+    return Finding(bench, name, "ok", noise, b, c)
+
+
+def compare(baseline: Dict[str, Any], current: Dict[str, Any]) -> RegressReport:
+    """Compare two validated records; see the module docstring for policy."""
+    rep = RegressReport()
+    base_benches: Dict[str, Any] = baseline["benches"]
+    cur_benches: Dict[str, Any] = current["benches"]
+
+    cur_quick = bool(current.get("quick"))
+    for bench, brec in sorted(base_benches.items()):
+        crec = cur_benches.get(bench)
+        if crec is None:
+            # a full-suite baseline legitimately covers benches a --quick
+            # run never executes; only same-coverage absences are failures
+            if cur_quick and not brec.get("meta", {}).get("quick", True):
+                rep.findings.append(
+                    Finding(bench, "*", "skipped", "-", 0.0, 0.0,
+                            detail="full-suite bench, current run is --quick")
+                )
+                continue
+            rep.findings.append(
+                Finding(bench, "*", "missing", "-", 0.0, 0.0,
+                        detail="bench present in baseline but not in current run")
+            )
+            continue
+        for mname, bcell in sorted(brec["metrics"].items()):
+            ccell = crec["metrics"].get(mname)
+            if ccell is None:
+                rep.findings.append(
+                    Finding(bench, mname, "missing", bcell.get("noise", "-"),
+                            float(bcell["value"]), float("nan"),
+                            detail="metric dropped from current run")
+                )
+                continue
+            rep.findings.append(_compare_metric(bench, mname, bcell, ccell))
+
+    for bench, crec in sorted(cur_benches.items()):
+        brec = base_benches.get(bench)
+        if brec is None:
+            rep.findings.append(
+                Finding(bench, "*", "new", "-", float("nan"), 0.0,
+                        detail="bench not in baseline")
+            )
+            continue
+        for mname, ccell in sorted(crec["metrics"].items()):
+            if mname not in brec["metrics"]:
+                rep.findings.append(
+                    Finding(bench, mname, "new", ccell.get("noise", "-"),
+                            float("nan"), float(ccell["value"]),
+                            detail="metric not in baseline")
+                )
+    return rep

@@ -1,0 +1,140 @@
+"""The benchmark suite behind ``python -m repro bench``.
+
+Runs a fixed set of serial and simulated-distributed LACC benches over
+the protein-similarity corpus, collects each run's metrics (model
+seconds, words/messages, per-phase seconds, per-step λ from
+:mod:`repro.obs.analytics`, wall seconds) into the schema of
+:mod:`repro.bench.record`, and optionally accumulates everything into a
+live :class:`~repro.obs.metrics.MetricRegistry` for a Prometheus dump.
+
+Quick mode (the CI / tier-1 setting) runs archaea only — a couple of
+seconds end to end; the full suite adds eukarya.  All model-side numbers
+are deterministic, which is what lets the regression comparator hold
+them to 2%.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.core import lacc
+from repro.core.lacc_dist import lacc_dist
+from repro.graphs import corpus
+from repro.mpisim import EDISON
+from repro.obs.analytics import analyze
+from repro.obs.metrics import MetricRegistry, activate_metrics
+
+from .record import make_record, metric
+
+__all__ = ["run_suite", "consolidate_artifacts", "SERIAL_GRAPHS", "DIST_CONFIGS"]
+
+#: (graph, quick) — quick mode keeps only the fast archaea runs
+SERIAL_GRAPHS = [("archaea", True), ("eukarya", False)]
+DIST_CONFIGS = [
+    ("archaea", 4, True),
+    ("archaea", 16, True),
+    ("eukarya", 16, False),
+]
+
+
+def _bench_serial(name: str, A, in_quick: bool) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    res = lacc(A)
+    wall = time.perf_counter() - t0
+    return {
+        "meta": {"kind": "serial", "graph": name, "quick": in_quick,
+                 "vertices": A.nrows, "edges": A.nvals // 2},
+        "metrics": {
+            "wall_seconds": metric(wall, "wall", "s"),
+            "iterations": metric(res.n_iterations, "exact"),
+            "components": metric(res.n_components, "exact"),
+        },
+    }
+
+
+def _bench_dist(name: str, A, nodes: int, in_quick: bool) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    res = lacc_dist(A, EDISON, nodes=nodes)
+    wall = time.perf_counter() - t0
+    rep = analyze(res)
+    metrics: Dict[str, Any] = {
+        "wall_seconds": metric(wall, "wall", "s"),
+        "model_seconds": metric(res.cost.total_seconds, "deterministic", "s"),
+        "words": metric(res.cost.total_words, "deterministic", "words"),
+        "messages": metric(res.cost.total_messages, "deterministic", "msgs"),
+        "iterations": metric(res.n_iterations, "exact"),
+        "components": metric(res.n_components, "exact"),
+        "lambda_overall": metric(rep.overall_lambda, "deterministic"),
+    }
+    for ph, secs in sorted(res.cost.phase_seconds().items()):
+        metrics[f"phase_{ph}_seconds"] = metric(secs, "deterministic", "s")
+    for s in rep.steps:
+        metrics[f"lambda_{s.step}"] = metric(s.lam, "deterministic")
+    return {
+        "meta": {"kind": "dist", "graph": name, "quick": in_quick,
+                 "machine": "Edison",
+                 "nodes": nodes, "ranks": res.ranks,
+                 "vertices": A.nrows, "edges": A.nvals // 2},
+        "metrics": metrics,
+    }
+
+
+def run_suite(
+    quick: bool = True,
+    registry: Optional[MetricRegistry] = None,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the suite and return a schema-versioned record dict.
+
+    When *registry* is given, every run executes under it so the caller
+    can dump the accumulated kernel/collective counters afterwards
+    (``python -m repro bench --prom``).  *progress* is an optional
+    ``callable(str)`` for line-by-line status (the CLI passes ``print``).
+    """
+    say = progress or (lambda _msg: None)
+    ctx = activate_metrics(registry) if registry is not None else None
+    benches: Dict[str, Dict[str, Any]] = {}
+    graphs = {}
+
+    def mat(name: str):
+        if name not in graphs:
+            graphs[name] = corpus.load(name).to_matrix()
+        return graphs[name]
+
+    if ctx is not None:
+        ctx.__enter__()
+    try:
+        for gname, in_quick in SERIAL_GRAPHS:
+            if quick and not in_quick:
+                continue
+            key = f"lacc_serial_{gname}"
+            say(f"bench {key} ...")
+            benches[key] = _bench_serial(gname, mat(gname), in_quick)
+        for gname, nodes, in_quick in DIST_CONFIGS:
+            if quick and not in_quick:
+                continue
+            key = f"lacc_dist_{gname}_n{nodes}"
+            say(f"bench {key} ...")
+            benches[key] = _bench_dist(gname, mat(gname), nodes, in_quick)
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+    return make_record(benches, quick=quick)
+
+
+def consolidate_artifacts(results_dir: str) -> Dict[str, Any]:
+    """Parse every ``BENCH_*.json`` under *results_dir* for embedding in
+    the consolidated record (``run_all.py`` / ``bench --artifacts``)."""
+    out: Dict[str, Any] = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path) as fh:
+                out[name] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:  # keep going
+            out[name] = {"error": f"unreadable: {exc}"}
+    return out

@@ -24,6 +24,17 @@ Commands
     recovery-event record, and verify the labels against union–find.
 ``mcl``
     Markov-cluster a graph and print the clusters (HipMCL-lite).
+``analyze``
+    Per-rank load-imbalance analytics of a simulated run: λ = max/mean
+    requests per rank for each LACC step, compute/comm/delay attribution
+    per phase, straggler identification (:mod:`repro.obs.analytics`).
+``bench``
+    Run the benchmark suite (:mod:`repro.bench`) and write the
+    schema-versioned ``BENCH_lacc.json`` record; optionally dump the
+    accumulated metric registry as Prometheus text.
+``regress``
+    Compare a fresh benchmark record against the committed baseline with
+    noise-aware per-metric thresholds; exits nonzero on regression.
 
 Examples
 --------
@@ -41,6 +52,9 @@ Examples
     python -m repro recover archaea --driver spmd --seed 7 --after 40
     python -m repro recover archaea --driver dist --machine edison --trace r.json
     python -m repro mcl similarities.mtx --inflation 2.0
+    python -m repro analyze archaea --machine edison --nodes 16
+    python -m repro bench --quick --prom metrics.prom
+    python -m repro regress --baseline BENCH_lacc.json
 """
 
 from __future__ import annotations
@@ -625,6 +639,69 @@ def _cmd_mcl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.lacc_dist import lacc_dist
+    from repro.mpisim.machine import load_machine
+    from repro.obs.analytics import analyze
+
+    g = _load_graph(args.graph)
+    machine = load_machine(args.machine)
+    res = lacc_dist(g.to_matrix(), machine, nodes=args.nodes, trace_comm=True)
+    rep = analyze(res)
+    if args.json:
+        print(json.dumps(rep.to_dict(), indent=2))
+    else:
+        print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+        print(rep.render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import consolidate_artifacts, run_suite, write_record
+    from repro.obs import MetricRegistry
+
+    reg = MetricRegistry()
+    record = run_suite(quick=args.quick, registry=reg, progress=print)
+    if args.artifacts:
+        arts = consolidate_artifacts(args.artifacts)
+        if arts:
+            record["artifacts"] = arts
+            print(f"consolidated {len(arts)} artifact records from "
+                  f"{args.artifacts}")
+    write_record(record, args.out)
+    print(f"[record written to {args.out}]")
+    if args.prom:
+        reg.write_prometheus(args.prom)
+        print(f"[prometheus dump written to {args.prom}]")
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.bench import compare, load_record, run_suite, validate_record
+
+    try:
+        baseline = load_record(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    if args.current:
+        try:
+            current = load_record(args.current)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read current record: {exc}", file=sys.stderr)
+            return 2
+    else:
+        quick = bool(baseline.get("quick", True))
+        print(f"no --current given; running the "
+              f"{'quick' if quick else 'full'} suite to compare ...")
+        current = validate_record(run_suite(quick=quick, progress=print))
+    report = compare(baseline, current)
+    print(report.render(verbose=args.verbose))
+    return 1 if report.failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -772,6 +849,48 @@ def build_parser() -> argparse.ArgumentParser:
     mcl.add_argument("--max-iterations", type=int, default=100)
     mcl.add_argument("--top", type=int, default=10, help="clusters to print")
     mcl.set_defaults(fn=_cmd_mcl)
+
+    an = sub.add_parser(
+        "analyze",
+        help="per-rank load-imbalance analytics (λ per step, stragglers)",
+    )
+    an.add_argument("graph", help=".mtx / edge-list file or corpus name")
+    an.add_argument("--machine", default="edison",
+                    help="preset (edison/cori/laptop) or a machine JSON file")
+    an.add_argument("--nodes", type=int, default=16)
+    an.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of text")
+    an.set_defaults(fn=_cmd_analyze)
+
+    be = sub.add_parser(
+        "bench", help="run the benchmark suite and write BENCH_lacc.json"
+    )
+    be.add_argument("--quick", action="store_true",
+                    help="fast subset (archaea only) — the CI setting")
+    be.add_argument("--out", default="BENCH_lacc.json",
+                    help="output record path (default: repo-root "
+                         "BENCH_lacc.json when run from the repo root)")
+    be.add_argument("--prom", metavar="PATH",
+                    help="also dump accumulated metrics as Prometheus text")
+    be.add_argument("--artifacts", metavar="DIR",
+                    help="consolidate BENCH_*.json records from this "
+                         "directory (e.g. benchmarks/results) into the record")
+    be.add_argument("--json", action="store_true",
+                    help="also print the record to stdout")
+    be.set_defaults(fn=_cmd_bench)
+
+    rg = sub.add_parser(
+        "regress",
+        help="compare a benchmark record against the baseline; exit 1 on "
+             "regression",
+    )
+    rg.add_argument("--baseline", default="BENCH_lacc.json",
+                    help="baseline record (default: BENCH_lacc.json)")
+    rg.add_argument("--current", metavar="PATH",
+                    help="record to check; omitted = run the suite now")
+    rg.add_argument("--verbose", action="store_true",
+                    help="also list metrics that passed")
+    rg.set_defaults(fn=_cmd_regress)
     return p
 
 

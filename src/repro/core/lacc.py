@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.graphblas import Matrix, Vector
+from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
 from .convergence import ActiveSet
@@ -209,6 +210,17 @@ def lacc(
                 it_stats.step_seconds = steps_from_span(it_span)
             if collect_stats:
                 stats.iterations.append(it_stats)
+            reg = _mreg()
+            if reg:
+                reg.counter("lacc_iterations_total",
+                            "LACC iterations executed", driver="serial").inc()
+                reg.counter("lacc_hooks_total", "trees hooked",
+                            driver="serial", kind="cond").inc(it_stats.cond_hooks)
+                reg.counter("lacc_hooks_total", "trees hooked",
+                            driver="serial", kind="uncond").inc(it_stats.uncond_hooks)
+                reg.gauge("lacc_active_vertices",
+                          "active vertices entering the latest iteration",
+                          driver="serial").set(it_stats.active_vertices)
 
             hooked = it_stats.cond_hooks + it_stats.uncond_hooks
             all_stars = not (sp_ & ~sv).any()

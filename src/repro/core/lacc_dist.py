@@ -36,6 +36,7 @@ from repro.graphblas import Matrix, Vector
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.grid import ProcessGrid
 from repro.mpisim.machine import MachineModel
+from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
 from .convergence import ActiveSet, converged_star_vertices
@@ -320,6 +321,17 @@ def lacc_dist(
         it_stats.words_communicated = int(round(words1 - words0))
         it_stats.messages_sent = int(round(msgs1 - msgs0))
         stats.iterations.append(it_stats)
+        reg = _mreg()
+        if reg:
+            reg.counter("lacc_iterations_total",
+                        "LACC iterations executed", driver="dist").inc()
+            reg.counter("lacc_hooks_total", "trees hooked",
+                        driver="dist", kind="cond").inc(it_stats.cond_hooks)
+            reg.counter("lacc_hooks_total", "trees hooked",
+                        driver="dist", kind="uncond").inc(it_stats.uncond_hooks)
+            reg.gauge("lacc_active_vertices",
+                      "active vertices entering the latest iteration",
+                      driver="dist").set(it_stats.active_vertices)
 
         hooked = it_stats.cond_hooks + it_stats.uncond_hooks
         all_stars = not nonstar.any()

@@ -42,6 +42,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.faults.errors import CollectiveError
+from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import current as _obs
 
 from .costmodel import CostModel
@@ -77,6 +78,10 @@ def _with_faults(
     added; it is invoked again for every retransmission so retries are
     priced identically to first deliveries.
     """
+    reg = _mreg()
+    if reg:
+        reg.counter("sim_collective_calls_total",
+                    "simulated collective invocations", collective=name).inc()
     plan = getattr(cost, "faults", None)
     if plan is None:
         return charge()
@@ -88,6 +93,12 @@ def _with_faults(
         # the supervisor's job (repro.recovery)
         for rule in crashed:
             call.record(rule, 0, None, "rank died mid-collective")
+        if reg:
+            reg.counter("sim_faults_total", "injected faults, by kind",
+                        collective=name, kind="crash").inc(len(crashed))
+            reg.counter("sim_collective_errors_total",
+                        "collectives that failed permanently",
+                        collective=name).inc()
         raise CollectiveError(
             name, 1, ["crash"], phase, iteration=_calling_iteration()
         )
@@ -99,6 +110,9 @@ def _with_faults(
         with cost.kind("fault_delay"):
             cost.charge_seconds(extra, phase, "fault_delay")
         call.record(rule, 0, None, f"straggler x{rule.delay_factor:g}")
+        if reg:
+            reg.counter("sim_faults_total", "injected faults, by kind",
+                        collective=name, kind="delay").inc()
         dt += extra
     attempt = 0
     backoff_base = cost.machine.retry_backoff_base
@@ -108,8 +122,15 @@ def _with_faults(
             return dt
         for rule in active:
             call.record(rule, attempt, None, "detected by validation")
+            if reg:
+                reg.counter("sim_faults_total", "injected faults, by kind",
+                            collective=name, kind=rule.kind).inc()
         attempt += 1
         if attempt > plan.max_retries:
+            if reg:
+                reg.counter("sim_collective_errors_total",
+                            "collectives that failed permanently",
+                            collective=name).inc()
             raise CollectiveError(
                 name,
                 attempt,
@@ -117,6 +138,10 @@ def _with_faults(
                 phase,
                 iteration=_calling_iteration(),
             )
+        if reg:
+            reg.counter("sim_retries_total",
+                        "collective retransmissions after validation failure",
+                        collective=name).inc()
         backoff = backoff_base * (2 ** (attempt - 1))
         with _obs().span("retry", "fault", collective=name, attempt=attempt) as rsp:
             with cost.kind("fault_backoff"):

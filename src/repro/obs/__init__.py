@@ -10,12 +10,21 @@ LACC drivers all hook into:
 * :mod:`repro.obs.tracer` — :class:`Span`, :class:`Tracer`,
   :class:`NullTracer` (zero-overhead off switch), and the
   :func:`activate`/:func:`current` process-wide plumbing.
+* :mod:`repro.obs.metrics` — labelled :class:`MetricRegistry` (counters,
+  gauges, log-bucketed histograms) with the same null-object off switch
+  (:func:`activate_metrics`/:func:`metrics_registry`), Prometheus text
+  exposition and JSONL snapshots.
 * :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
-  JSON-lines exporters.
+  JSON-lines exporters (metric counters ride along as ``C`` events).
 * :mod:`repro.obs.render` — ASCII flamegraph and top-table renderers.
 * :mod:`repro.obs.profile` — ``(result, tracer)`` one-callers behind the
   ``python -m repro profile`` CLI (imported explicitly; it pulls in
   :mod:`repro.core`).
+* :mod:`repro.obs.analytics` — per-rank load-imbalance reports (λ per
+  LACC step, compute/comm/idle attribution, stragglers) behind
+  ``python -m repro analyze`` (imported explicitly, like ``profile``).
+* :mod:`repro.obs.overhead` — disabled-mode overhead measurement shared
+  by the CI gate and the tier-1 test suite (imported explicitly).
 
 Typical use::
 
@@ -27,13 +36,23 @@ Typical use::
     export.write_chrome_trace(tr, "out.json")   # open in ui.perfetto.dev
 """
 
-from . import export, render
+from . import export, metrics, render
 from .export import (
     chrome_trace,
     merge_chrome_traces,
     span_records,
     write_chrome_trace,
     write_jsonl,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+    activate_metrics,
+    metrics_registry,
 )
 from .render import flamegraph, top_table
 from .tracer import (
@@ -54,6 +73,14 @@ __all__ = [
     "NULL_TRACER",
     "activate",
     "current",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "activate_metrics",
+    "metrics_registry",
     "chrome_trace",
     "merge_chrome_traces",
     "write_chrome_trace",
@@ -62,5 +89,6 @@ __all__ = [
     "flamegraph",
     "top_table",
     "export",
+    "metrics",
     "render",
 ]

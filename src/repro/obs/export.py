@@ -27,6 +27,7 @@ from .tracer import Span, Tracer
 __all__ = [
     "chrome_trace",
     "merge_chrome_traces",
+    "metric_counter_events",
     "write_chrome_trace",
     "span_records",
     "write_jsonl",
@@ -44,13 +45,23 @@ def _t0(tracer: Tracer) -> float:
     return min((r.t0 for r in tracer.roots), default=0.0)
 
 
-def chrome_trace(tracer: Tracer, pid: int = 0, process_name: str = "repro") -> Dict[str, Any]:
+def chrome_trace(
+    tracer: Tracer,
+    pid: int = 0,
+    process_name: str = "repro",
+    registry=None,
+) -> Dict[str, Any]:
     """Render a tracer as a Chrome Trace Event Format dict.
 
     Every closed span becomes a ``"B"``/``"E"`` pair on thread 0 of *pid*;
     timestamps are microseconds from the first root's start.  Program order
     is single-threaded, so a depth-first emission is already monotone in
     ``ts`` — the test suite asserts this invariant.
+
+    When a :class:`~repro.obs.metrics.MetricRegistry` is passed as
+    *registry*, its counters and gauges additionally ride along as Chrome
+    ``"C"`` (counter) events at the start and end of the trace, so the
+    viewer shows the run's standing totals next to the span timeline.
     """
     base = _t0(tracer)
     events: List[Dict[str, Any]] = [
@@ -92,7 +103,48 @@ def chrome_trace(tracer: Tracer, pid: int = 0, process_name: str = "repro") -> D
 
     for root in tracer.roots:
         emit(root)
+    if registry is not None:
+        t_end = max(
+            ((r.t1 - base) * 1e6 for r in tracer.roots if r.t1 is not None),
+            default=0.0,
+        )
+        events.extend(metric_counter_events(registry, pid=pid, ts=t_end))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def metric_counter_events(
+    registry, pid: int = 0, ts: float = 0.0
+) -> List[Dict[str, Any]]:
+    """Chrome ``"C"`` (counter) events for a registry's counters/gauges.
+
+    Each metric family becomes one counter track; the label sets become
+    the track's series (``args`` keys).  Two samples are emitted — zero at
+    ``ts=0`` and the final value at *ts* — so the viewer draws the run's
+    accumulation as a ramp rather than a zero-width spike.  Histograms
+    are summarised by their ``_count`` series.
+    """
+    series: Dict[str, Dict[str, float]] = {}
+    for m in registry:
+        label = ",".join(f"{k}={v}" for k, v in m.labels) or "value"
+        if m.kind == "histogram":
+            series.setdefault(m.name + "_count", {})[label] = float(m.count)
+        else:
+            series.setdefault(m.name, {})[label] = float(m.value)
+    events: List[Dict[str, Any]] = []
+    for name in sorted(series):
+        for t, vals in ((0.0, {k: 0.0 for k in series[name]}), (ts, series[name])):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "ts": t,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": vals,
+                }
+            )
+    return events
 
 
 def merge_chrome_traces(traces: List[Dict[str, Any]]) -> Dict[str, Any]:

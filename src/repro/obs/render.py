@@ -39,6 +39,11 @@ def top_table(tracer: Tracer, limit: int = 20, by: str = "self") -> str:
 
     ``by`` selects the ranking column: ``"self"`` (default — exclusive
     time, the flat-profile view) or ``"total"`` (inclusive).
+
+    Rows whose spans recorded no counters show ``-`` in the counter
+    columns (a measured zero and "never measured" are different facts).
+    Aggregates containing errored spans are marked with a ``!`` after the
+    name and, when any exist, an ``errs`` column with the error count.
     """
     if by not in ("self", "total"):
         raise ValueError("by must be 'self' or 'total'")
@@ -47,34 +52,44 @@ def top_table(tracer: Tracer, limit: int = 20, by: str = "self") -> str:
         key = (span.cat, span.name)
         row = agg.setdefault(
             key, {"calls": 0, "total": 0.0, "self": 0.0, "words": 0.0,
-                  "messages": 0.0, "flops": 0.0}
+                  "messages": 0.0, "flops": 0.0, "errors": 0,
+                  "has_counters": 0}
         )
         row["calls"] += 1
         row["total"] += span.duration
         row["self"] += span.self_duration
-        for c in ("words", "messages", "flops"):
-            row[c] += span.counters.get(c, 0.0)
+        if "error" in span.attrs:
+            row["errors"] += 1
+        if span.counters:  # guard: spans with no counters show "-" not 0
+            row["has_counters"] += 1
+            for c in ("words", "messages", "flops"):
+                row[c] += span.counters.get(c, 0.0)
     if not agg:
         return "(no spans recorded)"
     run_total = sum(r.duration for r in tracer.roots) or 1.0
     ranked = sorted(agg.items(), key=lambda kv: kv[1][by], reverse=True)[:limit]
+    any_errors = any(r["errors"] for _, r in ranked)
 
     headers = ["cat", "name", "calls", "total ms", "self ms", "%", "flops",
                "words", "msgs"]
+    if any_errors:
+        headers.append("errs")
     rows: List[List[str]] = []
     for (cat, name), r in ranked:
+        counted = r["has_counters"] > 0
         rows.append(
             [
                 cat or "-",
-                name,
+                name + ("!" if r["errors"] else ""),
                 str(int(r["calls"])),
                 _fmt_secs(r["total"]),
                 _fmt_secs(r["self"]),
                 f"{100.0 * r[by] / run_total:.1f}",
-                _fmt_count(r["flops"]),
-                _fmt_count(r["words"]),
-                _fmt_count(r["messages"]),
+                _fmt_count(r["flops"]) if counted else "-",
+                _fmt_count(r["words"]) if counted else "-",
+                _fmt_count(r["messages"]) if counted else "-",
             ]
+            + ([str(int(r["errors"])) if r["errors"] else "-"] if any_errors else [])
         )
     widths = [max(len(h), *(len(row[i]) for row in rows)) for i, h in enumerate(headers)]
 
@@ -91,6 +106,11 @@ def top_table(tracer: Tracer, limit: int = 20, by: str = "self") -> str:
 
 def _annotate(span: Span) -> str:
     notes = []
+    err = span.attrs.get("error")
+    if err:
+        # errored spans (recorded since the fault-injection PR) must stay
+        # visible in the fold, not silently blend into the timing bars
+        notes.append(f"ERROR: {err}")
     path = span.attrs.get("path")
     if path:
         notes.append(str(path))

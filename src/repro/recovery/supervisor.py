@@ -49,6 +49,7 @@ import numpy as np
 from repro.core.snapshot import IterationSnapshot
 from repro.faults.errors import CollectiveError
 from repro.mpisim.costmodel import CostModel
+from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import activate
 from repro.obs.tracer import current as _obs
 
@@ -233,6 +234,13 @@ class Supervisor:
                     if sp:
                         sp.set("words", ck.words)
                 ckpts_written[0] += 1
+                reg = _mreg()
+                if reg:
+                    reg.counter("recovery_checkpoints_total",
+                                "checkpoints sealed to the store").inc()
+                    reg.counter("recovery_checkpoint_words_total",
+                                "words written to checkpoint storage"
+                                ).inc(float(ck.words))
             if user_hook is not None:
                 user_hook(snap)
             if cfg.iteration_deadline is not None and dt > cfg.iteration_deadline:
@@ -268,6 +276,11 @@ class Supervisor:
                         str(exc),
                     )
                 )
+                reg = _mreg()
+                if reg:
+                    reg.counter("recovery_failures_total",
+                                "driver failures intercepted by the supervisor",
+                                kind=events[-1].action).inc()
                 with rec_ctx():
                     if recoveries > cfg.max_recoveries:
                         return self._degrade(
@@ -348,6 +361,10 @@ class Supervisor:
                 report.summary(),
             )
         )
+        reg = _mreg()
+        if reg:
+            reg.counter("recovery_repairs_total",
+                        "audit-repair recoveries performed").inc()
         return snap
 
     def _rollback(
@@ -379,6 +396,10 @@ class Supervisor:
                 f"checkpoint iteration {ck.iteration} (depth {len(valid)})",
             )
         )
+        reg = _mreg()
+        if reg:
+            reg.counter("recovery_rollbacks_total",
+                        "rollbacks to a durable checkpoint").inc()
         return snap
 
     def _degrade(
@@ -436,6 +457,10 @@ class Supervisor:
                 detail,
             )
         )
+        reg = _mreg()
+        if reg:
+            reg.counter("recovery_degrades_total",
+                        "runs degraded to serial replay").inc()
         return SupervisedResult(
             result=result,
             events=events,

@@ -1,0 +1,64 @@
+"""Schema tests for :mod:`repro.bench.record`."""
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    load_record,
+    make_record,
+    metric,
+    validate_record,
+    write_record,
+)
+
+
+def _record():
+    return make_record(
+        {"b1": {"meta": {}, "metrics": {"m": metric(1.5, "wall", "s")}}},
+        quick=True,
+    )
+
+
+def test_metric_cell_shape():
+    cell = metric(3, "exact")
+    assert cell == {"value": 3.0, "noise": "exact"}
+    assert metric(1.5, "wall", "s")["unit"] == "s"
+
+
+def test_metric_rejects_unknown_noise_class():
+    with pytest.raises(ValueError, match="noise class"):
+        metric(1.0, "fuzzy")
+
+
+def test_make_record_envelope():
+    rec = _record()
+    assert rec["schema_version"] == SCHEMA_VERSION
+    assert rec["suite"] == "lacc"
+    assert rec["quick"] is True
+    validate_record(rec)
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "BENCH_lacc.json")
+    write_record(_record(), path)
+    assert load_record(path) == _record()
+
+
+def test_validate_rejects_wrong_schema_version():
+    rec = _record()
+    rec["schema_version"] = 99
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_record(rec)
+
+
+def test_validate_rejects_malformed_benches():
+    with pytest.raises(ValueError, match="benches"):
+        validate_record({"schema_version": SCHEMA_VERSION})
+    rec = _record()
+    rec["benches"]["b1"]["metrics"]["m"] = {"novalue": 1}
+    with pytest.raises(ValueError, match="metric cell"):
+        validate_record(rec)
+    rec = _record()
+    rec["benches"]["b1"]["metrics"]["m"]["noise"] = "fuzzy"
+    with pytest.raises(ValueError, match="noise"):
+        validate_record(rec)

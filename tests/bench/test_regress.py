@@ -1,0 +1,138 @@
+"""Regression-comparator policy tests, including the issue's acceptance
+scenario: a synthetic 2× slowdown is detected; an unchanged rerun passes."""
+
+import copy
+
+import pytest
+
+from repro.bench import compare, make_record, metric
+
+
+def _base():
+    return make_record(
+        {
+            "dist": {
+                "meta": {},
+                "metrics": {
+                    "model_seconds": metric(0.002, "deterministic", "s"),
+                    "wall_seconds": metric(0.4, "wall", "s"),
+                    "iterations": metric(5, "exact"),
+                },
+            }
+        },
+        quick=True,
+    )
+
+
+def test_identical_records_pass():
+    rep = compare(_base(), _base())
+    assert not rep.failed
+    assert all(f.status == "ok" for f in rep.findings)
+    assert "PASS" in rep.render()
+
+
+def test_synthetic_2x_slowdown_is_detected():
+    cur = copy.deepcopy(_base())
+    cur["benches"]["dist"]["metrics"]["model_seconds"]["value"] *= 2
+    rep = compare(_base(), cur)
+    assert rep.failed
+    (f,) = rep.failures
+    assert (f.bench, f.metric, f.status) == ("dist", "model_seconds", "regression")
+    assert "REGRESSION" in rep.render()
+
+
+def test_deterministic_tolerance_band():
+    cur = copy.deepcopy(_base())
+    cur["benches"]["dist"]["metrics"]["model_seconds"]["value"] *= 1.01  # within 2%
+    assert not compare(_base(), cur).failed
+    cur["benches"]["dist"]["metrics"]["model_seconds"]["value"] = 0.002 * 1.03
+    assert compare(_base(), cur).failed
+
+
+def test_deterministic_improvement_is_a_note_not_a_failure():
+    cur = copy.deepcopy(_base())
+    cur["benches"]["dist"]["metrics"]["model_seconds"]["value"] *= 0.5
+    rep = compare(_base(), cur)
+    assert not rep.failed
+    assert any(f.status == "improvement" for f in rep.findings)
+
+
+def test_exact_metric_must_match_exactly():
+    cur = copy.deepcopy(_base())
+    cur["benches"]["dist"]["metrics"]["iterations"]["value"] = 6
+    rep = compare(_base(), cur)
+    assert rep.failed
+    assert rep.failures[0].metric == "iterations"
+    # fewer iterations is still a mismatch for an exact metric
+    cur["benches"]["dist"]["metrics"]["iterations"]["value"] = 4
+    assert compare(_base(), cur).failed
+
+
+def test_wall_clock_is_loose_and_one_sided():
+    cur = copy.deepcopy(_base())
+    cur["benches"]["dist"]["metrics"]["wall_seconds"]["value"] = 0.4 * 1.4  # < 1.5×
+    assert not compare(_base(), cur).failed
+    cur["benches"]["dist"]["metrics"]["wall_seconds"]["value"] = 0.4 * 1.7
+    assert compare(_base(), cur).failed
+    cur["benches"]["dist"]["metrics"]["wall_seconds"]["value"] = 0.01  # faster: fine
+    assert not compare(_base(), cur).failed
+
+
+def test_wall_noise_floor_shields_tiny_benches():
+    base = make_record(
+        {"b": {"meta": {}, "metrics": {"wall_seconds": metric(0.01, "wall", "s")}}},
+        quick=True,
+    )
+    cur = copy.deepcopy(base)
+    # 3× slower but still under 0.01 × 1.5 + 0.05 s floor
+    cur["benches"]["b"]["metrics"]["wall_seconds"]["value"] = 0.03
+    assert not compare(base, cur).failed
+
+
+def test_missing_metric_is_a_failure():
+    cur = copy.deepcopy(_base())
+    del cur["benches"]["dist"]["metrics"]["model_seconds"]
+    rep = compare(_base(), cur)
+    assert rep.failed
+    assert rep.failures[0].status == "missing"
+
+
+def test_quick_run_skips_full_only_benches():
+    base = _base()
+    base["benches"]["full_only"] = {
+        "meta": {"quick": False},
+        "metrics": {"m": metric(1, "exact")},
+    }
+    base["quick"] = False
+    cur = _base()  # quick record without the full-only bench
+    rep = compare(base, cur)
+    assert not rep.failed
+    assert any(f.status == "skipped" and f.bench == "full_only"
+               for f in rep.findings)
+    # but a full current run missing the same bench IS a failure
+    cur_full = copy.deepcopy(cur)
+    cur_full["quick"] = False
+    assert compare(base, cur_full).failed
+
+
+def test_missing_bench_is_a_failure():
+    cur = copy.deepcopy(_base())
+    del cur["benches"]["dist"]
+    rep = compare(_base(), cur)
+    assert rep.failed
+    assert rep.failures[0].metric == "*"
+
+
+def test_new_bench_and_metric_are_notes():
+    cur = copy.deepcopy(_base())
+    cur["benches"]["dist"]["metrics"]["extra"] = metric(1, "exact")
+    cur["benches"]["new_bench"] = {"meta": {}, "metrics": {"m": metric(1, "exact")}}
+    rep = compare(_base(), cur)
+    assert not rep.failed
+    assert {f.status for f in rep.findings if f.status != "ok"} == {"new"}
+
+
+def test_render_verbose_lists_passes():
+    rep = compare(_base(), _base())
+    assert "dist/model_seconds" not in rep.render()
+    assert "dist/model_seconds" in rep.render(verbose=True)

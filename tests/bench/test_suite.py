@@ -1,0 +1,119 @@
+"""End-to-end tests of the benchmark suite and the CLI workflow: run the
+quick suite twice — the rerun must pass regression against the first —
+and check the record carries the per-phase λ figures the observatory
+promises."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import (
+    compare,
+    consolidate_artifacts,
+    load_record,
+    run_suite,
+    validate_record,
+    write_record,
+)
+from repro.obs import MetricRegistry
+
+
+@pytest.fixture(scope="module")
+def quick_record():
+    return run_suite(quick=True)
+
+
+def test_quick_suite_shape(quick_record):
+    validate_record(quick_record)
+    assert quick_record["quick"] is True
+    benches = quick_record["benches"]
+    assert "lacc_serial_archaea" in benches
+    assert "lacc_dist_archaea_n16" in benches
+    dist = benches["lacc_dist_archaea_n16"]["metrics"]
+    # the acceptance list: model metrics, per-phase seconds, per-step λ
+    assert dist["model_seconds"]["noise"] == "deterministic"
+    assert dist["iterations"]["noise"] == "exact"
+    assert any(k.startswith("phase_") for k in dist)
+    assert any(k.startswith("lambda_") for k in dist)
+    assert dist["lambda_overall"]["value"] >= 1.0
+
+
+def test_rerun_passes_regression(quick_record):
+    rerun = run_suite(quick=True)
+    rep = compare(quick_record, rerun)
+    assert not rep.failed, rep.render()
+
+
+def test_suite_fills_registry(tmp_path):
+    reg = MetricRegistry()
+    run_suite(quick=True, registry=reg)
+    assert reg.total("sim_model_seconds_total") > 0
+    text = reg.to_prometheus()
+    assert "graphblas_ops_total" in text
+
+
+def test_record_round_trips(tmp_path, quick_record):
+    path = str(tmp_path / "BENCH_lacc.json")
+    write_record(quick_record, path)
+    again = load_record(path)
+    assert not compare(again, quick_record).failed
+
+
+def test_consolidate_artifacts(tmp_path):
+    (tmp_path / "BENCH_a.json").write_text(json.dumps({"x": 1}))
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    (tmp_path / "other.txt").write_text("ignored")
+    arts = consolidate_artifacts(str(tmp_path))
+    assert arts["BENCH_a"] == {"x": 1}
+    assert "error" in arts["BENCH_bad"]
+    assert "other" not in arts
+
+
+def test_cli_bench_then_regress(tmp_path):
+    """The CI workflow end to end: bench --quick, then regress against it."""
+    out = tmp_path / "BENCH_lacc.json"
+    prom = tmp_path / "metrics.prom"
+    r1 = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--quick",
+         "--out", str(out), "--prom", str(prom)],
+        capture_output=True, text=True,
+    )
+    assert r1.returncode == 0, r1.stderr
+    rec = load_record(str(out))
+    assert rec["quick"] is True
+    assert prom.read_text().startswith("# HELP")
+
+    r2 = subprocess.run(
+        [sys.executable, "-m", "repro", "regress", "--baseline", str(out),
+         "--current", str(out)],
+        capture_output=True, text=True,
+    )
+    assert r2.returncode == 0, r2.stdout + r2.stderr
+    assert "RESULT: PASS" in r2.stdout
+
+
+def test_cli_regress_detects_slowdown(tmp_path, quick_record):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    write_record(quick_record, str(base))
+    bad = json.loads(json.dumps(quick_record))
+    bad["benches"]["lacc_dist_archaea_n16"]["metrics"]["model_seconds"]["value"] *= 2
+    write_record(bad, str(cur))
+    r = subprocess.run(
+        [sys.executable, "-m", "repro", "regress", "--baseline", str(base),
+         "--current", str(cur)],
+        capture_output=True, text=True,
+    )
+    assert r.returncode == 1
+    assert "RESULT: REGRESSION" in r.stdout
+
+
+def test_cli_regress_bad_baseline_exits_2(tmp_path):
+    r = subprocess.run(
+        [sys.executable, "-m", "repro", "regress",
+         "--baseline", str(tmp_path / "missing.json")],
+        capture_output=True, text=True,
+    )
+    assert r.returncode == 2

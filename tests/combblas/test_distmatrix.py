@@ -80,6 +80,39 @@ class TestDistMatrix:
 
 
 class TestChargeMxv:
+    def test_load_imbalance_empty_matrix_is_balanced(self):
+        # no edges anywhere: max/mean is 0/0, defined as perfect balance
+        g = gen.erdos_renyi(64, 0.0, seed=0)
+        dm = DistMatrix(g.to_matrix(), ProcessGrid(16, 64))
+        assert dm.edges_per_rank.sum() == 0
+        assert dm.load_imbalance() == 1.0
+
+    def test_load_imbalance_single_rank_is_one(self):
+        # p = 1: every edge lands on the only rank, λ is exactly 1
+        dm, A = dist(p=1)
+        assert dm.edges_per_rank.shape == (1,)
+        assert dm.edges_per_rank[0] == A.nvals
+        assert dm.load_imbalance() == 1.0
+
+    def test_load_imbalance_lower_bound(self):
+        dm, _ = dist()
+        assert dm.load_imbalance() >= 1.0
+
+    def test_load_imbalance_concentrated_star(self):
+        # a star graph concentrates edges on the hub's rank block; with
+        # permutation off, λ must reflect that concentration exactly
+        n, p = 64, 4
+        hub = 0
+        rows = np.full(n - 1, hub)
+        cols = np.arange(1, n)
+        A = Matrix.adjacency(n, rows, cols)
+        dm = DistMatrix(A, ProcessGrid(p, n), permute=False)
+        counts = dm.edges_per_rank
+        assert dm.load_imbalance() == pytest.approx(
+            counts.max() / counts.mean()
+        )
+        assert dm.load_imbalance() > 1.0
+
     def test_dense_input_charges_all_edges(self):
         d, A = dist(p=4)
         cost = CostModel(EDISON, 4, 1)

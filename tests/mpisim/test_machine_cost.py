@@ -105,6 +105,38 @@ class TestCostModel:
         assert a.phases["x"].flops == 30
         assert a.phases["y"].flops == 5
 
+    def test_merge_from_folds_every_component(self):
+        a, b = self.make(), self.make()
+        a.charge_compute(10, "x")
+        a.charge_comm(100, 2, "x")
+        b.charge_comm(50, 3, "x")
+        b.charge_seconds(0.5, "y")
+        expect_total = a.total_seconds + b.total_seconds
+        a.merge_from(b)
+        assert a.phases["x"].words == 150
+        assert a.phases["x"].messages == 5
+        assert a.phases["y"].seconds == 0.5
+        assert a.total_seconds == pytest.approx(expect_total)
+        assert a.total_words == 150 and a.total_messages == 5
+
+    def test_merge_from_empty_is_identity(self):
+        a = self.make()
+        a.charge_compute(10, "x")
+        before = a.phase_seconds()
+        a.merge_from(self.make())
+        assert a.phase_seconds() == before
+
+    def test_phase_seconds_view(self):
+        c = self.make()
+        assert c.phase_seconds() == {}
+        c.charge_compute(10, "hook")
+        c.charge_comm(100, 2, "hook")
+        c.charge_compute(5, "shortcut")
+        ps = c.phase_seconds()
+        assert set(ps) == {"hook", "shortcut"}
+        assert ps["hook"] == pytest.approx(c.phases["hook"].seconds)
+        assert sum(ps.values()) == pytest.approx(c.total_seconds)
+
     def test_single_node_uses_shared_memory_rates(self):
         multi = CostModel(EDISON, 16, 4)
         single = CostModel(EDISON, 4, 1)

@@ -38,9 +38,37 @@ class TestTraceEvents:
             c.charge_compute(1000, "x")
         starts = [e.t_start for e in c.events]
         assert starts == sorted(starts)
-        # events tile the whole simulated time
-        total = sum(e.seconds for e in c.events)
-        assert total == pytest.approx(c.total_seconds)
+
+    def test_events_tile_the_simulated_clock(self):
+        """Each event starts exactly where the clock stood before its
+        charge: t_start equals the running sum of prior durations, for
+        every charge kind (compute, comm, raw seconds)."""
+        c = CostModel(EDISON, 16, 4, trace=True)
+        c.charge_compute(500, "a")
+        c.charge_comm(1000, 4, "a")
+        c.charge_seconds(0.25, "b", "fault_delay")
+        c.charge_comm(10, 1, "b")
+        clock = 0.0
+        for ev in c.events:
+            assert ev.t_start == pytest.approx(clock)
+            clock += ev.seconds
+        assert clock == pytest.approx(c.total_seconds)
+
+    def test_program_order_preserved_across_phases(self):
+        c = CostModel(EDISON, 16, 4, trace=True)
+        with c.phase("p1"):
+            c.charge_compute(10)
+        with c.phase("p2"):
+            c.charge_compute(10)
+        with c.phase("p1"):
+            c.charge_comm(10, 1)
+        assert [e.phase for e in c.events] == ["p1", "p2", "p1"]
+
+    def test_trace_event_is_immutable(self):
+        ev = TraceEvent(t_start=0.0, seconds=1.0, phase="x", kind="compute",
+                        words=0.0, messages=0.0)
+        with pytest.raises(AttributeError):
+            ev.seconds = 2.0
 
     def test_reduce_scatter_produces_two_events(self):
         c = CostModel(EDISON, 16, 4, trace=True)

@@ -1,0 +1,81 @@
+"""Tests for the terminal renderers: error-span marking and the
+counters-column guard in :mod:`repro.obs.render`."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.render import flamegraph, top_table
+
+
+def _tracer_with(spans):
+    """Build a flat trace; *spans* is a list of (name, counters, error)."""
+    tr = Tracer()
+    for name, counters, error in spans:
+        try:
+            with tr.span(name, "step") as sp:
+                for k, v in (counters or {}).items():
+                    sp.add(k, v)
+                if error:
+                    raise RuntimeError(error)
+        except RuntimeError:
+            pass
+    return tr
+
+
+class TestTopTable:
+    def test_counterless_rows_show_dash_not_zero(self):
+        tr = _tracer_with([
+            ("with_counters", {"flops": 100, "words": 5}, None),
+            ("no_counters", None, None),
+        ])
+        lines = top_table(tr).splitlines()
+        counted = next(l for l in lines if "with_counters" in l)
+        bare = next(l for l in lines if "no_counters" in l)
+        assert "100" in counted and "5" in counted
+        # a span that never measured is "-", distinct from a measured zero
+        assert bare.split()[-3:] == ["-", "-", "-"]
+
+    def test_measured_zero_stays_zero(self):
+        tr = _tracer_with([("zero", {"flops": 0}, None)])
+        row = next(l for l in top_table(tr).splitlines() if "zero" in l)
+        assert row.split()[-3:] == ["0", "0", "0"]
+
+    def test_errored_aggregate_is_marked(self):
+        tr = _tracer_with([
+            ("flaky", None, "boom"),
+            ("flaky", None, None),
+            ("clean", None, None),
+        ])
+        out = top_table(tr)
+        header = out.splitlines()[0]
+        assert "errs" in header
+        flaky = next(l for l in out.splitlines() if "flaky" in l)
+        clean = next(l for l in out.splitlines() if "clean" in l)
+        assert "flaky!" in flaky
+        assert flaky.split()[-1] == "1"  # one of two calls errored
+        assert "clean!" not in clean
+        assert clean.split()[-1] == "-"
+
+    def test_no_errs_column_without_errors(self):
+        tr = _tracer_with([("clean", None, None)])
+        assert "errs" not in top_table(tr).splitlines()[0]
+
+    def test_invalid_by_rejected(self):
+        with pytest.raises(ValueError):
+            top_table(Tracer(), by="calls")
+
+    def test_empty_tracer(self):
+        assert top_table(Tracer()) == "(no spans recorded)"
+
+
+class TestFlamegraph:
+    def test_errored_span_annotated_first(self):
+        tr = _tracer_with([("doomed", {"flops": 3}, "kaput")])
+        line = next(l for l in flamegraph(tr).splitlines() if "doomed" in l)
+        assert "ERROR:" in line and "kaput" in line
+        # the error note leads the annotation, before counters
+        assert line.index("ERROR:") < line.index("flops=3")
+
+    def test_clean_span_not_annotated(self):
+        tr = _tracer_with([("fine", None, None)])
+        assert "ERROR" not in flamegraph(tr)
