@@ -57,9 +57,17 @@ def _bench_serial(name: str, A, in_quick: bool) -> Dict[str, Any]:
 
 
 def _bench_dist(name: str, A, nodes: int, in_quick: bool) -> Dict[str, Any]:
+    from repro.obs.anomaly import default_detectors
+    from repro.obs.flight import FlightRecorder, activate_flight
+
+    # run under the flight recorder: a clean bench must stay anomaly-free,
+    # and the regression comparator holds the count to exactly zero
+    fr = FlightRecorder(detectors=default_detectors())
     t0 = time.perf_counter()
-    res = lacc_dist(A, EDISON, nodes=nodes)
+    with activate_flight(fr):
+        res = lacc_dist(A, EDISON, nodes=nodes, run_name=name)
     wall = time.perf_counter() - t0
+    fr.finish()
     rep = analyze(res)
     metrics: Dict[str, Any] = {
         "wall_seconds": metric(wall, "wall", "s"),
@@ -68,6 +76,7 @@ def _bench_dist(name: str, A, nodes: int, in_quick: bool) -> Dict[str, Any]:
         "messages": metric(res.cost.total_messages, "deterministic", "msgs"),
         "iterations": metric(res.n_iterations, "exact"),
         "components": metric(res.n_components, "exact"),
+        "anomalies": metric(len(fr.anomalies()), "exact"),
         "lambda_overall": metric(rep.overall_lambda, "deterministic"),
     }
     for ph, secs in sorted(res.cost.phase_seconds().items()):

@@ -28,6 +28,11 @@ Commands
     Per-rank load-imbalance analytics of a simulated run: λ = max/mean
     requests per rank for each LACC step, compute/comm/delay attribution
     per phase, straggler identification (:mod:`repro.obs.analytics`).
+``explain``
+    Run LACC under the flight recorder (:mod:`repro.obs.flight`) with
+    streaming anomaly detection, or replay a recorded ``.jsonl`` flight
+    record, and print a human-readable diagnosis of what went wrong
+    (convergence stalls, stragglers, retry storms, checkpoint churn).
 ``bench``
     Run the benchmark suite (:mod:`repro.bench`) and write the
     schema-versioned ``BENCH_lacc.json`` record; optionally dump the
@@ -53,6 +58,8 @@ Examples
     python -m repro recover archaea --driver dist --machine edison --trace r.json
     python -m repro mcl similarities.mtx --inflation 2.0
     python -m repro analyze archaea --machine edison --nodes 16
+    python -m repro explain archaea --preset stragglers --seed 0 --html fr.html
+    python -m repro explain flight.jsonl --json
     python -m repro bench --quick --prom metrics.prom
     python -m repro regress --baseline BENCH_lacc.json
 """
@@ -647,12 +654,77 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     g = _load_graph(args.graph)
     machine = load_machine(args.machine)
     res = lacc_dist(g.to_matrix(), machine, nodes=args.nodes, trace_comm=True)
-    rep = analyze(res)
+    try:
+        rep = analyze(res)
+    except ValueError as exc:
+        print(f"cannot analyze: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(rep.to_dict(), indent=2))
     else:
         print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
         print(rep.render())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import diagnose, explain_lacc_dist
+    from repro.obs.flight import read_flight_jsonl
+    from repro.obs.render import write_html_timeline
+
+    if args.target.endswith(".jsonl"):
+        # replay mode: diagnose an existing flight record
+        try:
+            events = read_flight_jsonl(args.target)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read flight record: {exc}", file=sys.stderr)
+            return 2
+        diag = diagnose(events)
+    else:
+        from repro.mpisim.machine import load_machine
+
+        g = _load_graph(args.target)
+        machine = load_machine(args.machine)
+        diag, fr = explain_lacc_dist(
+            g.to_matrix(),
+            machine,
+            nodes=args.nodes,
+            preset=None if args.preset in (None, "none") else args.preset,
+            seed=args.seed,
+            graph_name=g.name,
+            record_path=args.record,
+        )
+        events = fr.events
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(diag.to_dict(), fh, indent=2)
+    if args.html:
+        write_html_timeline(events, args.html, title=f"flight: {diag.run_id}")
+
+    if args.json:
+        print(json.dumps(diag.to_dict(), indent=2))
+    else:
+        print(diag.render())
+        for path, what in ((args.record, "flight record"),
+                           (args.report, "JSON report"),
+                           (args.html, "HTML timeline")):
+            if path:
+                print(f"{what} written to {path}")
+
+    detected = set(diag.anomaly_classes())
+    if args.expect:
+        expected = {c.strip() for c in args.expect.split(",") if c.strip()}
+        missing = sorted(expected - detected)
+        if missing:
+            print(f"expected anomaly class(es) not detected: "
+                  f"{', '.join(missing)} (detected: "
+                  f"{', '.join(sorted(detected)) or 'none'})", file=sys.stderr)
+            return 1
+    if args.expect_clean and detected:
+        print(f"expected a clean run but detected: "
+              f"{', '.join(sorted(detected))}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -861,6 +933,36 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--json", action="store_true",
                     help="emit the report as JSON instead of text")
     an.set_defaults(fn=_cmd_analyze)
+
+    ex = sub.add_parser(
+        "explain",
+        help="run (or replay) LACC under the flight recorder and diagnose "
+             "anomalies (stalls, stragglers, retry storms)",
+    )
+    ex.add_argument("target",
+                    help=".mtx / edge-list file, corpus name, or a .jsonl "
+                         "flight record to replay")
+    ex.add_argument("--machine", default="edison",
+                    help="preset (edison/cori/laptop) or a machine JSON file")
+    ex.add_argument("--nodes", type=int, default=16)
+    ex.add_argument("--preset", default=None,
+                    choices=sorted(_FAULT_PRESETS) + ["none"],
+                    help="fault scenario to inject (default: none)")
+    ex.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    ex.add_argument("--record", metavar="FILE",
+                    help="write the flight record as JSONL")
+    ex.add_argument("--report", metavar="FILE",
+                    help="write the machine-readable diagnosis as JSON")
+    ex.add_argument("--html", metavar="FILE",
+                    help="write a self-contained HTML timeline")
+    ex.add_argument("--json", action="store_true",
+                    help="print the diagnosis as JSON instead of text")
+    ex.add_argument("--expect", metavar="CLASSES",
+                    help="comma-separated anomaly classes that must be "
+                         "detected; exit 1 otherwise (CI gate)")
+    ex.add_argument("--expect-clean", action="store_true",
+                    help="exit 1 if any anomaly is detected (CI gate)")
+    ex.set_defaults(fn=_cmd_explain)
 
     be = sub.add_parser(
         "bench", help="run the benchmark suite and write BENCH_lacc.json"

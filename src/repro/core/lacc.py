@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.graphblas import Matrix, Vector
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
@@ -163,8 +164,12 @@ def lacc(
     tr = tracer if tracer is not None else (Tracer() if collect_stats else NULL_TRACER)
     run_ctx = activate(tr) if tracer is not None else contextlib.nullcontext()
 
+    fr = _freg()
+    if fr:
+        fr.record("run_start", driver="serial", n=n, nnz=A.nvals)
     iteration = start_iteration
-    with run_ctx, tr.span("lacc", "run", n=n, nnz=A.nvals):
+    with run_ctx, tr.span("lacc", "run", n=n, nnz=A.nvals,
+                          **({"run_id": fr.run_id} if fr else {})):
         star = starcheck(f, active.mask)
         while True:
             iteration += 1
@@ -210,6 +215,16 @@ def lacc(
                 it_stats.step_seconds = steps_from_span(it_span)
             if collect_stats:
                 stats.iterations.append(it_stats)
+            if fr:
+                fr.set_coords(iteration=iteration)
+                fr.record(
+                    "iteration",
+                    iteration=iteration,
+                    active_vertices=it_stats.active_vertices,
+                    cond_hooks=it_stats.cond_hooks,
+                    uncond_hooks=it_stats.uncond_hooks,
+                    converged_vertices=it_stats.converged_vertices,
+                )
             reg = _mreg()
             if reg:
                 reg.counter("lacc_iterations_total",
@@ -244,4 +259,6 @@ def lacc(
 
     labels = f.to_numpy()
     n_components = int(np.unique(labels).size)
+    if fr:
+        fr.record("run_end", n_iterations=iteration, n_components=n_components)
     return LACCResult(labels, n_components, iteration, stats)

@@ -30,6 +30,7 @@ from repro.graphblas import semirings as sr
 from repro.graphs.generators import EdgeList
 from repro.mpisim.comm import SimComm
 from repro.mpisim.grid import ProcessGrid
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.tracer import current as _obs
 
 from .lacc_spmd import _Dist
@@ -175,10 +176,21 @@ def lacc_2d(
             plan_cursor=0 if faults is None else faults.cursor,
         )
 
+    fr = _freg()
+    if fr:
+        fr.record(
+            "run_start", driver="2d", n=n, nnz=A.nvals,
+            ranks=nprocs, grid_side=grid.side,
+            preset=faults.name if faults is not None else None,
+            seed=faults.seed if faults is not None else None,
+            partition_lambda=dmat.load_imbalance(),
+        )
     iterations = start_iteration
     if n and A.nvals:
         for k in range(1, max_iterations + 1):
             iterations = start_iteration + k
+            if fr:
+                fr.set_coords(iteration=iterations)
             with _obs().span("iteration", "iteration", iteration=iterations):
                 starcheck()
                 hooks = hook(conditional=True)
@@ -193,6 +205,9 @@ def lacc_2d(
                     ],
                     np.add,
                 )[0][0]
+            if fr:
+                fr.record("iteration", iteration=iterations, hooks=hooks,
+                          shortcut_changed=changed, nonstars=int(nonstars))
             if hooks == 0 and changed == 0 and nonstars == 0:
                 break
             if on_iteration is not None:
@@ -201,6 +216,12 @@ def lacc_2d(
             raise RuntimeError("2D LACC failed to converge (bug)")
 
     parents = f.to_array()
+    if fr:
+        fr.record(
+            "run_end",
+            n_iterations=iterations,
+            n_components=int(np.unique(parents).size) if n else 0,
+        )
     return Grid2DResult(
         parents=parents,
         n_components=int(np.unique(parents).size) if n else 0,

@@ -36,6 +36,7 @@ from repro.graphblas import Matrix, Vector
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.grid import ProcessGrid
 from repro.mpisim.machine import MachineModel
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import NULL_TRACER, Tracer, activate
 
@@ -123,6 +124,7 @@ def lacc_dist(
     initial_active: Optional[np.ndarray] = None,
     start_iteration: int = 0,
     on_iteration: Optional[IterationHook] = None,
+    run_name: Optional[str] = None,
 ) -> DistLACCResult:
     """Run LACC on the simulated machine.
 
@@ -147,6 +149,18 @@ def lacc_dist(
     time sit side by side.  The tracer is activated for the run, nesting
     GraphBLAS-primitive and collective spans under each step.
 
+    When a flight recorder is active (:func:`repro.obs.flight.
+    activate_flight`), the driver stamps the run record: ``run_start``
+    (topology, fault preset, static partition λ), per-iteration
+    ``iteration`` events (active vertices, hooks — what the convergence
+    detectors watch), per-routed-step ``step`` events (λ = max/mean
+    received requests, worst rank — Figure 3's skew, live), and
+    ``run_end``; the recorder's clock is rebound to the simulated clock
+    and its ambient iteration coordinate tracks the loop, so fault and
+    retry events recorded deep inside the collectives inherit the right
+    iteration.  ``run_name`` labels the record (the CLI passes the graph
+    name).
+
     ``cost`` supplies an existing :class:`~repro.mpisim.costmodel.CostModel`
     to charge into instead of a fresh one — :class:`repro.recovery.Supervisor`
     passes one master model across restart attempts so the simulated clock
@@ -164,6 +178,23 @@ def lacc_dist(
     dmat = DistMatrix(A, grid, permute=permute, seed=seed)
     if cost is None:
         cost = CostModel(machine, nprocs, nodes, trace=trace_comm, faults=faults)
+    fr = _freg()
+    if fr:
+        fr.bind_clock(lambda: cost.total_seconds)
+        fr.record(
+            "run_start",
+            driver="dist",
+            graph=run_name,
+            n=n,
+            nnz=A.nvals,
+            machine=machine.name,
+            nodes=nodes,
+            ranks=nprocs,
+            preset=faults.name if faults is not None else None,
+            seed=faults.seed if faults is not None else None,
+            partition_lambda=dmat.load_imbalance(),
+            partition_worst_rank=int(np.argmax(dmat.edges_per_rank)),
+        )
     stats = LACCStats(n_vertices=n)
     tr = tracer if tracer is not None else NULL_TRACER
     if tracer is not None and not tracer.roots and tracer.current is None:
@@ -193,6 +224,9 @@ def lacc_dist(
     if n == 0 or Ap.nvals == 0:
         labels0 = dmat.to_original_labels(f.to_numpy())
         ncomp0 = int(np.unique(labels0).size) if n else 0
+        if fr:
+            fr.record("run_end", n_iterations=start_iteration,
+                      n_components=ncomp0)
         return DistLACCResult(
             labels0, ncomp0, start_iteration, stats, cost,
             machine, nodes, nprocs, routing,
@@ -212,6 +246,22 @@ def lacc_dist(
     def active_bitmap() -> Optional[np.ndarray]:
         return active.mask
 
+    def record_routed(it: int, phase: str, rep: RoutingReport) -> None:
+        """Keep the routing report and, when a flight recorder is on,
+        stamp its λ = max/mean skew as a ``step`` event (live Figure 3)."""
+        routing.append((it, phase, rep))
+        if fr:
+            recv = np.asarray(rep.received_per_rank, dtype=float)
+            mean = recv.mean() if recv.size else 0.0
+            fr.record(
+                "step",
+                iteration=it,
+                step=phase,
+                lam=float(recv.max() / mean) if mean > 0 else 1.0,
+                worst_rank=int(np.argmax(recv)) if recv.size else 0,
+                requests=float(recv.sum()),
+            )
+
     def charge_hook(report: HookReport, in_cols: Optional[np.ndarray], phase: str, it: int):
         """Price one hooking phase: mxv + eWise filtering + hook scatter."""
         dmat.charge_mxv(cost, in_cols, phase)
@@ -221,7 +271,7 @@ def lacc_dist(
             rep = charge_assign(
                 grid, cost, report.roots, report.hook_vertices, phase, **route_kw
             )
-            routing.append((it, phase, rep))
+            record_routed(it, phase, rep)
 
     def charge_starcheck(phase: str, it: int):
         """Price one starcheck: grandparent extract (the Figure 3 hot
@@ -232,7 +282,7 @@ def lacc_dist(
             return
         fv = f.to_numpy()
         rep = charge_extract(grid, cost, fv[idx], idx, phase, **route_kw)
-        routing.append((it, phase, rep))
+        record_routed(it, phase, rep)
         # marking + fixup are one more assign + extract over the scope
         charge_assign(grid, cost, fv[idx], idx, phase, **route_kw)
         cost.charge_compute(2 * idx.size / max(nprocs, 1), phase)
@@ -243,12 +293,17 @@ def lacc_dist(
 
     iteration = start_iteration
     with run_ctx, tr.span("lacc_dist", "run", n=n, nnz=Ap.nvals,
-                          machine=machine.name, nodes=nodes, ranks=nprocs):
+                          machine=machine.name, nodes=nodes, ranks=nprocs,
+                          **({"run_id": fr.run_id} if fr else {})):
       star = starcheck(f, active.mask)
       while True:
         iteration += 1
         if iteration - start_iteration > max_iterations:
             raise RuntimeError("distributed LACC failed to converge (bug)")
+        if fr:
+            # faults/retries recorded deep inside the collectives inherit
+            # this coordinate without threading it through call signatures
+            fr.set_coords(iteration=iteration)
         it_stats = IterationStats(iteration=iteration, active_vertices=active.active_count)
         _, words0, msgs0 = cost.totals()
 
@@ -305,7 +360,7 @@ def lacc_dist(
                     rep2 = charge_extract(
                         grid, cost, fv[scope_idx], scope_idx, "shortcut", **route_kw
                     )
-                    routing.append((iteration, "shortcut", rep2))
+                    record_routed(iteration, "shortcut", rep2)
                     cost.charge_compute(scope_idx.size / max(nprocs, 1), "shortcut")
                 shortcut(f, scope)
             add_step_delta(it_stats.step_model_seconds, before)
@@ -321,6 +376,17 @@ def lacc_dist(
         it_stats.words_communicated = int(round(words1 - words0))
         it_stats.messages_sent = int(round(msgs1 - msgs0))
         stats.iterations.append(it_stats)
+        if fr:
+            fr.record(
+                "iteration",
+                iteration=iteration,
+                active_vertices=it_stats.active_vertices,
+                cond_hooks=it_stats.cond_hooks,
+                uncond_hooks=it_stats.uncond_hooks,
+                converged_vertices=it_stats.converged_vertices,
+                words=it_stats.words_communicated,
+                messages=it_stats.messages_sent,
+            )
         reg = _mreg()
         if reg:
             reg.counter("lacc_iterations_total",
@@ -358,6 +424,13 @@ def lacc_dist(
             )
 
     labels = dmat.to_original_labels(f.to_numpy())
+    if fr:
+        fr.record(
+            "run_end",
+            n_iterations=iteration,
+            n_components=int(np.unique(labels).size),
+            simulated_seconds=cost.total_seconds,
+        )
     return DistLACCResult(
         labels,
         int(np.unique(labels).size),

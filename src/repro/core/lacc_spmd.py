@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.graphs.generators import EdgeList
 from repro.mpisim.comm import SimComm
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.tracer import current as _obs
 
 from .snapshot import IterationHook, IterationSnapshot, validate_initial_parents
@@ -310,10 +311,19 @@ def lacc_spmd(
             plan_cursor=0 if plan is None else plan.cursor,
         )
 
+    fr = _freg()
+    if fr:
+        fr.record(
+            "run_start", driver="spmd", n=n, ranks=ranks,
+            preset=faults.name if faults is not None else None,
+            seed=faults.seed if faults is not None else None,
+        )
     iterations = start_iteration
     if n and eu.size:
         for k in range(1, max_iterations + 1):
             iterations = start_iteration + k
+            if fr:
+                fr.set_coords(iteration=iterations)
             with _obs().span("iteration", "iteration", iteration=iterations):
                 starcheck()
                 hooks = hook(conditional=True)
@@ -329,6 +339,9 @@ def lacc_spmd(
                     ],
                     np.add,
                 )[0][0]
+            if fr:
+                fr.record("iteration", iteration=iterations, hooks=hooks,
+                          shortcut_changed=changed, nonstars=int(nonstars))
             if hooks == 0 and changed == 0 and nonstars == 0:
                 break
             if on_iteration is not None:
@@ -337,6 +350,12 @@ def lacc_spmd(
             raise RuntimeError("SPMD LACC failed to converge (bug)")
 
     parents = f.to_array()
+    if fr:
+        fr.record(
+            "run_end",
+            n_iterations=iterations,
+            n_components=int(np.unique(parents).size) if n else 0,
+        )
     return SPMDResult(
         parents=parents,
         n_components=int(np.unique(parents).size) if n else 0,

@@ -42,6 +42,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.faults.errors import CollectiveError
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import current as _obs
 
@@ -69,6 +70,18 @@ def _calling_iteration() -> Optional[int]:
     return None if sp is None else sp.attrs.get("iteration")
 
 
+def _straggler_rank(plan, ranks: int) -> int:
+    """Deterministic victim rank for a plan's ``delay`` faults.
+
+    A real straggler is a *node*: every delay of one run hits the same
+    rank.  Deriving it from the seed (Fibonacci hashing, so neighbouring
+    seeds land on different ranks) keeps the fault log byte-reproducible
+    while giving the flight record — and the straggler detector — a
+    persistent rank to name.
+    """
+    return (0x9E3779B9 * (plan.seed + 1)) % max(ranks, 1)
+
+
 def _with_faults(
     cost: CostModel, name: str, phase: Optional[str], charge: Callable[[], float]
 ) -> float:
@@ -85,6 +98,7 @@ def _with_faults(
     plan = getattr(cost, "faults", None)
     if plan is None:
         return charge()
+    fr = _freg()
     call = plan.begin_call(name, phase)
     crashed = call.crashes()
     if crashed:
@@ -93,12 +107,18 @@ def _with_faults(
         # the supervisor's job (repro.recovery)
         for rule in crashed:
             call.record(rule, 0, None, "rank died mid-collective")
+            if fr:
+                fr.record("fault", step=phase, collective=name,
+                          fault_kind="crash", attempt=0)
         if reg:
             reg.counter("sim_faults_total", "injected faults, by kind",
                         collective=name, kind="crash").inc(len(crashed))
             reg.counter("sim_collective_errors_total",
                         "collectives that failed permanently",
                         collective=name).inc()
+        if fr:
+            fr.record("collective_error", step=phase, collective=name,
+                      kinds=["crash"], attempts=1)
         raise CollectiveError(
             name, 1, ["crash"], phase, iteration=_calling_iteration()
         )
@@ -109,7 +129,13 @@ def _with_faults(
         extra = (rule.delay_factor - 1.0) * dt
         with cost.kind("fault_delay"):
             cost.charge_seconds(extra, phase, "fault_delay")
-        call.record(rule, 0, None, f"straggler x{rule.delay_factor:g}")
+        victim = _straggler_rank(plan, cost.ranks)
+        call.record(rule, 0, victim, f"straggler x{rule.delay_factor:g}")
+        if fr:
+            fr.record("fault", rank=victim, step=phase, collective=name,
+                      fault_kind="delay", attempt=0,
+                      delay_factor=rule.delay_factor,
+                      delay_seconds=extra)
         if reg:
             reg.counter("sim_faults_total", "injected faults, by kind",
                         collective=name, kind="delay").inc()
@@ -122,19 +148,26 @@ def _with_faults(
             return dt
         for rule in active:
             call.record(rule, attempt, None, "detected by validation")
+            if fr:
+                fr.record("fault", step=phase, collective=name,
+                          fault_kind=rule.kind, attempt=attempt)
             if reg:
                 reg.counter("sim_faults_total", "injected faults, by kind",
                             collective=name, kind=rule.kind).inc()
+        kinds = sorted({r.kind for r in active})
         attempt += 1
         if attempt > plan.max_retries:
             if reg:
                 reg.counter("sim_collective_errors_total",
                             "collectives that failed permanently",
                             collective=name).inc()
+            if fr:
+                fr.record("collective_error", step=phase, collective=name,
+                          kinds=kinds, attempts=attempt)
             raise CollectiveError(
                 name,
                 attempt,
-                sorted({r.kind for r in active}),
+                kinds,
                 phase,
                 iteration=_calling_iteration(),
             )
@@ -143,7 +176,11 @@ def _with_faults(
                         "collective retransmissions after validation failure",
                         collective=name).inc()
         backoff = backoff_base * (2 ** (attempt - 1))
-        with _obs().span("retry", "fault", collective=name, attempt=attempt) as rsp:
+        if fr:
+            fr.record("retry", step=phase, collective=name, attempt=attempt,
+                      kinds=kinds, backoff_seconds=backoff)
+        with _obs().span("retry", "fault", collective=name, attempt=attempt,
+                         kinds=",".join(kinds)) as rsp:
             with cost.kind("fault_backoff"):
                 dt += cost.charge_seconds(backoff, phase, "fault_backoff")
             dt += charge()  # full retransmission

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.faults.errors import CollectiveError
 from repro.faults.injector import checksums, inject
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.tracer import current as _obs
 
 __all__ = ["SimComm"]
@@ -51,6 +52,13 @@ def _calling_iteration() -> Optional[int]:
     :class:`CollectiveError` can say *when* the collective died."""
     sp = _obs().innermost("iteration")
     return None if sp is None else sp.attrs.get("iteration")
+
+
+def _straggler_rank(plan, ranks: int) -> int:
+    """Deterministic victim rank for ``delay`` faults — same derivation
+    as the analytic collectives (:mod:`repro.mpisim.collectives`), so the
+    literal and priced executions of one seed name the same slow node."""
+    return (0x9E3779B9 * (plan.seed + 1)) % max(ranks, 1)
 
 
 class SimComm:
@@ -148,6 +156,7 @@ class SimComm:
         plan = self.faults
         if plan is None:
             return rebuild(leaves)
+        fr = _freg()
         call = plan.begin_call(name)
         if not call:
             return rebuild(leaves)
@@ -158,16 +167,28 @@ class SimComm:
             # supervisor (repro.recovery) restart from checkpointed state
             for rule in crashed:
                 call.record(rule, 0, None, "rank died mid-collective")
+                if fr:
+                    fr.record("fault", collective=name, fault_kind="crash",
+                              attempt=0)
             if sp:
                 sp.add("faults_detected", len(crashed))
                 sp.set("crashed", True)
+            if fr:
+                fr.record("collective_error", collective=name,
+                          kinds=["crash"], attempts=1)
             raise CollectiveError(
                 name, 1, ["crash"], iteration=_calling_iteration()
             )
         expected = checksums(leaves)
         for rule in call.delays():
             extra = self._price_delay(rule.delay_factor, words, messages)
-            call.record(rule, 0, None, f"straggler x{rule.delay_factor:g}")
+            victim = _straggler_rank(plan, self.size)
+            call.record(rule, 0, victim, f"straggler x{rule.delay_factor:g}")
+            if fr:
+                fr.record("fault", rank=victim, collective=name,
+                          fault_kind="delay", attempt=0,
+                          delay_factor=rule.delay_factor,
+                          delay_seconds=extra)
             if sp:
                 sp.add("fault_delay_seconds", extra)
         attempt = 0
@@ -183,10 +204,16 @@ class SimComm:
                 for rule in active:
                     if rule.kind == "fail":
                         call.record(rule, attempt, None, "transport error")
+                        if fr:
+                            fr.record("fault", collective=name,
+                                      fault_kind="fail", attempt=attempt)
                         transport_died = True
                     else:
                         delivered, rank_i, detail = inject(rule.kind, delivered, rng)
                         call.record(rule, attempt, rank_i, detail)
+                        if fr:
+                            fr.record("fault", rank=rank_i, collective=name,
+                                      fault_kind=rule.kind, attempt=attempt)
                 # receiver-side validation: recompute checksums over what
                 # actually arrived and compare with the sender's manifest
                 ok = not transport_died and checksums(delivered) == expected
@@ -201,12 +228,19 @@ class SimComm:
             kinds = sorted({r.kind for r in active})
             attempt += 1
             if attempt >= max_attempts:
+                if fr:
+                    fr.record("collective_error", collective=name,
+                              kinds=kinds, attempts=attempt)
                 raise CollectiveError(
                     name, attempt, kinds, iteration=_calling_iteration()
                 )
             backoff = self.backoff_base * (2 ** (attempt - 1))
+            if fr:
+                fr.record("retry", collective=name, attempt=attempt,
+                          kinds=kinds, backoff_seconds=backoff)
             with _obs().span(
-                "retry", "fault", collective=name, attempt=attempt
+                "retry", "fault", collective=name, attempt=attempt,
+                kinds=",".join(kinds)
             ) as rsp:
                 self._charge_retry(words, messages, backoff)
                 if rsp:

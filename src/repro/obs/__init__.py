@@ -25,6 +25,17 @@ LACC drivers all hook into:
   ``python -m repro analyze`` (imported explicitly, like ``profile``).
 * :mod:`repro.obs.overhead` — disabled-mode overhead measurement shared
   by the CI gate and the tier-1 test suite (imported explicitly).
+* :mod:`repro.obs.flight` — the flight recorder: one append-only,
+  causally-ordered, schema-versioned run record merging spans, metric
+  samples, fault/retry injections and recovery events, with the same
+  null-object off switch (:func:`activate_flight`/:func:`flight_recorder`).
+* :mod:`repro.obs.anomaly` — streaming detectors over the flight record
+  (convergence stall, load-imbalance spikes, retry storms, stragglers,
+  checkpoint churn) emitting :class:`Anomaly` verdicts with evidence
+  pointers.
+* :mod:`repro.obs.explain` — the run-diagnosis engine behind
+  ``python -m repro explain`` (imported explicitly; it pulls in
+  :mod:`repro.core`).
 
 Typical use::
 
@@ -37,6 +48,16 @@ Typical use::
 """
 
 from . import export, metrics, render
+from .anomaly import (
+    Anomaly,
+    AnomalyDetector,
+    CheckpointChurnDetector,
+    ConvergenceStallDetector,
+    LoadImbalanceDetector,
+    RetryStormDetector,
+    StragglerDetector,
+    default_detectors,
+)
 from .export import (
     chrome_trace,
     merge_chrome_traces,
@@ -54,7 +75,17 @@ from .metrics import (
     activate_metrics,
     metrics_registry,
 )
-from .render import flamegraph, top_table
+from .flight import (
+    NULL_FLIGHT,
+    SCHEMA_VERSION,
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+    activate_flight,
+    flight_recorder,
+    read_flight_jsonl,
+)
+from .render import flamegraph, html_timeline, top_table, write_html_timeline
 from .tracer import (
     NULL_TRACER,
     NullSpan,
@@ -88,6 +119,24 @@ __all__ = [
     "span_records",
     "flamegraph",
     "top_table",
+    "html_timeline",
+    "write_html_timeline",
+    "FlightEvent",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "SCHEMA_VERSION",
+    "activate_flight",
+    "flight_recorder",
+    "read_flight_jsonl",
+    "Anomaly",
+    "AnomalyDetector",
+    "ConvergenceStallDetector",
+    "LoadImbalanceDetector",
+    "RetryStormDetector",
+    "StragglerDetector",
+    "CheckpointChurnDetector",
+    "default_detectors",
     "export",
     "metrics",
     "render",

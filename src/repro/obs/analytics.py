@@ -220,7 +220,26 @@ def analyze(result, edges_per_rank: Optional[np.ndarray] = None) -> AnalyticsRep
         Optional static edge distribution (``DistMatrix.edges_per_rank``)
         for the λ of the 2-D partition itself, reported next to the
         dynamic request λ.
+
+    Raises
+    ------
+    ValueError
+        When *result* carries no cost model or no routing records —
+        i.e. it is not a :class:`~repro.core.lacc_dist.DistLACCResult`
+        (serial / literal-SPMD results have no α–β attribution to
+        analyze).
     """
+    if getattr(result, "cost", None) is None:
+        raise ValueError(
+            "result has no cost model to analyze — per-rank analytics "
+            "needs a DistLACCResult from lacc_dist (serial and literal "
+            "SPMD results carry no α–β cost data)"
+        )
+    if getattr(result, "routing", None) is None:
+        raise ValueError(
+            "result has no routing records — per-rank analytics needs "
+            "the RoutingReport list a DistLACCResult carries"
+        )
     cost: CostModel = result.cost
     steps: List[StepImbalance] = []
     by_step: Dict[str, List[np.ndarray]] = {}

@@ -1,0 +1,352 @@
+"""Run diagnosis: turn a flight record into a verdict.
+
+``python -m repro explain`` is the front end.  The engine replays a
+flight record (in memory, or a JSONL file written by
+:class:`~repro.obs.flight.FlightRecorder`), collects the detector
+verdicts embedded in it, correlates each one with the per-step λ /
+compute-comm attribution of :mod:`repro.obs.analytics` when the run's
+result is available, and renders:
+
+* a human-readable verdict — "iterations 7–11 stalled: starcheck
+  dominated by rank 3 straggler; 14 alltoallv retries under preset
+  ``stragglers``";
+* a machine-readable JSON report (:meth:`RunDiagnosis.to_dict`) for CI
+  to assert on (`--expect retry_storm,straggler` / `--expect-clean`);
+* optionally a self-contained HTML timeline
+  (:func:`repro.obs.render.html_timeline`).
+
+:func:`explain_lacc_dist` is the run harness behind the CLI's run mode:
+it executes the distributed driver under a fresh recorder with the
+default detector set, fault preset and all, and hands back the
+diagnosis plus the raw record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .flight import SCHEMA_VERSION, FlightEvent
+
+__all__ = ["RunDiagnosis", "diagnose", "explain_lacc_dist"]
+
+_SEVERITY_ORDER = {"critical": 0, "warning": 1, "info": 2}
+
+
+@dataclass
+class RunDiagnosis:
+    """The diagnosis of one run record."""
+
+    run_id: str
+    driver: Optional[str] = None
+    graph: Optional[str] = None
+    machine: Optional[str] = None
+    nodes: Optional[int] = None
+    ranks: Optional[int] = None
+    preset: Optional[str] = None
+    seed: Optional[int] = None
+    n_iterations: Optional[int] = None
+    n_components: Optional[int] = None
+    completed: bool = True
+    error: Optional[str] = None
+    n_events: int = 0
+    #: anomaly payloads (dicts as written into the record), causal order,
+    #: each possibly extended with a ``correlation`` block from analytics
+    anomalies: List[Dict[str, Any]] = field(default_factory=list)
+    #: :meth:`AnalyticsReport.to_dict` of the run, when available
+    analytics: Optional[Dict[str, Any]] = None
+
+    @property
+    def healthy(self) -> bool:
+        return self.completed and not self.anomalies
+
+    @property
+    def worst_severity(self) -> Optional[str]:
+        if not self.anomalies:
+            return None
+        return min(
+            (a.get("severity", "info") for a in self.anomalies),
+            key=lambda s: _SEVERITY_ORDER.get(s, 99),
+        )
+
+    def anomaly_classes(self) -> List[str]:
+        """Distinct detector names that fired, causal order preserved."""
+        seen: List[str] = []
+        for a in self.anomalies:
+            det = a.get("detector", "?")
+            if det not in seen:
+                seen.append(det)
+        return seen
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "driver": self.driver,
+            "graph": self.graph,
+            "machine": self.machine,
+            "nodes": self.nodes,
+            "ranks": self.ranks,
+            "preset": self.preset,
+            "seed": self.seed,
+            "n_iterations": self.n_iterations,
+            "n_components": self.n_components,
+            "completed": self.completed,
+            "error": self.error,
+            "n_events": self.n_events,
+            "healthy": self.healthy,
+            "worst_severity": self.worst_severity,
+            "anomaly_classes": self.anomaly_classes(),
+            "anomalies": self.anomalies,
+            "analytics": self.analytics,
+        }
+
+    def render(self) -> str:
+        """The human-readable verdict (deterministic, CI-log friendly)."""
+        where = []
+        if self.graph:
+            where.append(self.graph)
+        if self.machine:
+            where.append(
+                f"{self.machine}"
+                + (f" nodes={self.nodes}" if self.nodes is not None else "")
+                + (f" ranks={self.ranks}" if self.ranks is not None else "")
+            )
+        if self.preset:
+            where.append(f"preset '{self.preset}' seed={self.seed}")
+        lines = [
+            f"run {self.run_id}"
+            + (f" [{self.driver}]" if self.driver else "")
+            + (": " + ", ".join(where) if where else ""),
+        ]
+        if self.completed:
+            done = []
+            if self.n_iterations is not None:
+                done.append(f"{self.n_iterations} iterations")
+            if self.n_components is not None:
+                done.append(f"{self.n_components} components")
+            lines.append(
+                "completed" + (": " + ", ".join(done) if done else "")
+                + f"  ({self.n_events} flight events)"
+            )
+        else:
+            lines.append(
+                f"DID NOT COMPLETE: {self.error or 'unknown error'}"
+                + f"  ({self.n_events} flight events)"
+            )
+        lines.append("")
+        if not self.anomalies:
+            lines.append("verdict: no anomalies detected — the run looks healthy")
+            return "\n".join(lines)
+        lines.append(
+            f"verdict: {len(self.anomalies)} anomal"
+            + ("y" if len(self.anomalies) == 1 else "ies")
+            + f" ({', '.join(self.anomaly_classes())})"
+            + f" — worst severity {self.worst_severity}"
+        )
+        ranked = sorted(
+            self.anomalies,
+            key=lambda a: (
+                _SEVERITY_ORDER.get(a.get("severity", "info"), 99),
+                a.get("first_iteration") if a.get("first_iteration") is not None else -1,
+            ),
+        )
+        for a in ranked:
+            sev = a.get("severity", "info")
+            mark = {"critical": "!!", "warning": " !", "info": "  "}.get(sev, "  ")
+            lines.append(f"{mark} [{a.get('detector', '?')}] {a.get('message', '')}")
+            corr = a.get("correlation")
+            if corr:
+                lines.append(f"     ↳ {corr['note']}")
+        return "\n".join(lines)
+
+
+def _correlate(anomaly: Dict[str, Any], analytics: Dict[str, Any]) -> None:
+    """Attach an analytics cross-reference to one anomaly (in place).
+
+    The flight record says *when* something went wrong; the analytics
+    report says *where the time went*.  The join key is the anomaly's
+    step (λ table) or, failing that, its detector class (phase table).
+    """
+    steps = {s["step"]: s for s in analytics.get("steps", [])}
+    phases = {p["phase"]: p for p in analytics.get("phases", [])}
+
+    step = anomaly.get("step")
+    if step and step in steps:
+        s = steps[step]
+        anomaly["correlation"] = {
+            "step": step,
+            "lambda": s["lambda"],
+            "worst_rank": s["worst_rank"],
+            "idle_fraction": s["idle_fraction"],
+            "note": (
+                f"'{step}' ran at λ={s['lambda']:.2f} over the whole run "
+                f"(rank {s['worst_rank']} received "
+                f"{100 * s['worst_share']:.1f}% of requests; average rank "
+                f"idle {100 * s['idle_fraction']:.1f}% of the superstep)"
+            ),
+        }
+        return
+
+    det = anomaly.get("detector")
+    if det in ("retry_storm", "straggler"):
+        delay = sum(p["delay_seconds"] for p in phases.values())
+        total = analytics.get("model_seconds") or 0.0
+        if delay > 0:
+            hottest = max(phases.values(), key=lambda p: p["delay_seconds"])
+            anomaly["correlation"] = {
+                "delay_seconds": delay,
+                "delay_share": delay / total if total > 0 else 0.0,
+                "hottest_phase": hottest["phase"],
+                "note": (
+                    f"fault delays/retries cost {delay * 1e3:.3f} ms of model "
+                    f"time ({100 * delay / total:.1f}% of the run), "
+                    f"concentrated in '{hottest['phase']}'"
+                    if total > 0
+                    else f"fault delays/retries cost {delay * 1e3:.3f} ms"
+                ),
+            }
+    elif det == "convergence_stall":
+        worst = max(
+            analytics.get("steps", []), key=lambda s: s["lambda"], default=None
+        )
+        if worst is not None and worst["lambda"] > 1.0:
+            anomaly["correlation"] = {
+                "step": worst["step"],
+                "lambda": worst["lambda"],
+                "worst_rank": worst["worst_rank"],
+                "note": (
+                    f"while stalled, '{worst['step']}' was the most skewed "
+                    f"step (λ={worst['lambda']:.2f}, rank "
+                    f"{worst['worst_rank']} hottest)"
+                ),
+            }
+
+
+def diagnose(
+    events: List[FlightEvent],
+    analytics: Optional[Any] = None,
+) -> RunDiagnosis:
+    """Replay a flight record into a :class:`RunDiagnosis`.
+
+    Parameters
+    ----------
+    events:
+        The record, e.g. ``recorder.events`` or
+        :func:`~repro.obs.flight.read_flight_jsonl` output.  Must contain
+        the ``run_meta`` header; drivers add ``run_start`` /
+        ``iteration`` / ``run_end`` and the detectors' ``anomaly``
+        events.
+    analytics:
+        Optional :class:`~repro.obs.analytics.AnalyticsReport` (or its
+        ``to_dict()``) of the same run; anomalies then carry a
+        ``correlation`` block tying them to the per-step λ / comm
+        attribution.
+    """
+    if not events:
+        raise ValueError("empty flight record: nothing to diagnose")
+    d = RunDiagnosis(run_id="?", n_events=len(events))
+    adict: Optional[Dict[str, Any]] = None
+    if analytics is not None:
+        adict = analytics if isinstance(analytics, dict) else analytics.to_dict()
+        d.analytics = adict
+
+    saw_end = False
+    for ev in events:
+        if ev.kind == "run_meta":
+            d.run_id = ev.data.get("run_id", d.run_id)
+        elif ev.kind == "run_start":
+            d.driver = ev.data.get("driver", d.driver)
+            d.graph = ev.data.get("graph", d.graph)
+            d.machine = ev.data.get("machine", d.machine)
+            d.nodes = ev.data.get("nodes", d.nodes)
+            d.ranks = ev.data.get("ranks", d.ranks)
+            d.preset = ev.data.get("preset", d.preset)
+            d.seed = ev.data.get("seed", d.seed)
+        elif ev.kind == "run_end":
+            saw_end = True
+            d.n_iterations = ev.data.get("n_iterations", d.n_iterations)
+            d.n_components = ev.data.get("n_components", d.n_components)
+            if ev.data.get("error"):
+                d.completed = False
+                d.error = str(ev.data["error"])
+        elif ev.kind == "iteration" and ev.iteration is not None:
+            d.n_iterations = max(d.n_iterations or 0, ev.iteration)
+        elif ev.kind == "anomaly":
+            a = dict(ev.data)
+            a.setdefault("seq", ev.seq)
+            # rank/step live on the event's coordinates, not in its data
+            a.setdefault("rank", ev.rank)
+            a.setdefault("step", ev.step)
+            if adict is not None:
+                _correlate(a, adict)
+            d.anomalies.append(a)
+    if not saw_end and d.error is None:
+        # a record that never reached run_end is itself suspicious, but
+        # only mark it incomplete when the run clearly started
+        if d.driver is not None:
+            d.completed = False
+            d.error = "flight record ends before run_end (crash or truncation)"
+    return d
+
+
+def explain_lacc_dist(
+    A,
+    machine,
+    nodes: int = 4,
+    preset: Optional[str] = None,
+    seed: int = 0,
+    graph_name: Optional[str] = None,
+    record_path: Optional[str] = None,
+    detectors: Optional[List[Any]] = None,
+    capacity: int = 65536,
+) -> Tuple[RunDiagnosis, Any]:
+    """Run ``lacc_dist`` under a fresh flight recorder and diagnose it.
+
+    The harness behind ``python -m repro explain`` (run mode) and the CI
+    anomaly-detection job: activates a :class:`FlightRecorder` with the
+    default detector set (or *detectors*), applies the named fault
+    *preset* (``None`` = clean run), traces communication so the
+    analytics correlation has an exact compute/comm/delay split, and
+    survives a permanent :class:`~repro.faults.CollectiveError` — the
+    failure becomes part of the diagnosis rather than a traceback.
+
+    Returns ``(diagnosis, recorder)``; the recorder is finished (all
+    detector verdicts flushed) and, when *record_path* is given, its
+    JSONL sink is closed and complete.
+    """
+    from repro.core.lacc_dist import lacc_dist
+    from repro.faults import CollectiveError, preset as make_preset
+    from repro.obs.analytics import analyze
+
+    from .anomaly import default_detectors
+    from .flight import FlightRecorder, activate_flight
+
+    plan = make_preset(preset, seed=seed) if preset else None
+    fr = FlightRecorder(
+        path=record_path,
+        capacity=capacity,
+        detectors=detectors if detectors is not None else default_detectors(),
+    )
+    result = None
+    error: Optional[str] = None
+    try:
+        with activate_flight(fr):
+            result = lacc_dist(
+                A,
+                machine,
+                nodes=nodes,
+                faults=plan,
+                trace_comm=True,
+                run_name=graph_name,
+            )
+    except CollectiveError as e:
+        error = str(e)
+        fr.record("run_end", error=error)
+    fr.finish()
+
+    analytics = analyze(result) if result is not None else None
+    diagnosis = diagnose(fr.events, analytics=analytics)
+    if record_path:
+        fr.close()
+    return diagnosis, fr

@@ -62,6 +62,11 @@ def chrome_trace(
     *registry*, its counters and gauges additionally ride along as Chrome
     ``"C"`` (counter) events at the start and end of the trace, so the
     viewer shows the run's standing totals next to the span timeline.
+    Counter timestamps are rebased against the same origin as the spans
+    (one clock domain), and the emitted event stream is globally sorted
+    by ``ts`` (metadata first; the sort is stable, so ``B``/``E`` nesting
+    at equal timestamps is preserved) — strict pickier-than-Chrome
+    parsers get monotone timestamps per ``pid``/``tid``.
     """
     base = _t0(tracer)
     events: List[Dict[str, Any]] = [
@@ -109,6 +114,10 @@ def chrome_trace(
             default=0.0,
         )
         events.extend(metric_counter_events(registry, pid=pid, ts=t_end))
+    # one globally ts-sorted stream: metadata first, then every span and
+    # counter event in timestamp order (stable, so depth-first B/E nesting
+    # survives ties)
+    events.sort(key=lambda e: (0 if e["ph"] == "M" else 1, e.get("ts", 0.0)))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

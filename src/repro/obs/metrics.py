@@ -268,7 +268,9 @@ class MetricRegistry:
         Counters/gauges emit one sample per label set; histograms emit
         cumulative ``_bucket{le=...}`` samples plus ``_sum``/``_count``,
         exactly as a scrape endpoint would so the dump drops into
-        ``promtool``/Grafana unchanged.
+        ``promtool``/Grafana unchanged.  Every family gets ``# HELP``
+        (a generated fallback when none was registered) and ``# TYPE``
+        lines, with help text escaped per the exposition format.
         """
         by_name: Dict[str, List[Any]] = {}
         for m in self:
@@ -276,8 +278,8 @@ class MetricRegistry:
         lines: List[str] = []
         for name in sorted(by_name):
             kind = self._kinds[name]
-            if name in self._help:
-                lines.append(f"# HELP {name} {self._help[name]}")
+            help_text = self._help.get(name) or f"{kind} {name}"
+            lines.append(f"# HELP {name} {_prom_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
             for m in by_name[name]:
                 if isinstance(m, Histogram):
@@ -313,6 +315,12 @@ def _prom_float(v: float) -> str:
 
 def _prom_escape(v: str) -> str:
     return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_escape_help(v: str) -> str:
+    # HELP text escapes backslash and newline only (not quotes) — text
+    # exposition format 0.0.4
+    return v.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_labels(labels: Tuple[Tuple[str, str], ...], **extra: str) -> str:

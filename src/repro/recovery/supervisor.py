@@ -49,6 +49,7 @@ import numpy as np
 from repro.core.snapshot import IterationSnapshot
 from repro.faults.errors import CollectiveError
 from repro.mpisim.costmodel import CostModel
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import activate
 from repro.obs.tracer import current as _obs
@@ -234,6 +235,10 @@ class Supervisor:
                     if sp:
                         sp.set("words", ck.words)
                 ckpts_written[0] += 1
+                fr = _freg()
+                if fr:
+                    fr.record("checkpoint", iteration=snap.iteration,
+                              words=float(ck.words))
                 reg = _mreg()
                 if reg:
                     reg.counter("recovery_checkpoints_total",
@@ -276,6 +281,10 @@ class Supervisor:
                         str(exc),
                     )
                 )
+                fr = _freg()
+                if fr:
+                    fr.record("recovery", iteration=fail_iter,
+                              action=events[-1].action, detail=str(exc))
                 reg = _mreg()
                 if reg:
                     reg.counter("recovery_failures_total",
@@ -345,6 +354,10 @@ class Supervisor:
             events.append(
                 RecoveryEvent("audit_repair", None, 0.0, "no state yet — fresh start")
             )
+            fr = _freg()
+            if fr:
+                fr.record("recovery", action="audit_repair",
+                          detail="no state yet — fresh start")
             return None
         snap = IterationSnapshot(
             iteration=source.iteration,
@@ -361,6 +374,10 @@ class Supervisor:
                 report.summary(),
             )
         )
+        fr = _freg()
+        if fr:
+            fr.record("recovery", iteration=snap.iteration,
+                      action="audit_repair", detail=report.summary())
         reg = _mreg()
         if reg:
             reg.counter("recovery_repairs_total",
@@ -384,6 +401,10 @@ class Supervisor:
             events.append(
                 RecoveryEvent("rollback", None, 0.0, "no valid checkpoint — restart")
             )
+            fr = _freg()
+            if fr:
+                fr.record("recovery", action="rollback",
+                          detail="no valid checkpoint — restart")
             return None
         ck = valid[-1]
         snap = ck.to_snapshot()
@@ -396,6 +417,10 @@ class Supervisor:
                 f"checkpoint iteration {ck.iteration} (depth {len(valid)})",
             )
         )
+        fr = _freg()
+        if fr:
+            fr.record("recovery", iteration=ck.iteration, action="rollback",
+                      detail=f"depth {len(valid)}")
         reg = _mreg()
         if reg:
             reg.counter("recovery_rollbacks_total",
@@ -457,6 +482,11 @@ class Supervisor:
                 detail,
             )
         )
+        fr = _freg()
+        if fr:
+            fr.record("recovery",
+                      iteration=None if best is None else best.iteration,
+                      action="degrade", detail=detail)
         reg = _mreg()
         if reg:
             reg.counter("recovery_degrades_total",

@@ -127,3 +127,31 @@ class TestReport:
         assert "no routed requests" in text
         assert rep.overall_lambda == 1.0
         assert rep.worst_step is None
+
+
+class TestUnanalyzableResults:
+    """Serial / literal-SPMD results carry no α–β cost data; analyze()
+    must refuse them with a clear error, not an AttributeError."""
+
+    def test_result_without_cost_rejected(self):
+        class Resultish:
+            cost = None
+            routing = []
+
+        with pytest.raises(ValueError, match="no cost model"):
+            analyze(Resultish())
+
+    def test_result_without_routing_rejected(self, traced):
+        class Resultish:
+            cost = traced.cost
+            routing = None
+
+        with pytest.raises(ValueError, match="no routing records"):
+            analyze(Resultish())
+
+    def test_serial_lacc_result_rejected(self):
+        from repro.core import lacc
+
+        res = lacc(rmat(6, edge_factor=4, seed=3).to_matrix())
+        with pytest.raises(ValueError, match="no cost model"):
+            analyze(res)

@@ -1,0 +1,185 @@
+"""The ``repro explain`` engine end to end: diagnosis of synthetic
+records, and the acceptance scenarios — a clean simulated run diagnoses
+healthy, a stragglers-preset run names the straggler rank and the retry
+storm with correct iteration ranges."""
+
+import pytest
+
+from repro.graphs import corpus
+from repro.mpisim.machine import load_machine
+from repro.obs.explain import RunDiagnosis, diagnose, explain_lacc_dist
+from repro.obs.flight import FlightRecorder, read_flight_jsonl
+
+
+@pytest.fixture(scope="module")
+def archaea():
+    return corpus.load("archaea").to_matrix()
+
+
+@pytest.fixture(scope="module")
+def edison():
+    return load_machine("edison")
+
+
+# -- diagnose() on synthetic records --------------------------------------
+
+def _basic_record(fr):
+    fr.record("run_start", driver="dist", graph="g", machine="Edison",
+              nodes=4, ranks=16, preset=None, seed=None)
+    for it in (1, 2, 3):
+        fr.record("iteration", iteration=it, active_vertices=100 >> it)
+    fr.record("run_end", n_iterations=3, n_components=7)
+
+
+def test_diagnose_reads_run_envelope():
+    fr = FlightRecorder(run_id="syn")
+    _basic_record(fr)
+    d = diagnose(fr.events)
+    assert d.run_id == "syn" and d.driver == "dist"
+    assert d.machine == "Edison" and d.nodes == 4 and d.ranks == 16
+    assert d.n_iterations == 3 and d.n_components == 7
+    assert d.completed and d.healthy and d.worst_severity is None
+    assert "no anomalies" in d.render()
+
+
+def test_diagnose_marks_truncated_record_incomplete():
+    fr = FlightRecorder()
+    fr.record("run_start", driver="dist", graph="g")
+    fr.record("iteration", iteration=1, active_vertices=10)
+    d = diagnose(fr.events)
+    assert not d.completed and not d.healthy
+    assert "run_end" in (d.error or "")
+    assert "DID NOT COMPLETE" in d.render()
+
+
+def test_diagnose_surfaces_run_end_error():
+    fr = FlightRecorder()
+    fr.record("run_start", driver="dist", graph="g")
+    fr.record("run_end", error="alltoallv failed permanently")
+    d = diagnose(fr.events)
+    assert not d.completed
+    assert "alltoallv" in d.error
+
+
+def test_diagnose_collects_anomalies_with_coordinates():
+    from repro.obs.anomaly import Anomaly
+
+    fr = FlightRecorder()
+    _basic_record(fr)
+    fr.record_anomaly(
+        Anomaly(detector="straggler", severity="warning", message="rank 3 slow",
+                first_iteration=1, last_iteration=3, rank=3)
+    )
+    d = diagnose(fr.events)
+    assert d.anomaly_classes() == ["straggler"]
+    (a,) = d.anomalies
+    assert a["rank"] == 3 and a["severity"] == "warning"
+    assert d.worst_severity == "warning"
+    assert "rank 3 slow" in d.render()
+
+
+def test_worst_severity_ranks_critical_over_warning():
+    d = RunDiagnosis(run_id="x", anomalies=[
+        {"detector": "a", "severity": "warning", "message": "w"},
+        {"detector": "b", "severity": "critical", "message": "c"},
+        {"detector": "c", "severity": "info", "message": "i"},
+    ])
+    assert d.worst_severity == "critical"
+    assert d.anomaly_classes() == ["a", "b", "c"]
+    out = d.render()
+    # critical listed first, with the loud marker
+    assert out.index("!! [b]") < out.index(" ! [a]")
+
+
+def test_to_dict_is_json_ready():
+    import json
+
+    fr = FlightRecorder(run_id="j")
+    _basic_record(fr)
+    d = diagnose(fr.events).to_dict()
+    parsed = json.loads(json.dumps(d))
+    assert parsed["run_id"] == "j" and parsed["healthy"] is True
+    assert parsed["anomaly_classes"] == []
+
+
+# -- the acceptance scenarios ---------------------------------------------
+
+def test_clean_run_diagnoses_healthy(archaea, edison):
+    diag, fr = explain_lacc_dist(archaea, edison, nodes=16)
+    assert diag.completed
+    assert diag.anomalies == [], [a["message"] for a in diag.anomalies]
+    assert diag.healthy
+    assert diag.n_components == 3001
+    assert diag.analytics is not None  # correlation source was available
+    assert fr.dropped == 0
+
+
+def test_stragglers_preset_names_rank_and_retry_storm(archaea, edison):
+    diag, fr = explain_lacc_dist(
+        archaea, edison, nodes=16, preset="stragglers", seed=0
+    )
+    assert diag.completed and not diag.healthy
+    classes = set(diag.anomaly_classes())
+    assert {"straggler", "retry_storm"} <= classes
+
+    straggler = next(a for a in diag.anomalies if a["detector"] == "straggler")
+    storm = next(a for a in diag.anomalies if a["detector"] == "retry_storm")
+
+    # the straggler verdict names the deterministic victim rank and the
+    # iteration span of the delays
+    assert straggler["rank"] is not None
+    assert f"rank {straggler['rank']}" in straggler["message"]
+    assert straggler["first_iteration"] == 1
+    assert straggler["last_iteration"] == diag.n_iterations
+
+    # the retry storm covers a real iteration range and counts events
+    assert storm["first_iteration"] >= 1
+    assert storm["last_iteration"] <= diag.n_iterations
+    assert storm["data"]["events"] >= 3
+    assert "retry storm" in storm["message"]
+
+    # evidence pointers resolve to fault events in the record
+    by_seq = {e.seq: e for e in fr.events}
+    for seq in straggler["evidence"]:
+        assert by_seq[seq].kind == "fault"
+        assert by_seq[seq].rank == straggler["rank"]
+
+    # analytics correlation attaches the delay attribution
+    assert "correlation" in storm
+    assert storm["correlation"]["delay_seconds"] > 0
+
+
+def test_stragglers_diagnosis_is_deterministic(archaea, edison):
+    d1, _ = explain_lacc_dist(archaea, edison, nodes=16,
+                              preset="stragglers", seed=0)
+    d2, _ = explain_lacc_dist(archaea, edison, nodes=16,
+                              preset="stragglers", seed=0)
+    a1 = [dict(a, seq=None) for a in d1.anomalies]
+    a2 = [dict(a, seq=None) for a in d2.anomalies]
+    assert [a["message"] for a in a1] == [a["message"] for a in a2]
+    assert [a["evidence"] for a in a1] == [a["evidence"] for a in a2]
+
+
+def test_permanent_failure_becomes_diagnosis_not_traceback(archaea, edison):
+    diag, fr = explain_lacc_dist(
+        archaea, edison, nodes=4, preset="permanent", seed=0
+    )
+    assert not diag.completed
+    assert diag.error
+    assert not diag.healthy
+    # the record carries the collective_error evidence
+    assert any(e.kind == "collective_error" for e in fr.events)
+
+
+def test_record_path_round_trips_through_replay(tmp_path, archaea, edison):
+    path = str(tmp_path / "run.jsonl")
+    diag, fr = explain_lacc_dist(
+        archaea, edison, nodes=16, preset="stragglers", seed=0,
+        record_path=path,
+    )
+    replayed = diagnose(read_flight_jsonl(path))
+    assert replayed.run_id == diag.run_id
+    assert replayed.anomaly_classes() == diag.anomaly_classes()
+    assert [a["message"] for a in replayed.anomalies] == [
+        a["message"] for a in diag.anomalies
+    ]

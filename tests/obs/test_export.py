@@ -93,6 +93,51 @@ class TestChromeTrace:
         assert pids == {1, 4}
         assert len(merged["traceEvents"]) == len(t1["traceEvents"]) * 2
 
+    def test_counter_events_share_clock_and_sort_order(self, tracer):
+        """Counters ride along ``C`` events in the span clock domain, and
+        the emitted stream is globally ts-sorted (metadata first) — the
+        regression this guards: C events appended unsorted at the end."""
+        from repro.obs.metrics import MetricRegistry
+
+        reg = MetricRegistry()
+        reg.counter("words_total").inc(99)
+        ev = chrome_trace(tracer, registry=reg)["traceEvents"]
+        phases = [e["ph"] for e in ev]
+        assert phases[0] == "M" and "C" in phases
+        # C events exist at both the origin and the end of the span window
+        c_ts = [e["ts"] for e in ev if e["ph"] == "C"]
+        span_ts = [e["ts"] for e in ev if e["ph"] in ("B", "E")]
+        assert min(c_ts) == 0.0 and max(c_ts) <= max(span_ts)
+
+    def test_timestamps_monotone_per_pid_tid_with_counters(self, tracer):
+        """Monotone ts within every (pid, tid) stream, counters included —
+        what strict pickier-than-Chrome parsers require."""
+        from repro.obs.metrics import MetricRegistry
+
+        reg = MetricRegistry()
+        reg.counter("words_total").inc(1)
+        reg.gauge("active").set(5)
+        doc = chrome_trace(tracer, pid=3, registry=reg)
+        lanes = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "M":
+                continue
+            lanes.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+        assert lanes  # at least one real lane
+        for key, ts in lanes.items():
+            assert ts == sorted(ts), f"non-monotone ts in lane {key}"
+
+    def test_sort_is_stable_at_equal_timestamps(self):
+        """Zero-duration nesting must keep B-before-E order when sorted."""
+        tr = Tracer(clock=lambda: 1.0)  # every span opens/closes at t=1
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        ev = [e for e in chrome_trace(tr)["traceEvents"] if e["ph"] != "M"]
+        assert [(e["name"], e["ph"]) for e in ev] == [
+            ("outer", "B"), ("inner", "B"), ("inner", "E"), ("outer", "E"),
+        ]
+
 
 class TestSpanRecords:
     def test_depth_first_records(self, tracer):

@@ -64,6 +64,23 @@ def test_nullregistry_overhead_within_budget(A):
     assert res.within_budget, res.summary()
 
 
+def test_nullflight_overhead_within_budget(A):
+    from repro.obs.flight import NULL_FLIGHT, activate_flight
+
+    def probe():
+        with activate_flight(NULL_FLIGHT):
+            lacc_dist(A, EDISON, nodes=4)
+
+    res = measure_overhead(
+        baseline=lambda: lacc_dist(A, EDISON, nodes=4),
+        probe=probe,
+        name="nullflight_lacc_dist",
+        rounds=ROUNDS,
+        noise_floor_s=NOISE_FLOOR_S,
+    )
+    assert res.within_budget, res.summary()
+
+
 def test_measure_overhead_protocol():
     """The helper itself: interleaved rounds, best-of, budget arithmetic."""
     calls = []

@@ -79,3 +79,77 @@ class TestFlamegraph:
     def test_clean_span_not_annotated(self):
         tr = _tracer_with([("fine", None, None)])
         assert "ERROR" not in flamegraph(tr)
+
+
+class TestHtmlTimeline:
+    def _record(self):
+        from repro.obs.anomaly import Anomaly
+        from repro.obs.flight import FlightRecorder
+
+        fr = FlightRecorder(run_id="render-test", clock=lambda: 0.001)
+        fr.record("run_start", driver="dist", graph="g", ranks=4)
+        fr.record("iteration", iteration=1, active_vertices=100)
+        fr.record("step", iteration=1, step="starcheck", lam=1.2,
+                  requests=500.0, worst_rank=0)
+        fr.record("fault", iteration=1, rank=3, fault_kind="delay",
+                  collective="alltoallv", delay_factor=4.0)
+        fr.record_anomaly(
+            Anomaly(detector="straggler", severity="warning",
+                    message="rank 3 slow", first_iteration=1,
+                    last_iteration=1, rank=3, evidence=[4])
+        )
+        fr.record("run_end", n_iterations=1, n_components=7)
+        return fr
+
+    def test_self_contained_document(self):
+        from repro.obs.render import html_timeline
+
+        page = html_timeline(self._record().events)
+        assert page.lstrip().startswith("<!DOCTYPE html")
+        assert "</html>" in page and "<svg" in page
+        assert "<script" not in page        # no JS: opens anywhere
+        assert 'href="http' not in page     # no external fetches
+        assert "render-test" in page
+
+    def test_anomaly_table_and_lanes(self):
+        from repro.obs.render import html_timeline
+
+        page = html_timeline(self._record().events)
+        assert "rank 3 slow" in page
+        assert "straggler" in page
+        for lane in ("iteration", "step", "fault"):
+            assert lane in page
+
+    def test_clean_record_says_so(self):
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.render import html_timeline
+
+        fr = FlightRecorder(clock=lambda: 0.001)
+        fr.record("run_start", driver="dist")
+        fr.record("run_end", n_iterations=1)
+        assert "no anomalies" in html_timeline(fr.events)
+
+    def test_html_escapes_event_payloads(self):
+        from repro.obs.anomaly import Anomaly
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.render import html_timeline
+
+        fr = FlightRecorder(clock=lambda: 0.001)
+        fr.record("run_start", driver="dist")
+        fr.record("iteration", iteration=1, active_vertices=10)
+        fr.record_anomaly(
+            Anomaly(detector="test", severity="warning",
+                    message='<script>alert("x")</script>', evidence=[2])
+        )
+        fr.record("run_end")
+        page = html_timeline(fr.events)
+        assert "<script" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_write_html_timeline(self, tmp_path):
+        from repro.obs.render import write_html_timeline
+
+        path = str(tmp_path / "t.html")
+        out = write_html_timeline(self._record().events, path, title="T")
+        assert out == path
+        assert "<svg" in open(path).read()

@@ -277,6 +277,92 @@ class TestFaults:
             build_parser().parse_args(["faults", "g.mtx", "--preset", "gremlins"])
 
 
+class TestAnalyze:
+    def test_json_output(self, mtx, capsys):
+        assert main(["analyze", mtx, "--nodes", "4", "--json"]) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert {"steps", "phases", "overall_lambda"} <= set(rec)
+
+    def test_unanalyzable_result_exits_with_message(self, mtx, capsys,
+                                                    monkeypatch):
+        import repro.obs.analytics as analytics
+
+        def boom(result, edges_per_rank=None):
+            raise ValueError("result has no cost model to analyze")
+
+        monkeypatch.setattr(analytics, "analyze", boom)
+        assert main(["analyze", mtx, "--nodes", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot analyze" in err and "no cost model" in err
+
+
+class TestExplain:
+    def test_clean_run_text_verdict(self, capsys):
+        assert main(["explain", "archaea", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "no anomalies detected" in out
+        assert "completed" in out
+
+    def test_expect_clean_passes_on_clean_run(self, capsys):
+        assert main(["explain", "archaea", "--nodes", "16",
+                     "--expect-clean"]) == 0
+
+    def test_stragglers_run_names_rank_and_storm(self, capsys):
+        assert main(["explain", "archaea", "--nodes", "16",
+                     "--preset", "stragglers", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "straggler" in out and "retry storm" in out
+        assert "rank" in out
+
+    def test_expect_gate_fails_when_class_missing(self, capsys):
+        assert main(["explain", "archaea", "--nodes", "16",
+                     "--expect", "retry_storm"]) == 1
+        err = capsys.readouterr().err
+        assert "not detected" in err and "retry_storm" in err
+
+    def test_expect_gate_passes_under_preset(self, capsys):
+        assert main(["explain", "archaea", "--nodes", "16",
+                     "--preset", "stragglers",
+                     "--expect", "retry_storm,straggler"]) == 0
+
+    def test_expect_clean_fails_under_preset(self, capsys):
+        assert main(["explain", "archaea", "--nodes", "16",
+                     "--preset", "stragglers", "--expect-clean"]) == 1
+        assert "expected a clean run" in capsys.readouterr().err
+
+    def test_artifacts_and_replay(self, tmp_path, capsys):
+        rec = str(tmp_path / "fr.jsonl")
+        rep = str(tmp_path / "fr.json")
+        html = str(tmp_path / "fr.html")
+        assert main(["explain", "archaea", "--nodes", "16",
+                     "--preset", "stragglers", "--record", rec,
+                     "--report", rep, "--html", html]) == 0
+        capsys.readouterr()
+        report = json.loads(open(rep).read())
+        assert not report["healthy"]
+        assert set(report["anomaly_classes"]) >= {"retry_storm", "straggler"}
+        page = open(html).read()
+        assert "<svg" in page and "straggler" in page
+
+        # replay the JSONL record and get the same verdict
+        assert main(["explain", rec, "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["anomaly_classes"] == report["anomaly_classes"]
+        assert replayed["run_id"] == report["run_id"]
+
+    def test_replay_unreadable_record_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["explain", str(bad)]) == 2
+        assert "cannot read flight record" in capsys.readouterr().err
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explain", "archaea", "--preset", "gremlins"]
+            )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
