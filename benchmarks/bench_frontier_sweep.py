@@ -17,6 +17,17 @@ the per-op cost tracking the number of active entries rather than n:
 ``python benchmarks/bench_frontier_sweep.py --check`` runs the CI perf
 smoke: the 1%-frontier time must be at least MIN_SPEEDUP× faster than the
 full-dense time for every checked op.
+
+The bench also runs once per registered **kernel tier**
+(:mod:`repro.graphblas.kernels`), and ``--check-compiled`` gates the
+compiled (numba) tier against the NumPy tier at ≥COMPILED_MIN_SPEEDUP×
+on the hot kernels, measured in the regime LACC actually spends its
+iterations in: converged frontiers of a few thousand entries on a
+2²⁰-vertex graph, where the NumPy tier pays a dozen temporaries and
+multiple passes per call while the compiled kernels run one fused loop
+(see docs/PERFORMANCE.md, "Compiled kernel tier").  The flag fails fast
+with an explicit message when numba is not installed — it is the CI
+numba leg's gate, while the plain ``--check`` serves the no-numba leg.
 """
 
 import argparse
@@ -31,6 +42,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import repro.graphblas as gb  # noqa: E402
 from repro.graphblas import Matrix, Vector  # noqa: E402
 from repro.graphblas import binaryops as bop  # noqa: E402
+from repro.graphblas import kernels  # noqa: E402
+from repro.graphblas import monoids as mon  # noqa: E402
 from repro.graphblas import semirings as sr  # noqa: E402
 from repro.graphblas.descriptor import Mask  # noqa: E402
 
@@ -42,6 +55,17 @@ DENSITIES = [0.01, 0.03, 0.10, 0.30, 1.00]
 # ops the CI perf smoke gates on, and the required t(100%) / t(1%) ratio
 CHECKED_OPS = ["mxv", "ewise_mult", "assign"]
 MIN_SPEEDUP = 5.0
+
+# --- compiled-tier gate -------------------------------------------------
+# kernels the numba leg holds to ≥ COMPILED_MIN_SPEEDUP× over NumPy, at
+# the converged-frontier working size (entries per call) LACC iterates on
+COMPILED_GATED_KERNELS = ["spmspv", "spmv_rows", "merge_union"]
+# measured and reported alongside, but not gated (their NumPy forms are a
+# single C-level sort/searchsorted with little left for a jit to remove)
+COMPILED_MEASURED_KERNELS = ["spmv", "reduce_by_rows", "lookup_sorted"]
+COMPILED_MIN_SPEEDUP = 10.0
+KERNEL_FRONTIER = 4096  # ~0.4% of N: the paper's §IV-B steady state
+KERNEL_CALLS = 20  # calls per timing sample (these kernels run in µs)
 
 
 def build_graph(n: int = N, deg: int = DEG) -> Matrix:
@@ -181,12 +205,152 @@ def check(results) -> int:
     return failures
 
 
+# ----------------------------------------------------------------------
+# kernel-tier benches (NumPy vs compiled)
+# ----------------------------------------------------------------------
+
+def make_kernel_benches(A: Matrix, n: int):
+    """``tier module -> {kernel name: zero-arg call}`` at the hot working set.
+
+    Inputs model LACC's converged iterations: a KERNEL_FRONTIER-entry
+    frontier / mask / merge on an n-vertex graph, the regime where the
+    NumPy tier's per-call temporaries dominate and the fused compiled
+    loops pull furthest ahead.
+    """
+    rng = np.random.default_rng(42)
+    k = KERNEL_FRONTIER
+    semiring = sr.SEL2ND_MIN_INT64
+    fi = np.sort(rng.choice(n, size=k, replace=False))
+    fv = rng.integers(0, n, k).astype(np.int64)
+    u_sparse = Vector.sparse(n, fi, fv)
+    u_dense = Vector.dense(np.arange(n, dtype=np.int64))
+    rows_sel = np.sort(rng.choice(n, size=k, replace=False))
+    ai = np.sort(rng.choice(n, size=k, replace=False))
+    bi = np.sort(rng.choice(n, size=k, replace=False))
+    av = rng.integers(0, n, k).astype(np.int64)
+    bv = rng.integers(0, n, k).astype(np.int64)
+    rr_rows = rng.integers(0, n, 4 * k)
+    rr_vals = rng.integers(0, n, 4 * k).astype(np.int64)
+    probe = rng.integers(0, n, k)
+    A.csc_arrays()  # build the CSC view once, outside the timed region
+
+    def for_tier(mod):
+        return {
+            "spmspv": lambda: mod.spmspv(semiring, A, u_sparse),
+            "spmv_rows": lambda: mod.spmv_rows(semiring, A, u_dense, rows_sel),
+            "merge_union": lambda: mod.merge_union(
+                ai, av, bi, bv, bop.MIN, np.int64
+            ),
+            "spmv": lambda: mod.spmv(semiring, A, u_dense),
+            "reduce_by_rows": lambda: mod.reduce_by_rows(
+                rr_vals, rr_rows, mon.MIN_INT64, n
+            ),
+            "lookup_sorted": lambda: mod.lookup_sorted(fi, probe),
+        }
+
+    return for_tier
+
+
+def bench_kernel_tiers(repeats: int = 3):
+    """Returns {tier: {kernel: best per-call seconds}} over all tiers."""
+    A = build_graph()
+    make = make_kernel_benches(A, N)
+    out = {}
+    for tier in kernels.available():
+        fns = make(kernels.get(tier))
+        times = {}
+        for name, fn in fns.items():
+            fn()  # warmup — on the compiled tier this pays JIT compilation
+            calls = 1 if name == "spmv" else KERNEL_CALLS
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for _ in range(calls):
+                    fn()
+                best = min(best, (time.perf_counter() - t0) / calls)
+            times[name] = best
+        out[tier] = times
+    return out
+
+
+def emit_kernel_results(kresults) -> dict:
+    tiers = sorted(kresults)
+    names = COMPILED_GATED_KERNELS + COMPILED_MEASURED_KERNELS
+    have_both = "numpy" in kresults and "compiled" in kresults
+    rows = []
+    for name in names:
+        row = [name, "yes" if name in COMPILED_GATED_KERNELS else "no"]
+        row += [f"{kresults[t][name] * 1e6:.1f}" for t in tiers]
+        if have_both:
+            ratio = kresults["numpy"][name] / kresults["compiled"][name]
+            row.append(f"{ratio:.1f}x")
+        rows.append(row)
+    header = ["kernel", "gated"] + [f"{t} (µs)" for t in tiers]
+    if have_both:
+        header.append("speedup")
+    body = format_table(header, rows)
+    emit(
+        "kernel_tiers",
+        f"Per-kernel wall time by tier ({KERNEL_FRONTIER}-entry frontier, "
+        f"n = 2^20; gate ≥{COMPILED_MIN_SPEEDUP:g}x)",
+        body,
+    )
+    record = {
+        "n": N,
+        "frontier": KERNEL_FRONTIER,
+        "active_tier": kernels.active(),
+        "tiers": {t: {k: v for k, v in kresults[t].items()} for t in tiers},
+        "gated_kernels": COMPILED_GATED_KERNELS,
+        "min_speedup": COMPILED_MIN_SPEEDUP,
+    }
+    emit_json("kernel_tiers", record)
+    return record
+
+
+def check_compiled(kresults) -> int:
+    """The numba-leg CI gate: compiled ≥ COMPILED_MIN_SPEEDUP× NumPy on
+    every gated kernel.  Returns the number of failures."""
+    if "compiled" not in kresults:
+        print(
+            "check-compiled: the 'compiled' kernel tier is not available "
+            "(numba is not installed — pip install -e .[perf])"
+        )
+        return 1
+    failures = 0
+    for name in COMPILED_GATED_KERNELS:
+        t_np, t_c = kresults["numpy"][name], kresults["compiled"][name]
+        ratio = t_np / t_c if t_c > 0 else float("inf")
+        ok = ratio >= COMPILED_MIN_SPEEDUP
+        print(
+            f"{name:16s} numpy: {t_np * 1e6:9.1f} µs   compiled: "
+            f"{t_c * 1e6:9.1f} µs   speedup {ratio:6.1f}x   "
+            f"{'ok' if ok else 'FAIL (< %.1fx)' % COMPILED_MIN_SPEEDUP}"
+        )
+        failures += not ok
+    return failures
+
+
 def test_frontier_sweep():
     """Pytest entry point (run_all.py): emit the table + JSON record and
     apply the same sparsity-proportionality gate as the CI smoke."""
     results = sweep(repeats=2)
     emit_results(results)
     assert check(results) == 0
+
+
+def test_compiled_kernel_gate():
+    """Pytest entry point for the compiled-tier gate; skips (with the
+    reason) when numba is absent rather than failing the NumPy-only CI leg."""
+    import pytest
+
+    if "compiled" not in kernels.available():
+        pytest.skip(
+            "numba is not installed — the compiled kernel tier is "
+            "unavailable (pip install -e .[perf])"
+        )
+    kresults = bench_kernel_tiers(repeats=2)
+    emit_kernel_results(kresults)
+    assert check_compiled(kresults) == 0
 
 
 def main() -> int:
@@ -197,14 +361,38 @@ def main() -> int:
         help="fail unless the 1%% frontier beats full density by "
         f"{MIN_SPEEDUP}x on every checked op",
     )
+    ap.add_argument(
+        "--check-compiled",
+        action="store_true",
+        help="fail unless the compiled tier beats NumPy by "
+        f"{COMPILED_MIN_SPEEDUP}x on the gated kernels "
+        "(errors out when numba is not installed)",
+    )
     ap.add_argument("--repeats", type=int, default=3)
     args = ap.parse_args()
-    results = sweep(repeats=args.repeats)
-    emit_results(results)
-    if args.check:
-        return 1 if check(results) else 0
-    check(results)
-    return 0
+
+    failures = 0
+    if args.check_compiled:
+        kresults = bench_kernel_tiers(repeats=args.repeats)
+        emit_kernel_results(kresults)
+        failures += check_compiled(kresults)
+
+    # the density sweep runs once per registered tier; the gate applies to
+    # whichever tier is active (import-time selection / REPRO_KERNELS)
+    active = kernels.active()
+    for tier in kernels.available():
+        with kernels.use(tier):
+            results = sweep(repeats=args.repeats)
+        if tier == active:
+            emit_results(results)
+            if args.check:
+                failures += 1 if check(results) else 0
+            else:
+                check(results)
+        else:
+            print(f"[frontier sweep under the {tier!r} tier]")
+            check(results)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

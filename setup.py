@@ -9,4 +9,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.22", "scipy>=1.8"],
+    extras_require={"perf": ["numba>=0.57"]},
 )

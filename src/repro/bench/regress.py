@@ -19,6 +19,12 @@ new metrics in the current record are listed as notes.  One exception:
 when the current record came from ``--quick``, full-suite-only benches
 in the baseline (``meta.quick: false``) are skipped, so a committed
 full baseline serves quick CI runs.
+
+A bench whose ``meta.kernel_tier`` differs between baseline and current
+is likewise treated as **missing coverage**, not compared: wall numbers
+from the compiled tier against a NumPy baseline (or vice versa) would
+either mask a real kernel regression or fail spuriously.  Re-run on the
+baseline's tier (``REPRO_KERNELS=...``) or refresh the baseline.
 """
 
 from __future__ import annotations
@@ -159,6 +165,19 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any]) -> RegressReport:
             rep.findings.append(
                 Finding(bench, "*", "missing", "-", 0.0, 0.0,
                         detail="bench present in baseline but not in current run")
+            )
+            continue
+        b_tier = brec.get("meta", {}).get("kernel_tier")
+        c_tier = crec.get("meta", {}).get("kernel_tier")
+        if b_tier is not None and c_tier is not None and b_tier != c_tier:
+            # comparing wall numbers across kernel tiers is not coverage,
+            # it is noise — surface the mismatch as a failure instead of
+            # silently passing apples-to-oranges timings
+            rep.findings.append(
+                Finding(bench, "kernel_tier", "missing", "-", 0.0, 0.0,
+                        detail=f"baseline ran on kernel tier {b_tier!r}, "
+                               f"current on {c_tier!r} — re-run with "
+                               f"REPRO_KERNELS={b_tier} or refresh the baseline")
             )
             continue
         for mname, bcell in sorted(brec["metrics"].items()):

@@ -23,14 +23,21 @@ from typing import Any, Dict, Optional
 
 from repro.core import lacc
 from repro.core.lacc_dist import lacc_dist
-from repro.graphs import corpus
+from repro.graphblas import kernels
+from repro.graphs import corpus, scale
 from repro.mpisim import EDISON
 from repro.obs.analytics import analyze
 from repro.obs.metrics import MetricRegistry, activate_metrics
 
 from .record import make_record, metric
 
-__all__ = ["run_suite", "consolidate_artifacts", "SERIAL_GRAPHS", "DIST_CONFIGS"]
+__all__ = [
+    "run_suite",
+    "consolidate_artifacts",
+    "SERIAL_GRAPHS",
+    "DIST_CONFIGS",
+    "SCALE_SERIAL_GRAPHS",
+]
 
 #: (graph, quick) — quick mode keeps only the fast archaea runs
 SERIAL_GRAPHS = [("archaea", True), ("eukarya", False)]
@@ -39,6 +46,9 @@ DIST_CONFIGS = [
     ("archaea", 16, True),
     ("eukarya", 16, False),
 ]
+#: production-scale serial benches (repro.graphs.scale), full suite only —
+#: the 10⁷-edge record that makes kernel-tier wall numbers meaningful
+SCALE_SERIAL_GRAPHS = ["rmat_10m"]
 
 
 def _bench_serial(name: str, A, in_quick: bool) -> Dict[str, Any]:
@@ -47,6 +57,7 @@ def _bench_serial(name: str, A, in_quick: bool) -> Dict[str, Any]:
     wall = time.perf_counter() - t0
     return {
         "meta": {"kind": "serial", "graph": name, "quick": in_quick,
+                 "kernel_tier": kernels.active(),
                  "vertices": A.nrows, "edges": A.nvals // 2},
         "metrics": {
             "wall_seconds": metric(wall, "wall", "s"),
@@ -85,6 +96,7 @@ def _bench_dist(name: str, A, nodes: int, in_quick: bool) -> Dict[str, Any]:
         metrics[f"lambda_{s.step}"] = metric(s.lam, "deterministic")
     return {
         "meta": {"kind": "dist", "graph": name, "quick": in_quick,
+                 "kernel_tier": kernels.active(),
                  "machine": "Edison",
                  "nodes": nodes, "ranks": res.ranks,
                  "vertices": A.nrows, "edges": A.nvals // 2},
@@ -123,6 +135,13 @@ def run_suite(
             key = f"lacc_serial_{gname}"
             say(f"bench {key} ...")
             benches[key] = _bench_serial(gname, mat(gname), in_quick)
+        if not quick:
+            for gname in SCALE_SERIAL_GRAPHS:
+                key = f"lacc_serial_{gname}"
+                say(f"bench {key} (10^7-edge scale graph, full suite only) ...")
+                A = scale.build(gname).to_matrix()
+                benches[key] = _bench_serial(gname, A, in_quick=False)
+                del A  # free ~10^7-edge CSR before the dist benches
         for gname, nodes, in_quick in DIST_CONFIGS:
             if quick and not in_quick:
                 continue

@@ -20,6 +20,7 @@ Quick example::
 
 from . import binaryop as binaryops
 from . import indexunary
+from . import kernels
 from . import serialize
 from . import monoid as monoids
 from . import semiring as semirings
@@ -73,6 +74,7 @@ __all__ = [
     "binaryops",
     "monoids",
     "semirings",
+    "kernels",
     "indexunary",
     "serialize",
     "mxv",

@@ -32,6 +32,8 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from . import kernels as _kernels
+
 if TYPE_CHECKING:  # pragma: no cover
     from .vector import Vector
 
@@ -100,9 +102,7 @@ class Mask:
             if mi.size == 0:
                 base = np.zeros(idx.shape, dtype=bool)
             else:
-                pos = np.searchsorted(mi, idx)
-                hit = pos < mi.size
-                hit &= mi[np.minimum(pos, mi.size - 1)] == idx
+                hit, pos = _kernels.impl().lookup_sorted(mi, idx)
                 if self.structural:
                     base = hit
                 else:

@@ -43,6 +43,7 @@ import numpy as np
 from repro.obs.metrics import metrics_registry as _mreg
 from repro.obs.tracer import current as _obs
 
+from . import kernels as _kernels
 from .binaryop import BinaryOp
 from .descriptor import NULL, Descriptor, Mask
 from .matrix import Matrix
@@ -97,24 +98,21 @@ _EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 # ----------------------------------------------------------------------
 # helpers
+#
+# The bodies live in repro.graphblas.kernels (one implementation per tier:
+# _numpy always, _compiled when numba is available); these thin wrappers
+# dispatch to whichever tier is active so a tier switch takes effect
+# everywhere at once.  Signatures and output contracts are part of the
+# public surface — tests and combblas.spmv import them directly.
 # ----------------------------------------------------------------------
 
 def _segment_reduce(values: np.ndarray, seg_ids: np.ndarray, monoid: Monoid):
     """Reduce *values* grouped by sorted *seg_ids* with the monoid.
 
-    Returns ``(unique_ids, reduced)``.  Uses ``ufunc.reduceat`` when the
-    monoid's op is a NumPy ufunc, else a keep-last scatter (valid for ANY).
+    Returns ``(unique_ids, reduced)``.  See
+    :func:`repro.graphblas.kernels._numpy.segment_reduce`.
     """
-    if seg_ids.size == 0:
-        return seg_ids[:0], values[:0]
-    boundaries = np.flatnonzero(np.r_[True, seg_ids[1:] != seg_ids[:-1]])
-    uniq = seg_ids[boundaries]
-    fn = monoid.op.fn
-    if isinstance(fn, np.ufunc):
-        return uniq, fn.reduceat(values, boundaries)
-    # keep-last semantics (ANY / SECOND): last element of each segment
-    last = np.r_[boundaries[1:], values.size] - 1
-    return uniq, values[last]
+    return _kernels.impl().segment_reduce(values, seg_ids, monoid)
 
 
 def reduce_by_rows(
@@ -122,33 +120,12 @@ def reduce_by_rows(
 ) -> Tuple[np.ndarray, np.ndarray, str]:
     """Reduce *values* by **unsorted** *rows*; returns ``(idx, vals, path)``.
 
-    The generic path stable-sorts the row ids and segment-reduces.  For
-    min/max over non-negative integers — the add monoid of LACC's
-    *(Select2nd, min)* semiring — a packed ``row·bound + value`` key lets a
-    single plain ``np.sort`` replace the argsort + gather + reduceat chain
-    (~6–8× faster), with the group minimum/maximum read off the segment
-    boundaries.  ``path`` is ``"packed"`` or ``"sorted"`` for the caller's
-    obs span.
+    ``path`` is ``"packed"`` (the single-sort ``row·bound + value`` key
+    fast path for min/max over non-negative ints — LACC's add monoid) or
+    ``"sorted"`` for the caller's obs span.  See
+    :func:`repro.graphblas.kernels._numpy.reduce_by_rows`.
     """
-    if rows.size == 0:
-        return rows[:0], values[:0], "sorted"
-    opname = monoid.op.name
-    if opname in ("min", "max") and values.dtype.kind in "iu":
-        vmin = int(values.min())
-        if vmin >= 0:
-            bound = int(values.max()) + 1
-            if int(nrows) * bound < 2 ** 62:
-                key = rows * bound + values.astype(np.int64, copy=False)
-                key.sort()
-                r = key // bound
-                starts = np.flatnonzero(np.r_[True, r[1:] != r[:-1]])
-                pick = starts if opname == "min" else np.r_[starts[1:], key.size] - 1
-                uniq = r[starts]
-                out = (key[pick] - uniq * bound).astype(values.dtype)
-                return uniq, out, "packed"
-    order = np.argsort(rows, kind="stable")
-    idx, vals = _segment_reduce(values[order], rows[order], monoid)
-    return idx, vals, "sorted"
+    return _kernels.impl().reduce_by_rows(values, rows, monoid, nrows)
 
 
 def gather_multiply(semiring: Semiring, a_vals: np.ndarray, u_vals: np.ndarray):
@@ -158,92 +135,39 @@ def gather_multiply(semiring: Semiring, a_vals: np.ndarray, u_vals: np.ndarray):
     result *is* the vector value, no arithmetic and no copies; ``first``
     returns the matrix value.  Only generic operators pay a ufunc call.
     """
-    kind = semiring.multiply_kind
-    if kind == "second":
-        return u_vals
-    if kind == "first":
-        return a_vals
-    return np.asarray(semiring.multiply(a_vals, u_vals))
+    return _kernels.impl().gather_multiply(semiring, a_vals, u_vals)
 
 
 def _merge_union(
     ai: np.ndarray, av: np.ndarray, bi: np.ndarray, bv: np.ndarray, op: BinaryOp, dtype
 ):
     """Union-merge two sorted sparse patterns, combining overlaps with *op*."""
-    if ai.size == 0:
-        return bi.copy(), bv.astype(dtype, copy=True)
-    if bi.size == 0:
-        return ai.copy(), av.astype(dtype, copy=True)
-    all_idx = np.union1d(ai, bi)
-    out = np.zeros(all_idx.size, dtype=dtype)
-    a_pos = np.searchsorted(all_idx, ai)
-    b_pos = np.searchsorted(all_idx, bi)
-    in_a = np.zeros(all_idx.size, dtype=bool)
-    in_b = np.zeros(all_idx.size, dtype=bool)
-    in_a[a_pos] = True
-    in_b[b_pos] = True
-    out[a_pos] = av
-    only_b = in_b & ~in_a
-    both = in_a & in_b
-    b_vals_at = np.zeros(all_idx.size, dtype=dtype)
-    b_vals_at[b_pos] = bv
-    out[only_b] = b_vals_at[only_b]
-    if both.any():
-        out[both] = op(out[both], b_vals_at[both])
-    return all_idx, out
+    return _kernels.impl().merge_union(ai, av, bi, bv, op, dtype)
 
 
 def _merge_disjoint(
     ai: np.ndarray, av: np.ndarray, bi: np.ndarray, bv: np.ndarray, dtype
 ):
     """Merge two sorted sparse patterns with disjoint index sets, O(total)."""
-    if ai.size == 0:
-        return bi, bv
-    if bi.size == 0:
-        return ai, av
-    total = ai.size + bi.size
-    out_i = np.empty(total, dtype=np.int64)
-    out_v = np.empty(total, dtype=dtype)
-    pos_b = np.searchsorted(ai, bi) + np.arange(bi.size, dtype=np.int64)
-    is_b = np.zeros(total, dtype=bool)
-    is_b[pos_b] = True
-    out_i[is_b] = bi
-    out_v[is_b] = bv
-    out_i[~is_b] = ai
-    out_v[~is_b] = av
-    return out_i, out_v
+    return _kernels.impl().merge_disjoint(ai, av, bi, bv, dtype)
 
 
 def _lookup_sorted(sorted_idx: np.ndarray, idx: np.ndarray):
     """``(hit, pos)``: membership of *idx* in the sorted unique array."""
-    if sorted_idx.size == 0:
-        return np.zeros(idx.shape, dtype=bool), np.zeros(idx.shape, dtype=np.int64)
-    pos = np.searchsorted(sorted_idx, idx)
-    hit = pos < sorted_idx.size
-    hit &= sorted_idx[np.minimum(pos, sorted_idx.size - 1)] == idx
-    return hit, pos
+    return _kernels.impl().lookup_sorted(sorted_idx, idx)
 
 
 def _in_sorted(sorted_idx: np.ndarray, idx: np.ndarray) -> np.ndarray:
-    return _lookup_sorted(sorted_idx, idx)[0]
+    return _kernels.impl().in_sorted(sorted_idx, idx)
 
 
 def _intersect_sorted(ai: np.ndarray, bi: np.ndarray):
     """Intersection of two sorted unique index arrays.
 
     Returns ``(common, a_pos, b_pos)`` like ``np.intersect1d(...,
-    return_indices=True)``, but as a searchsorted probe of the smaller
-    array into the larger — O(min·log max) instead of re-sorting the
-    concatenation.
+    return_indices=True)`` but without re-sorting the concatenation.
     """
-    if ai.size == 0 or bi.size == 0:
-        return _EMPTY_I64, _EMPTY_I64, _EMPTY_I64
-    if ai.size > bi.size:
-        common, b_pos, a_pos = _intersect_sorted(bi, ai)
-        return common, a_pos, b_pos
-    hit, pos = _lookup_sorted(bi, ai)
-    a_pos = np.flatnonzero(hit)
-    return ai[hit], a_pos, pos[hit]
+    return _kernels.impl().intersect_sorted(ai, bi)
 
 
 # ----------------------------------------------------------------------
@@ -463,12 +387,15 @@ def mxv(
             )
         if span:
             span.set("path", path)
+            span.set("tier", _kernels.active())
             span.add("flops", flops)
             span.add("nvals_out", int(t_idx.size))
         reg = _mreg()
         if reg:
             reg.counter("graphblas_mxv_total", "mxv calls by kernel path",
-                        path=path).inc()
+                        path=path, tier=_kernels.active()).inc()
+            reg.gauge("graphblas_kernel_tier", "active kernel tier (info)",
+                      tier=_kernels.active()).set(1.0)
             reg.counter("graphblas_mxv_flops_total",
                         "semiring multiplies performed").inc(float(flops))
             reg.histogram("graphblas_mxv_nvals_in",
@@ -491,61 +418,20 @@ def _spmv(semiring: Semiring, A: Matrix, u: Vector):
     """Row-streaming kernel: work ∝ nnz(A) restricted to present u entries.
 
     Returns ``(t_idx, t_vals, flops, path)`` where *flops* is the number of
-    semiring multiplies performed (the quantity Figure 8 attributes).  Row
-    ids come from the matrix's cached COO view.
+    semiring multiplies performed (the quantity Figure 8 attributes).  See
+    :func:`repro.graphblas.kernels._numpy.spmv`.
     """
-    u_vals, u_present = u.dense_arrays()
-    cols = A.indices
-    rows = A.coo_rows()
-    kind = semiring.multiply_kind
-    keep = u_present[cols]
-    if not keep.all():
-        cols = cols[keep]
-        rows = rows[keep]
-        a_vals = A.values[keep] if kind != "second" else None
-    else:
-        a_vals = A.values if kind != "second" else None
-    if kind == "second":
-        prods = u_vals[cols]
-    elif kind == "first":
-        prods = a_vals
-    else:
-        prods = np.asarray(semiring.multiply(a_vals, u_vals[cols]))
-    t_idx, t_vals = _segment_reduce(prods, rows, semiring.add)
-    return t_idx, t_vals, int(cols.size), "spmv"
+    return _kernels.impl().spmv(semiring, A, u)
 
 
 def _spmv_rows(semiring: Semiring, A: Matrix, u: Vector, rows_sel: np.ndarray):
     """Masked row-subset SpMV: stream only the mask-allowed rows.
 
     Work ∝ the allowed rows' degrees — the paper's masked SpMV over
-    unconverged vertices.  *rows_sel* must be sorted, which keeps the
-    gathered row ids grouped so no sort is needed before the reduction.
+    unconverged vertices.  *rows_sel* must be sorted.  See
+    :func:`repro.graphblas.kernels._numpy.spmv_rows`.
     """
-    u_vals, u_present = u.dense_arrays()
-    indptr = A.indptr
-    lo, hi = indptr[rows_sel], indptr[rows_sel + 1]
-    lengths = hi - lo
-    total = int(lengths.sum())
-    if total == 0:
-        return _EMPTY_I64, np.empty(0, dtype=u.dtype), 0, "spmv_masked"
-    out_starts = np.zeros(lengths.size, dtype=np.int64)
-    np.cumsum(lengths[:-1], out=out_starts[1:])
-    flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
-    cols = A.indices[flat]
-    rows = np.repeat(rows_sel, lengths)
-    keep = u_present[cols]
-    if not keep.all():
-        cols, rows, flat = cols[keep], rows[keep], flat[keep]
-    kind = semiring.multiply_kind
-    if kind == "second":
-        prods = u_vals[cols]
-    elif kind == "first":
-        prods = A.values[flat]
-    else:
-        prods = np.asarray(semiring.multiply(A.values[flat], u_vals[cols]))
-    t_idx, t_vals = _segment_reduce(prods, rows, semiring.add)
-    return t_idx, t_vals, int(cols.size), "spmv_masked"
+    return _kernels.impl().spmv_rows(semiring, A, u, rows_sel)
 
 
 def _spmspv(
@@ -557,45 +443,11 @@ def _spmspv(
 ):
     """Column-gather kernel: work ∝ sum of degrees of present u entries.
 
-    Returns ``(t_idx, t_vals, flops, path)`` like :func:`_spmv`.  With a
-    pushed-down mask, gathered entries landing on masked-out rows are
-    dropped *before* the multiply and the reduction, so neither pays for
-    them.  For Select2nd-kind multiplies the product array is the repeated
-    input values — the matrix values are never touched — and min/max
-    reductions run on the packed-key fast path (:func:`reduce_by_rows`).
+    Returns ``(t_idx, t_vals, flops, path)`` like :func:`_spmv`; a
+    pushed-down mask drops masked-out rows before the multiply and the
+    reduction.  See :func:`repro.graphblas.kernels._numpy.spmspv`.
     """
-    ui, uv = u.sparse_arrays()
-    if ui.size == 0:
-        return ui[:0], uv[:0], 0, "spmspv"
-    indptr, rowids, vals = A.csc_arrays()
-    lo, hi = indptr[ui], indptr[ui + 1]
-    lengths = hi - lo
-    total = int(lengths.sum())
-    if total == 0:
-        return ui[:0], uv[:0], 0, "spmspv"
-    out_starts = np.zeros(lengths.size, dtype=np.int64)
-    np.cumsum(lengths[:-1], out=out_starts[1:])
-    flat = np.repeat(lo - out_starts, lengths) + np.arange(total, dtype=np.int64)
-    rows = rowids[flat]
-    u_src = np.repeat(uv, lengths)
-    masked = allow is not None or allowed_rows is not None
-    if masked:
-        keep = allow[rows] if allow is not None else _in_sorted(allowed_rows, rows)
-        if not keep.all():
-            rows, flat, u_src = rows[keep], flat[keep], u_src[keep]
-    kind = semiring.multiply_kind
-    if kind == "second":
-        prods = u_src
-    elif kind == "first":
-        prods = vals[flat]
-    else:
-        prods = np.asarray(semiring.multiply(vals[flat], u_src))
-    flops = int(rows.size)
-    t_idx, t_vals, rpath = reduce_by_rows(prods, rows, semiring.add, A.nrows)
-    path = "spmspv_sel2nd" if (kind == "second" and rpath == "packed") else "spmspv"
-    if masked:
-        path += "_masked"
-    return t_idx, t_vals, flops, path
+    return _kernels.impl().spmspv(semiring, A, u, allow=allow, allowed_rows=allowed_rows)
 
 
 def vxm(

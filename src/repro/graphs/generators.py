@@ -26,6 +26,7 @@ __all__ = [
     "EdgeList",
     "erdos_renyi",
     "rmat",
+    "RMAT_CHUNK_EDGES",
     "mesh3d",
     "path_graph",
     "star_graph",
@@ -104,26 +105,15 @@ def erdos_renyi(n: int, avg_degree: float, seed: int = 0, name: str = "er") -> E
     return EdgeList(n, u, v, name)
 
 
-def rmat(
-    scale: int,
-    edge_factor: int = 16,
-    a: float = 0.57,
-    b: float = 0.19,
-    c: float = 0.19,
-    seed: int = 0,
-    name: str = "rmat",
-) -> EdgeList:
-    """R-MAT / Kronecker power-law graph with ``2**scale`` vertices.
+# Above this many edges, rmat() switches from the single-pass formulation
+# to chunked generation so peak memory stays bounded by the chunk, not m.
+# Every pre-existing corpus graph sits below it, so their RNG streams (and
+# therefore every seeded test/bench graph) are unchanged.
+RMAT_CHUNK_EDGES = 1 << 22
 
-    The default (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) parameters are the
-    Graph500 values, which produce the skewed degree distributions of web
-    crawls and social networks (uk-2002, twitter7, sk-2005 analogues).
-    """
-    if not 0 < a + b + c < 1:
-        raise ValueError("require 0 < a+b+c < 1 (d is the remainder)")
-    n = 1 << scale
-    m = n * edge_factor // 2
-    rng = np.random.default_rng(seed)
+
+def _rmat_quadrants(rng, scale: int, a: float, b: float, c: float, m: int):
+    """Draw *m* R-MAT endpoint pairs bit by bit with the given RNG."""
     u = np.zeros(m, dtype=np.int64)
     v = np.zeros(m, dtype=np.int64)
     for bit in range(scale):
@@ -133,6 +123,52 @@ def rmat(
         down = r >= a + b
         u |= down.astype(np.int64) << bit
         v |= right.astype(np.int64) << bit
+    return u, v
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "rmat",
+    chunk_edges: int = RMAT_CHUNK_EDGES,
+) -> EdgeList:
+    """R-MAT / Kronecker power-law graph with ``2**scale`` vertices.
+
+    The default (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) parameters are the
+    Graph500 values, which produce the skewed degree distributions of web
+    crawls and social networks (uk-2002, twitter7, sk-2005 analogues).
+
+    Beyond *chunk_edges* edges, generation proceeds chunk by chunk with
+    independently seeded child RNGs (``SeedSequence(seed).spawn``) instead
+    of materialising the per-bit scratch arrays for the full edge list at
+    once: the 10⁷-edge corpus otherwise needs ~``8·m`` bytes *per scale
+    bit* of transient memory, which is what used to blow past CI limits.
+    Small graphs keep the original single-pass RNG stream byte for byte.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("require 0 < a+b+c < 1 (d is the remainder)")
+    if chunk_edges <= 0:
+        raise ValueError("chunk_edges must be positive")
+    n = 1 << scale
+    m = n * edge_factor // 2
+    if m <= chunk_edges:
+        u, v = _rmat_quadrants(np.random.default_rng(seed), scale, a, b, c, m)
+    else:
+        u = np.empty(m, dtype=np.int64)
+        v = np.empty(m, dtype=np.int64)
+        starts = range(0, m, chunk_edges)
+        children = np.random.SeedSequence(seed).spawn(len(starts))
+        for child, lo in zip(children, starts):
+            hi = min(lo + chunk_edges, m)
+            cu, cv = _rmat_quadrants(
+                np.random.default_rng(child), scale, a, b, c, hi - lo
+            )
+            u[lo:hi] = cu
+            v[lo:hi] = cv
     u, v = _drop_loops(u, v)
     return EdgeList(n, u, v, name)
 

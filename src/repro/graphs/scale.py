@@ -1,0 +1,79 @@
+"""Production-scale synthetic graphs (≥10⁷ edges) for the full bench suite.
+
+The Table III corpus analogues in :mod:`repro.graphs.corpus` are sized so
+*every* tier-1 test can afford to build them; the graphs here exist for
+one purpose only — giving ``BENCH_lacc.json`` wall numbers at a scale
+where kernel throughput, not Python overhead, decides the result (the
+regime the paper's Figure 8 and the CombBLAS 2.0 scaling studies report).
+They are deliberately **not** part of :data:`repro.graphs.corpus.CORPUS`:
+``table3_rows()`` and the differential oracle build every corpus entry,
+and a 10⁷-edge graph does not belong in that loop.
+
+Entries are built lazily on demand (:func:`build`) and sized so the
+chunked R-MAT generator keeps peak memory well under CI limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .generators import EdgeList, path_graph, rmat
+
+__all__ = ["ScaleGraphSpec", "SCALE_GRAPHS", "names", "build"]
+
+
+@dataclass(frozen=True)
+class ScaleGraphSpec:
+    """One large benchmark graph: a lazy builder plus its nominal size."""
+
+    name: str
+    description: str
+    nominal_edges: int
+    builder: Callable[[], EdgeList]
+
+    def build(self) -> EdgeList:
+        g = self.builder()
+        g.name = self.name
+        return g
+
+
+def _rmat_10m() -> EdgeList:
+    # 2^20 vertices x edge factor 20 -> 10,485,760 edge records: the
+    # Graph500-parameter power-law graph the compiled-tier bench runs on
+    return rmat(scale=20, edge_factor=20, seed=7, name="rmat_10m")
+
+
+def _path_10m() -> EdgeList:
+    # 10^7 + 1 vertices in a single path: 10^7 edges, worst-case diameter
+    # for pointer jumping, exercises the dense/SpMV side of the dispatch
+    return path_graph(10_000_001, name="path_10m")
+
+
+SCALE_GRAPHS: Dict[str, ScaleGraphSpec] = {
+    spec.name: spec
+    for spec in (
+        ScaleGraphSpec(
+            "rmat_10m",
+            "R-MAT scale 20, edge factor 20 (Graph500 parameters)",
+            10_485_760,
+            _rmat_10m,
+        ),
+        ScaleGraphSpec(
+            "path_10m",
+            "single path with 10^7 edges (max-diameter stress)",
+            10_000_000,
+            _path_10m,
+        ),
+    )
+}
+
+
+def names() -> List[str]:
+    """Names of the scale graphs, in registry order."""
+    return list(SCALE_GRAPHS)
+
+
+def build(name: str) -> EdgeList:
+    """Materialise a scale graph by name (KeyError if unknown)."""
+    return SCALE_GRAPHS[name].build()

@@ -136,3 +136,31 @@ def test_render_verbose_lists_passes():
     rep = compare(_base(), _base())
     assert "dist/model_seconds" not in rep.render()
     assert "dist/model_seconds" in rep.render(verbose=True)
+
+
+def test_kernel_tier_mismatch_is_missing_coverage():
+    base = _base()
+    base["benches"]["dist"]["meta"]["kernel_tier"] = "numpy"
+    cur = copy.deepcopy(base)
+    cur["benches"]["dist"]["meta"]["kernel_tier"] = "compiled"
+    # same numbers, different tier: not comparable, must fail as missing
+    rep = compare(base, cur)
+    assert rep.failed
+    (f,) = rep.failures
+    assert (f.bench, f.metric, f.status) == ("dist", "kernel_tier", "missing")
+    assert "REPRO_KERNELS=numpy" in f.detail
+    # and none of the bench's metrics were compared
+    assert not any(f.metric == "model_seconds" for f in rep.findings
+                   if f.bench == "dist" and f.status == "ok")
+
+
+def test_kernel_tier_matching_or_absent_compares_normally():
+    base = _base()
+    base["benches"]["dist"]["meta"]["kernel_tier"] = "numpy"
+    cur = copy.deepcopy(base)
+    assert not compare(base, cur).failed  # same tier: normal comparison
+    # records from before the tier existed carry no meta key: back-compat
+    old = _base()
+    assert "kernel_tier" not in old["benches"]["dist"]["meta"]
+    assert not compare(old, copy.deepcopy(base)).failed
+    assert not compare(base, copy.deepcopy(old)).failed

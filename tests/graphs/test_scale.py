@@ -1,0 +1,77 @@
+"""The production-scale graph registry and the chunked R-MAT generator.
+
+The 10⁷-edge graphs themselves are full-suite-bench territory — these
+tests pin down the registry contract and exercise the chunked generation
+path at a size tier-1 can afford (chunking kicks in whenever
+``m > chunk_edges``, so a tiny ``chunk_edges`` drives the same code).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import scale
+from repro.graphs.generators import RMAT_CHUNK_EDGES, path_graph, rmat
+
+
+class TestChunkedRmat:
+    def test_single_pass_stream_unchanged_below_chunk_limit(self):
+        # the chunking refactor must not move the RNG stream for every
+        # existing call site: m <= chunk_edges is the original single pass
+        g = rmat(scale=8, edge_factor=8, seed=3)
+        h = rmat(scale=8, edge_factor=8, seed=3, chunk_edges=RMAT_CHUNK_EDGES)
+        np.testing.assert_array_equal(g.u, h.u)
+        np.testing.assert_array_equal(g.v, h.v)
+
+    @pytest.mark.parametrize("chunk_edges", [100, 1000, 2047])
+    def test_chunked_path_is_deterministic_per_seed(self, chunk_edges):
+        g = rmat(scale=8, edge_factor=8, seed=5, chunk_edges=chunk_edges)
+        h = rmat(scale=8, edge_factor=8, seed=5, chunk_edges=chunk_edges)
+        np.testing.assert_array_equal(g.u, h.u)
+        np.testing.assert_array_equal(g.v, h.v)
+
+    def test_chunked_edges_are_valid_and_complete(self):
+        m = (1 << 8) * 8 // 2
+        g = rmat(scale=8, edge_factor=8, seed=5, chunk_edges=300)
+        # self-loops are dropped after generation; everything else survives
+        assert 0 < g.u.size == g.v.size <= m
+        assert g.n == 1 << 8
+        for arr in (g.u, g.v):
+            assert arr.dtype == np.int64
+            assert arr.min() >= 0
+            assert arr.max() < g.n
+
+    def test_chunk_boundaries_do_not_bias_the_distribution(self):
+        # same seed, different chunking: different streams, but the skew
+        # (Graph500 a=0.57 favours low vertex ids) must survive chunking
+        g = rmat(scale=10, edge_factor=16, seed=9, chunk_edges=977)
+        low = (g.u < (1 << 9)).mean()
+        assert low > 0.55  # a + b = 0.76 nominal; generous floor
+
+
+class TestScaleRegistry:
+    def test_names_and_lookup(self):
+        assert scale.names() == list(scale.SCALE_GRAPHS)
+        assert "rmat_10m" in scale.names()
+        assert "path_10m" in scale.names()
+        with pytest.raises(KeyError):
+            scale.build("nope")
+
+    def test_specs_are_at_production_scale(self):
+        for spec in scale.SCALE_GRAPHS.values():
+            assert spec.nominal_edges >= 10 ** 7
+            assert spec.description
+
+    def test_scale_graphs_stay_out_of_the_corpus(self):
+        # table3_rows() and the differential oracle build every corpus
+        # entry; a 10^7-edge graph must never land in that loop
+        from repro.graphs import corpus
+
+        assert not set(scale.SCALE_GRAPHS) & set(corpus.CORPUS)
+
+    def test_build_stamps_the_registry_name(self):
+        spec = scale.ScaleGraphSpec(
+            "tiny", "test-only", 4, lambda: path_graph(5, name="path")
+        )
+        g = spec.build()
+        assert g.name == "tiny"
+        assert g.u.size == 4
