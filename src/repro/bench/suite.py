@@ -37,6 +37,7 @@ __all__ = [
     "SERIAL_GRAPHS",
     "DIST_CONFIGS",
     "SCALE_SERIAL_GRAPHS",
+    "PROC_CONFIGS",
 ]
 
 #: (graph, quick) — quick mode keeps only the fast archaea runs
@@ -49,6 +50,13 @@ DIST_CONFIGS = [
 #: production-scale serial benches (repro.graphs.scale), full suite only —
 #: the 10⁷-edge record that makes kernel-tier wall numbers meaningful
 SCALE_SERIAL_GRAPHS = ["rmat_10m"]
+#: (graph, ranks, quick) — real-process backend benches
+#: (``repro bench --backend=proc``): measured wall-clock on forked worker
+#: processes next to the α–β prediction for the same collective schedule
+PROC_CONFIGS = [
+    ("archaea", 2, True),
+    ("archaea", 4, True),
+]
 
 
 def _bench_serial(name: str, A, in_quick: bool) -> Dict[str, Any]:
@@ -104,10 +112,69 @@ def _bench_dist(name: str, A, nodes: int, in_quick: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_proc(name: str, g, ranks: int, in_quick: bool) -> Dict[str, Any]:
+    """Measured wall-clock on the real-process backend, recorded next to
+    the α–β prediction for the *same* collective schedule.
+
+    The sim run executes under a tracer so the total words/messages of the
+    run's collectives can be priced with the single-node α–β constants
+    (``CostModel(LAPTOP, ranks, nodes=1)`` — shared-memory bandwidth and a
+    fraction of NIC latency, matching what the proc backend actually is);
+    the proc run is then timed for real, and the two parent vectors must
+    be byte-identical (``byte_identical`` is an exact-class metric, so the
+    regression comparator holds it to 1 forever).
+    """
+    from repro.core.lacc_spmd import lacc_spmd
+    from repro.mpisim import backend as comm_backend
+    from repro.mpisim.costmodel import CostModel
+    from repro.mpisim.machine import LAPTOP
+    from repro.obs.tracer import Tracer, activate
+
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    with activate(tracer):
+        sim_res = lacc_spmd(g, ranks=ranks)
+    sim_wall = time.perf_counter() - t0
+
+    spans = tracer.find(cat="simcomm")
+    words = sum(sp.counters.get("words", 0.0) for sp in spans)
+    messages = sum(sp.counters.get("messages", 0.0) for sp in spans)
+    model = CostModel(LAPTOP, ranks, nodes=1)
+    predicted = model.comm_seconds(words, messages)
+
+    with comm_backend.use("proc"):
+        t0 = time.perf_counter()
+        proc_res = lacc_spmd(g, ranks=ranks)
+        proc_wall = time.perf_counter() - t0
+
+    identical = int(
+        sim_res.parents.dtype == proc_res.parents.dtype
+        and sim_res.parents.tobytes() == proc_res.parents.tobytes()
+    )
+    return {
+        "meta": {"kind": "proc", "graph": name, "quick": in_quick,
+                 "kernel_tier": kernels.active(),
+                 "backend": "proc", "machine": LAPTOP.name,
+                 "ranks": ranks, "vertices": g.n, "edges": g.nedges},
+        "metrics": {
+            "wall_seconds": metric(proc_wall, "wall", "s"),
+            "sim_wall_seconds": metric(sim_wall, "wall", "s"),
+            "predicted_comm_seconds": metric(predicted, "deterministic", "s"),
+            "words": metric(words, "deterministic", "words"),
+            "messages": metric(messages, "deterministic", "msgs"),
+            "collectives": metric(len(spans), "exact"),
+            "iterations": metric(proc_res.n_iterations, "exact"),
+            "components": metric(proc_res.n_components, "exact"),
+            "byte_identical": metric(identical, "exact"),
+        },
+    }
+
+
 def run_suite(
     quick: bool = True,
     registry: Optional[MetricRegistry] = None,
     progress=None,
+    backend: str = "sim",
 ) -> Dict[str, Any]:
     """Run the suite and return a schema-versioned record dict.
 
@@ -115,7 +182,15 @@ def run_suite(
     can dump the accumulated kernel/collective counters afterwards
     (``python -m repro bench --prom``).  *progress* is an optional
     ``callable(str)`` for line-by-line status (the CLI passes ``print``).
+
+    ``backend="proc"`` runs the real-process benches (:data:`PROC_CONFIGS`)
+    *instead of* the simulated suite: measured wall-clock on forked worker
+    processes next to the α–β prediction.  The record is kept separate
+    from the sim suite (the CLI writes it to ``BENCH_proc.json``) so the
+    committed ``BENCH_lacc.json`` baseline stays backend-pure.
     """
+    if backend not in ("sim", "proc"):
+        raise ValueError(f"unknown bench backend {backend!r} (sim or proc)")
     say = progress or (lambda _msg: None)
     ctx = activate_metrics(registry) if registry is not None else None
     benches: Dict[str, Dict[str, Any]] = {}
@@ -129,6 +204,16 @@ def run_suite(
     if ctx is not None:
         ctx.__enter__()
     try:
+        if backend == "proc":
+            for gname, ranks, in_quick in PROC_CONFIGS:
+                if quick and not in_quick:
+                    continue
+                key = f"lacc_proc_{gname}_r{ranks}"
+                say(f"bench {key} (real worker processes) ...")
+                benches[key] = _bench_proc(gname, corpus.load(gname), ranks, in_quick)
+            rec = make_record(benches, quick=quick)
+            rec["backend"] = "proc"
+            return rec
         for gname, in_quick in SERIAL_GRAPHS:
             if quick and not in_quick:
                 continue

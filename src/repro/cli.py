@@ -733,15 +733,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import MetricRegistry
 
     reg = MetricRegistry()
-    record = run_suite(quick=args.quick, registry=reg, progress=print)
+    record = run_suite(quick=args.quick, registry=reg, progress=print,
+                       backend=args.backend)
     if args.artifacts:
         arts = consolidate_artifacts(args.artifacts)
         if arts:
             record["artifacts"] = arts
             print(f"consolidated {len(arts)} artifact records from "
                   f"{args.artifacts}")
-    write_record(record, args.out)
-    print(f"[record written to {args.out}]")
+    out = args.out or (
+        "BENCH_proc.json" if args.backend == "proc" else "BENCH_lacc.json"
+    )
+    write_record(record, out)
+    print(f"[record written to {out}]")
     if args.prom:
         reg.write_prometheus(args.prom)
         print(f"[prometheus dump written to {args.prom}]")
@@ -969,9 +973,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument("--quick", action="store_true",
                     help="fast subset (archaea only) — the CI setting")
-    be.add_argument("--out", default="BENCH_lacc.json",
-                    help="output record path (default: repo-root "
-                         "BENCH_lacc.json when run from the repo root)")
+    be.add_argument("--backend", default="sim", choices=["sim", "proc"],
+                    help="communicator backend: sim (default, the α–β "
+                         "simulated suite) or proc (real worker processes: "
+                         "measured wall-clock next to the α–β prediction)")
+    be.add_argument("--out", default=None,
+                    help="output record path (default: BENCH_lacc.json, or "
+                         "BENCH_proc.json with --backend=proc)")
     be.add_argument("--prom", metavar="PATH",
                     help="also dump accumulated metrics as Prometheus text")
     be.add_argument("--artifacts", metavar="DIR",

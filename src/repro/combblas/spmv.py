@@ -29,6 +29,7 @@ import numpy as np
 from repro.graphblas import Matrix, Vector
 from repro.graphblas.ops import gather_multiply, reduce_by_rows
 from repro.graphblas.semiring import Semiring
+from repro.mpisim.backend import make_comm
 from repro.mpisim.comm import SimComm
 from repro.mpisim.grid import ProcessGrid
 
@@ -69,7 +70,7 @@ def dist_mxv(
     n = grid.n
     if x.size != n:
         raise ValueError(f"vector size {x.size} != matrix dimension {n}")
-    comm = comm or SimComm(grid.nprocs)
+    comm = comm or make_comm(grid.nprocs)
     side = grid.side
 
     # vector blocks live on all p ranks; processor column j needs the
@@ -97,7 +98,7 @@ def dist_mxv(
             idx_bufs.append(gi[sel])
             val_bufs.append(lv[sel])
         if idx_bufs:
-            sub = SimComm(len(idx_bufs))
+            sub = make_comm(len(idx_bufs))
             gathered_idx = sub.allgather(idx_bufs)[0]
             gathered_val = sub.allgather(val_bufs)[0]
         else:

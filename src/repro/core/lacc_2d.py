@@ -28,6 +28,7 @@ from repro.combblas.spmv import dist_mxv
 from repro.graphblas import Vector
 from repro.graphblas import semirings as sr
 from repro.graphs.generators import EdgeList
+from repro.mpisim.backend import make_comm
 from repro.mpisim.comm import SimComm
 from repro.mpisim.grid import ProcessGrid
 from repro.obs.flight import flight_recorder as _freg
@@ -82,7 +83,7 @@ def lacc_2d(
     """
     n = g.n
     grid = ProcessGrid(nprocs, n)  # validates squareness
-    comm = SimComm(nprocs, faults=faults, cost=cost)
+    comm = make_comm(nprocs, faults=faults, cost=cost)
     A = g.to_matrix()
     dmat = DistMatrix(A, grid, permute=False)
 

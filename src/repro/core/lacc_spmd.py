@@ -37,6 +37,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.graphs.generators import EdgeList
+from repro.mpisim.backend import make_comm
 from repro.mpisim.comm import SimComm
 from repro.obs.flight import flight_recorder as _freg
 from repro.obs.tracer import current as _obs
@@ -217,7 +218,7 @@ def lacc_spmd(
     if ranks < 1:
         raise ValueError("need at least one rank")
     n = g.n
-    comm = SimComm(ranks, faults=faults, cost=cost)
+    comm = make_comm(ranks, faults=faults, cost=cost)
     keep = g.u != g.v
     eu = np.r_[g.u[keep], g.v[keep]]  # both directions: (u, v) means u
     ev = np.r_[g.v[keep], g.u[keep]]  # proposes hooks using v's parent

@@ -20,13 +20,21 @@ are healed by a retry-with-validation envelope whose recovery time is
 priced in simulated seconds; permanent faults raise
 :class:`~repro.faults.CollectiveError` (re-exported here) rather than
 ever producing wrong data.
+
+:class:`SimComm` is one of two implementations of the collectives API:
+:mod:`repro.mpisim.backend` selects between it and the real-process
+:class:`~repro.parallel.ProcComm` (``REPRO_BACKEND=sim|proc``), and
+drivers obtain communicators through :func:`make_comm` so they run
+unchanged on either machine.
 """
 
 from repro.faults.errors import CollectiveError
 
-from . import collectives
+from . import backend, collectives
+from .backend import make_comm
 from .comm import SimComm
 from .costmodel import CostModel, PhaseCost
+from .envelope import CommBase
 from .grid import ProcessGrid
 from .machine import CORI_KNL, EDISON, LAPTOP, MachineModel
 
@@ -39,6 +47,9 @@ __all__ = [
     "PhaseCost",
     "ProcessGrid",
     "SimComm",
+    "CommBase",
     "CollectiveError",
     "collectives",
+    "backend",
+    "make_comm",
 ]

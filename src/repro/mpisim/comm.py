@@ -8,6 +8,9 @@ collective is a pure function from a list of per-rank send buffers to a
 list of per-rank receive buffers, mirroring mpi4py's buffer interface
 closely enough that the test suite can validate the distributed layer's
 ownership arithmetic (who gets which words) against a literal execution.
+(:class:`repro.parallel.ProcComm` is the second implementation of this
+API, with ranks as real OS processes; :func:`repro.mpisim.backend.make_comm`
+selects between them.)
 
 Every collective also reports into the active :mod:`repro.obs` tracer
 (category ``"simcomm"``): total words that crossed rank boundaries,
@@ -19,10 +22,11 @@ Fault injection
 A :class:`~repro.faults.FaultPlan` passed at construction makes the
 network imperfect: delivered buffers can be truncated, corrupted,
 duplicated or zeroed, collectives can straggle or fail outright.  Every
-delivery then runs through a **retry-with-validation envelope**: payloads
-are checksummed at the sender, validated at the receiver, and damaged
-deliveries are retransmitted with exponential backoff (priced in
-simulated time — through the attached
+delivery then runs through a **retry-with-validation envelope**
+(:class:`repro.mpisim.envelope.CommBase`, shared with the real-process
+backend): payloads are checksummed at the sender, validated at the
+receiver, and damaged deliveries are retransmitted with exponential
+backoff (priced in simulated time — through the attached
 :class:`~repro.mpisim.costmodel.CostModel` when one is given).  Transient
 faults therefore recover transparently; permanent faults exhaust the
 bounded retries and raise a typed
@@ -39,214 +43,22 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.faults.errors import CollectiveError
-from repro.faults.injector import checksums, inject
-from repro.obs.flight import flight_recorder as _freg
 from repro.obs.tracer import current as _obs
+
+from .envelope import CommBase
 
 __all__ = ["SimComm"]
 
 
-def _calling_iteration() -> Optional[int]:
-    """Iteration of the innermost open ``iteration`` span, if any — so a
-    :class:`CollectiveError` can say *when* the collective died."""
-    sp = _obs().innermost("iteration")
-    return None if sp is None else sp.attrs.get("iteration")
-
-
-def _straggler_rank(plan, ranks: int) -> int:
-    """Deterministic victim rank for ``delay`` faults — same derivation
-    as the analytic collectives (:mod:`repro.mpisim.collectives`), so the
-    literal and priced executions of one seed name the same slow node."""
-    return (0x9E3779B9 * (plan.seed + 1)) % max(ranks, 1)
-
-
-class SimComm:
+class SimComm(CommBase):
     """A world of *p* simulated ranks with contiguous ids ``0..p-1``.
 
     All collectives take ``bufs`` — one entry per rank, ordered by rank
     id — and return one result per rank, performing the same data
-    movement their MPI counterparts would.
-
-    Parameters
-    ----------
-    size:
-        Number of ranks (must be an integral value >= 1).
-    faults:
-        Optional :class:`~repro.faults.FaultPlan`; when given, every
-        collective's delivery runs through the retry-with-validation
-        envelope described in the module docstring.
-    cost:
-        Optional :class:`~repro.mpisim.costmodel.CostModel`.  When
-        attached, straggler delays, retransmissions and backoff are
-        charged into it (phase ``"fault_recovery"``) so simulated-clock
-        traces stay honest.  Without one, the time lost to faults is
-        accumulated in :attr:`fault_seconds`.
-    backoff_base:
-        Simulated seconds of backoff before the first retransmission;
-        doubles on every further retry.
+    movement their MPI counterparts would.  Constructor parameters
+    (``size`` / ``faults`` / ``cost`` / ``backoff_base``) are documented
+    on :class:`repro.mpisim.envelope.CommBase`.
     """
-
-    def __init__(
-        self,
-        size: int,
-        faults=None,
-        cost=None,
-        backoff_base: float = 1e-4,
-    ):
-        if isinstance(size, float) and not size.is_integer():
-            raise ValueError(f"communicator size must be an integer, got {size!r}")
-        if int(size) < 1:
-            raise ValueError("communicator size must be >= 1")
-        self.size = int(size)
-        self.faults = faults
-        self.cost = cost
-        if backoff_base <= 0:
-            raise ValueError("backoff_base must be positive")
-        self.backoff_base = float(backoff_base)
-        #: simulated seconds lost to faults when no cost model is attached
-        self.fault_seconds = 0.0
-
-    def _check(self, bufs: Sequence, what: str = "buffer") -> None:
-        if len(bufs) != self.size:
-            raise ValueError(
-                f"rank ids are contiguous 0..{self.size - 1}: expected one "
-                f"{what} per rank ({self.size}), got {len(bufs)}"
-            )
-
-    def _check_root(self, root: int) -> None:
-        if not isinstance(root, (int, np.integer)):
-            raise TypeError(f"root must be a rank id (int), got {type(root).__name__}")
-        if not 0 <= root < self.size:
-            raise ValueError(
-                f"root {root} out of range for contiguous ranks 0..{self.size - 1}"
-            )
-
-    # ------------------------------------------------------------------
-    # fault-injection delivery envelope
-    # ------------------------------------------------------------------
-    def _price_delay(self, factor: float, words: int, messages: int) -> float:
-        """Charge a straggler's excess time over the fault-free delivery."""
-        if self.cost is not None:
-            extra = (factor - 1.0) * self.cost.comm_seconds(words, messages)
-            self.cost.charge_seconds(extra, "fault_recovery", "fault_delay")
-        else:
-            extra = (factor - 1.0) * self.backoff_base
-            self.fault_seconds += extra
-        return extra
-
-    def _charge_retry(self, words: int, messages: int, backoff: float) -> None:
-        """Price one retransmission: the payload again, plus backoff."""
-        if self.cost is not None:
-            self.cost.charge_comm(words, messages, "fault_recovery")
-            self.cost.charge_seconds(backoff, "fault_recovery", "fault_backoff")
-        else:
-            self.fault_seconds += backoff
-
-    def _deliver(self, name, leaves, rebuild, sp, words: int, messages: int):
-        """Run one collective's receive buffers through the fault plan.
-
-        *leaves* is the flattened list of per-destination buffers the
-        fault-free network would deliver; *rebuild* restores the
-        collective's result shape.  Transient faults are detected by
-        checksum validation and healed by bounded, backoff-priced
-        retransmission; permanent faults raise
-        :class:`~repro.faults.CollectiveError`.
-        """
-        plan = self.faults
-        if plan is None:
-            return rebuild(leaves)
-        fr = _freg()
-        call = plan.begin_call(name)
-        if not call:
-            return rebuild(leaves)
-        crashed = call.crashes()
-        if crashed:
-            # a rank died mid-collective: nothing was delivered and no
-            # retry can bring the rank back — fail immediately and let a
-            # supervisor (repro.recovery) restart from checkpointed state
-            for rule in crashed:
-                call.record(rule, 0, None, "rank died mid-collective")
-                if fr:
-                    fr.record("fault", collective=name, fault_kind="crash",
-                              attempt=0)
-            if sp:
-                sp.add("faults_detected", len(crashed))
-                sp.set("crashed", True)
-            if fr:
-                fr.record("collective_error", collective=name,
-                          kinds=["crash"], attempts=1)
-            raise CollectiveError(
-                name, 1, ["crash"], iteration=_calling_iteration()
-            )
-        expected = checksums(leaves)
-        for rule in call.delays():
-            extra = self._price_delay(rule.delay_factor, words, messages)
-            victim = _straggler_rank(plan, self.size)
-            call.record(rule, 0, victim, f"straggler x{rule.delay_factor:g}")
-            if fr:
-                fr.record("fault", rank=victim, collective=name,
-                          fault_kind="delay", attempt=0,
-                          delay_factor=rule.delay_factor,
-                          delay_seconds=extra)
-            if sp:
-                sp.add("fault_delay_seconds", extra)
-        attempt = 0
-        max_attempts = plan.max_retries + 1
-        while True:
-            active = call.active(attempt)
-            delivered = leaves
-            ok = True
-            if active:
-                rng = call.rng(attempt)
-                delivered = list(leaves)
-                transport_died = False
-                for rule in active:
-                    if rule.kind == "fail":
-                        call.record(rule, attempt, None, "transport error")
-                        if fr:
-                            fr.record("fault", collective=name,
-                                      fault_kind="fail", attempt=attempt)
-                        transport_died = True
-                    else:
-                        delivered, rank_i, detail = inject(rule.kind, delivered, rng)
-                        call.record(rule, attempt, rank_i, detail)
-                        if fr:
-                            fr.record("fault", rank=rank_i, collective=name,
-                                      fault_kind=rule.kind, attempt=attempt)
-                # receiver-side validation: recompute checksums over what
-                # actually arrived and compare with the sender's manifest
-                ok = not transport_died and checksums(delivered) == expected
-            if ok:
-                if sp:
-                    sp.add("delivery_attempts", attempt + 1)
-                    if attempt:
-                        sp.add("retries", attempt)
-                return rebuild(delivered)
-            if sp:
-                sp.add("faults_detected", 1)
-            kinds = sorted({r.kind for r in active})
-            attempt += 1
-            if attempt >= max_attempts:
-                if fr:
-                    fr.record("collective_error", collective=name,
-                              kinds=kinds, attempts=attempt)
-                raise CollectiveError(
-                    name, attempt, kinds, iteration=_calling_iteration()
-                )
-            backoff = self.backoff_base * (2 ** (attempt - 1))
-            if fr:
-                fr.record("retry", collective=name, attempt=attempt,
-                          kinds=kinds, backoff_seconds=backoff)
-            with _obs().span(
-                "retry", "fault", collective=name, attempt=attempt,
-                kinds=",".join(kinds)
-            ) as rsp:
-                self._charge_retry(words, messages, backoff)
-                if rsp:
-                    rsp.add("backoff_seconds", backoff)
-                    rsp.add("words", words)
-                    rsp.add("messages", messages)
 
     # ------------------------------------------------------------------
     def bcast(self, bufs: List[Optional[np.ndarray]], root: int = 0) -> List[np.ndarray]:
@@ -310,34 +122,7 @@ class SimComm:
         silently mis-assigning buffers.
         """
         self._check_root(root)
-        if chunks is not None and len(chunks) == self.size and any(
-            c is None for c in chunks
-        ):
-            # per-rank form: only the root's send buffer is meaningful
-            for r, c in enumerate(chunks):
-                if r != root and c is not None:
-                    raise ValueError(
-                        f"scatter send buffer provided on non-root rank {r} "
-                        f"(per-rank form: every entry except root={root} must "
-                        "be None)"
-                    )
-            chunks = chunks[root]
-            if chunks is None:
-                raise ValueError(
-                    f"scatter per-rank form: root rank {root}'s entry must be "
-                    f"its list of {self.size} chunks, got None"
-                )
-        if chunks is None:
-            raise ValueError(
-                "scatter needs the root's chunk list (one chunk per rank)"
-            )
-        if len(chunks) != self.size:
-            raise ValueError(
-                f"scatter chunk list does not match the communicator: ranks "
-                f"are contiguous 0..{self.size - 1} so the root must provide "
-                f"exactly {self.size} chunks (destination rank i gets "
-                f"chunks[i]), got {len(chunks)}"
-            )
+        chunks = self._normalize_scatter_chunks(chunks, root)
         with _obs().span("scatter", "simcomm", root=root, ranks=self.size) as sp:
             out = [np.asarray(c).copy() for c in chunks]
             words = sum(int(c.size) for r, c in enumerate(out) if r != root)
@@ -352,14 +137,7 @@ class SimComm:
     ) -> List[List[np.ndarray]]:
         """``send[i][j]`` is what rank *i* sends to rank *j*; the result's
         ``recv[j][i]`` is what rank *j* received from rank *i*."""
-        self._check(send, what="send-buffer row")
-        for i, row in enumerate(send):
-            if len(row) != self.size:
-                raise ValueError(
-                    f"alltoallv: rank {i} must provide one send buffer for "
-                    f"each of the contiguous ranks 0..{self.size - 1} "
-                    f"({self.size} buffers), got {len(row)}"
-                )
+        self._check_alltoallv_rows(send)
         with _obs().span("alltoallv", "simcomm", ranks=self.size) as sp:
             w = [
                 [int(np.asarray(send[i][j]).size) for j in range(self.size)]
@@ -398,11 +176,7 @@ class SimComm:
         result into *p* contiguous blocks, block *i* to rank *i*."""
         self._check(bufs)
         arrs = [np.asarray(b) for b in bufs]
-        length = arrs[0].size
-        if any(a.size != length for a in arrs):
-            raise ValueError("reduce_scatter requires equal-length buffers")
-        if length % self.size:
-            raise ValueError("buffer length must divide evenly among ranks")
+        length = self._check_reduce_bufs(arrs, block=True)
         with _obs().span("reduce_scatter", "simcomm", ranks=self.size) as sp:
             total = arrs[0]
             for a in arrs[1:]:

@@ -1,0 +1,42 @@
+"""Real-process execution backend: ranks as forked OS processes.
+
+Layering (bottom up):
+
+* :mod:`~repro.parallel.shm` — directed shared-memory ring channels with
+  framing, drainer threads, and typed timeout/closed errors;
+* :mod:`~repro.parallel.pool` — persistent forked worker pools executing
+  the collective choreography (cached per size, respawned when broken);
+* :mod:`~repro.parallel.proccomm` — :class:`ProcComm`, the drop-in
+  implementation of :class:`~repro.mpisim.comm.SimComm`'s collectives
+  API, sharing its validation and CRC/retry fault envelope.
+
+Select with ``REPRO_BACKEND=proc`` or
+:func:`repro.mpisim.backend.make_comm`; see docs/PARALLELISM.md.
+"""
+
+from .pool import WorkerDied, WorkerPool, get_pool, shutdown_pools
+from .proccomm import ProcComm
+from .shm import (
+    ChannelClosed,
+    Endpoint,
+    ShmTransport,
+    TransportError,
+    TransportTimeout,
+    pack_arrays,
+    unpack_arrays,
+)
+
+__all__ = [
+    "ProcComm",
+    "WorkerPool",
+    "WorkerDied",
+    "get_pool",
+    "shutdown_pools",
+    "ShmTransport",
+    "Endpoint",
+    "TransportError",
+    "TransportTimeout",
+    "ChannelClosed",
+    "pack_arrays",
+    "unpack_arrays",
+]

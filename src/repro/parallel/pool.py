@@ -1,0 +1,424 @@
+"""Persistent forked worker pools executing collectives over shared memory.
+
+The middle layer of the real-process backend: a :class:`WorkerPool` holds
+``size`` long-lived worker OS processes (ranks ``0..size-1``) plus the
+parent *conductor* endpoint, all wired through one
+:class:`~repro.parallel.shm.ShmTransport`.  The drivers keep their
+world-view shape — the conductor hands each worker its rank's buffers,
+the workers exchange payloads **among themselves** over the shared-memory
+channels (root relays for bcast/scatter, rank 0 reduces in rank order for
+the reductions, full pairwise exchange for alltoallv), and ship their
+per-rank results back to the conductor.
+
+Pools are cached per size (:func:`get_pool`): the SPMD drivers construct
+a fresh communicator per run, and forking + handshaking processes per
+run would dominate the wall-clock the backend exists to measure.  A pool
+whose worker died (crash fault tests kill them deliberately) is marked
+broken, torn down, and transparently respawned on next use.
+
+Protocol
+--------
+Commands travel on the reserved tag ``TAG_CMD`` (0) as ``int64[4]``
+frames ``[opcode, seq, arg, flags]``; all data frames of one collective
+use its unique ``seq`` as tag, so concurrent state from an aborted
+collective can never bleed into the next one.  Reduction operators are
+named by a small registry of NumPy ufuncs (``arg`` slot); arbitrary
+callables fall back to a pickled payload sent to the reducing rank only.
+
+Fork, not spawn: a live transport (conditions, semaphores, mapped
+segments) is inherited, never pickled — see docs/PARALLELISM.md.  The
+parent's own drainer thread is started *after* the fork so no lock can
+be copied in a held state.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import signal
+import sys
+import time
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .shm import (
+    DEFAULT_CAPACITY,
+    ShmTransport,
+    TransportError,
+    pack_arrays,
+    preferred_start_method,
+    unpack_arrays,
+)
+
+__all__ = ["WorkerPool", "WorkerDied", "get_pool", "shutdown_pools", "TAG_CMD"]
+
+TAG_CMD = 0
+
+(
+    OP_SHUTDOWN,
+    OP_PING,
+    OP_STATS,
+    OP_BCAST,
+    OP_ALLGATHER,
+    OP_GATHER,
+    OP_SCATTER,
+    OP_ALLTOALLV,
+    OP_REDUCE_SCATTER,
+    OP_ALLREDUCE,
+) = range(10)
+
+FLAG_PICKLED_OP = 1
+
+#: registry of reduction operators addressable by a wire code; the
+#: conductor resolves a callable to its code by identity, workers resolve
+#: the code back — ``np.add`` and friends never cross as pickles
+_OP_REGISTRY: Dict[int, Callable] = {
+    1: np.add,
+    2: np.minimum,
+    3: np.maximum,
+    4: np.multiply,
+    5: np.logical_or,
+    6: np.logical_and,
+    7: np.bitwise_or,
+    8: np.bitwise_and,
+}
+_OP_TO_CODE = {fn: code for code, fn in _OP_REGISTRY.items()}
+
+#: parent-side wait for any single worker round-trip, seconds
+DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_PROC_TIMEOUT", "60"))
+
+
+class WorkerDied(TransportError):
+    """A worker process died or stopped responding mid-collective."""
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the forked children; excluded from coverage
+# because the collector only follows the parent process)
+# ----------------------------------------------------------------------
+def _worker_main(transport: ShmTransport, rank: int, size: int) -> None:  # pragma: no cover
+    parent = size  # conductor endpoint id
+    ppid0 = os.getppid()
+    alive = lambda: os.getppid() == ppid0  # reparenting means the parent died
+    ep = transport.endpoint(rank).start()
+    pickled_op: Optional[Callable] = None
+    try:
+        while True:
+            cmd = ep.recv(parent, TAG_CMD, timeout=None, alive=alive)
+            opcode, seq, arg, flags = (int(x) for x in cmd[:4])
+            if opcode == OP_SHUTDOWN:
+                break
+            if opcode == OP_PING:
+                ep.send(parent, seq, np.array([rank, os.getpid()], dtype=np.int64))
+                continue
+            if opcode == OP_STATS:
+                ep.send(
+                    parent,
+                    seq,
+                    np.array(
+                        [
+                            ep.bytes_sent,
+                            ep.bytes_received,
+                            ep.messages_sent,
+                            ep.messages_received,
+                            int(ep.busy_seconds * 1e6),
+                            rank,
+                        ],
+                        dtype=np.int64,
+                    ),
+                )
+                continue
+            if opcode == OP_BCAST:
+                root = arg
+                if rank == root:
+                    data = ep.recv(parent, seq, alive=alive)
+                    for j in range(size):
+                        if j != rank:
+                            ep.send(j, seq, data, alive=alive)
+                else:
+                    data = ep.recv(root, seq, alive=alive)
+                ep.send(parent, seq, data, alive=alive)
+            elif opcode == OP_ALLGATHER:
+                own = ep.recv(parent, seq, alive=alive)
+                for j in range(size):
+                    if j != rank:
+                        ep.send(j, seq, own, alive=alive)
+                parts = [
+                    own if i == rank else ep.recv(i, seq, alive=alive)
+                    for i in range(size)
+                ]
+                ep.send(parent, seq, np.concatenate(parts), alive=alive)
+            elif opcode == OP_GATHER:
+                root = arg
+                own = ep.recv(parent, seq, alive=alive)
+                if rank == root:
+                    parts = [
+                        own if i == rank else ep.recv(i, seq, alive=alive)
+                        for i in range(size)
+                    ]
+                    ep.send(parent, seq, np.concatenate(parts), alive=alive)
+                else:
+                    ep.send(root, seq, own, alive=alive)
+            elif opcode == OP_SCATTER:
+                root = arg
+                if rank == root:
+                    chunks = unpack_arrays(ep.recv(parent, seq, alive=alive))
+                    for j in range(size):
+                        if j != rank:
+                            ep.send(j, seq, chunks[j], alive=alive)
+                    mine = np.asarray(chunks[rank])
+                else:
+                    mine = ep.recv(root, seq, alive=alive)
+                ep.send(parent, seq, mine, alive=alive)
+            elif opcode == OP_ALLTOALLV:
+                row = unpack_arrays(ep.recv(parent, seq, alive=alive))
+                for j in range(size):
+                    if j != rank:
+                        ep.send(j, seq, row[j], alive=alive)
+                got = [
+                    np.asarray(row[i]) if i == rank else ep.recv(i, seq, alive=alive)
+                    for i in range(size)
+                ]
+                ep.send(parent, seq, pack_arrays(got), alive=alive)
+            elif opcode in (OP_REDUCE_SCATTER, OP_ALLREDUCE):
+                if rank == 0 and flags & FLAG_PICKLED_OP:
+                    blob = ep.recv(parent, seq, alive=alive)
+                    pickled_op = pickle.loads(blob.tobytes())
+                own = ep.recv(parent, seq, alive=alive)
+                if rank == 0:
+                    op = pickled_op if flags & FLAG_PICKLED_OP else _OP_REGISTRY[arg]
+                    pickled_op = None
+                    # reduce in rank order — bit-identical to SimComm's
+                    # sequential fold, even for non-commutative floats
+                    total = own
+                    for i in range(1, size):
+                        total = op(total, ep.recv(i, seq, alive=alive))
+                    total = np.asarray(total)
+                    if opcode == OP_ALLREDUCE:
+                        for j in range(1, size):
+                            ep.send(j, seq, total, alive=alive)
+                        mine = total
+                    else:
+                        blk = total.size // size
+                        for j in range(1, size):
+                            ep.send(j, seq, total[j * blk : (j + 1) * blk], alive=alive)
+                        mine = total[:blk]
+                else:
+                    ep.send(0, seq, own, alive=alive)
+                    mine = ep.recv(0, seq, alive=alive)
+                ep.send(parent, seq, mine, alive=alive)
+            else:
+                raise RuntimeError(f"worker {rank}: unknown opcode {opcode}")
+    except TransportError:
+        pass  # parent shut the fabric down (or died); just exit
+    except BaseException:
+        import traceback
+
+        traceback.print_exc()
+        os._exit(1)
+    finally:
+        ep.stop()
+    # skip inherited atexit state (pytest capture, coverage hooks)
+    os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """``size`` forked worker processes plus the conductor endpoint."""
+
+    def __init__(
+        self,
+        size: int,
+        capacity: int = DEFAULT_CAPACITY,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ):
+        if size < 1:
+            raise ValueError("worker pool needs at least one rank")
+        self.size = int(size)
+        self.timeout = float(timeout)
+        self.broken = False
+        ctx_method = preferred_start_method()
+        import multiprocessing as mp
+
+        ctx = mp.get_context(ctx_method)
+        self.transport = ShmTransport(self.size + 1, capacity, ctx)
+        self._seq = 0
+        self.procs = []
+        for rank in range(self.size):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(self.transport, rank, self.size),
+                name=f"repro-rank-{rank}",
+                daemon=True,
+            )
+            with warnings.catch_warnings():
+                # 3.12 warns on fork-from-threaded; our locks are provably
+                # unheld at fork time (the parent drainer starts below)
+                warnings.simplefilter("ignore", DeprecationWarning)
+                p.start()
+            self.procs.append(p)
+        # start the conductor's drainer only now: forking with a live
+        # drainer could copy a held channel lock into a child
+        self.ep = self.transport.endpoint(self.size).start()
+        try:
+            self.ping(timeout=max(self.timeout, 10.0))
+        except TransportError as exc:
+            self.close()
+            raise WorkerDied(f"worker pool of {size} failed to start") from exc
+
+    # -- liveness ------------------------------------------------------
+    def alive(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self.procs)
+
+    def _workers_alive(self) -> bool:
+        return all(p.is_alive() for p in self.procs)
+
+    def mark_broken(self) -> None:
+        self.broken = True
+        self.close()
+
+    # -- protocol helpers ----------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _send(self, rank: int, tag: int, arr: np.ndarray) -> None:
+        try:
+            self.ep.send(
+                rank, tag, arr, timeout=self.timeout, alive=self._workers_alive
+            )
+        except TransportError as exc:
+            self.mark_broken()
+            raise WorkerDied(f"send to rank {rank} failed: {exc}") from exc
+
+    def _recv(self, rank: int, tag: int, timeout: Optional[float] = None) -> np.ndarray:
+        try:
+            return self.ep.recv(
+                rank,
+                tag,
+                timeout=self.timeout if timeout is None else timeout,
+                alive=self._workers_alive,
+            )
+        except TransportError as exc:
+            self.mark_broken()
+            raise WorkerDied(f"no reply from rank {rank}: {exc}") from exc
+
+    def _command(self, opcode: int, arg: int = 0, flags: int = 0) -> int:
+        seq = self._next_seq()
+        cmd = np.array([opcode, seq, arg, flags], dtype=np.int64)
+        for r in range(self.size):
+            self._send(r, TAG_CMD, cmd)
+        return seq
+
+    # -- collectives (fault-free data movement; the envelope lives in
+    #    ProcComm, which wraps these results) -------------------------
+    def ping(self, timeout: Optional[float] = None) -> None:
+        seq = self._command(OP_PING)
+        for r in range(self.size):
+            reply = self._recv(r, seq, timeout=timeout)
+            if int(reply[0]) != r:
+                raise WorkerDied(f"rank {r} answered ping as {int(reply[0])}")
+
+    def stats(self) -> List[np.ndarray]:
+        """Per-rank ``int64[6]`` counters: bytes sent/received, messages
+        sent/received, busy microseconds, rank id."""
+        seq = self._command(OP_STATS)
+        return [self._recv(r, seq) for r in range(self.size)]
+
+    def bcast(self, data: np.ndarray, root: int) -> List[np.ndarray]:
+        seq = self._command(OP_BCAST, arg=root)
+        self._send(root, seq, data)
+        return [self._recv(r, seq) for r in range(self.size)]
+
+    def allgather(self, bufs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        seq = self._command(OP_ALLGATHER)
+        for r in range(self.size):
+            self._send(r, seq, np.asarray(bufs[r]))
+        return [self._recv(r, seq) for r in range(self.size)]
+
+    def gather(self, bufs: Sequence[np.ndarray], root: int) -> np.ndarray:
+        seq = self._command(OP_GATHER, arg=root)
+        for r in range(self.size):
+            self._send(r, seq, np.asarray(bufs[r]))
+        return self._recv(root, seq)
+
+    def scatter(self, chunks: Sequence[np.ndarray], root: int) -> List[np.ndarray]:
+        seq = self._command(OP_SCATTER, arg=root)
+        self._send(root, seq, pack_arrays([np.asarray(c) for c in chunks]))
+        return [self._recv(r, seq) for r in range(self.size)]
+
+    def alltoallv(self, send: Sequence[Sequence[np.ndarray]]) -> List[List[np.ndarray]]:
+        """Returns ``recv`` with ``recv[j][i]`` = what rank *j* got from *i*."""
+        seq = self._command(OP_ALLTOALLV)
+        for r in range(self.size):
+            self._send(r, seq, pack_arrays([np.asarray(a) for a in send[r]]))
+        return [list(unpack_arrays(self._recv(r, seq))) for r in range(self.size)]
+
+    def reduce(
+        self, bufs: Sequence[np.ndarray], op: Callable, variant: str
+    ) -> List[np.ndarray]:
+        """``variant`` is ``"allreduce"`` or ``"reduce_scatter"``."""
+        opcode = OP_ALLREDUCE if variant == "allreduce" else OP_REDUCE_SCATTER
+        code = _OP_TO_CODE.get(op)
+        flags = 0 if code is not None else FLAG_PICKLED_OP
+        seq = self._command(opcode, arg=code or 0, flags=flags)
+        if code is None:
+            blob = np.frombuffer(bytearray(pickle.dumps(op)), dtype=np.uint8)
+            self._send(0, seq, blob)
+        for r in range(self.size):
+            self._send(r, seq, np.asarray(bufs[r]))
+        return [self._recv(r, seq) for r in range(self.size)]
+
+    # -- teardown ------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent teardown: drain, reap, release shared segments."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        if not self.broken and all(p.is_alive() for p in self.procs):
+            try:
+                seq = self._next_seq()
+                cmd = np.array([OP_SHUTDOWN, seq, 0, 0], dtype=np.int64)
+                for r in range(self.size):
+                    self.ep.send(r, TAG_CMD, cmd, timeout=1.0)
+            except TransportError:
+                pass
+        deadline = time.monotonic() + 2.0
+        for p in self.procs:
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+        for p in self.procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        self.transport.close()
+        self.transport.unlink()
+
+
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+def get_pool(size: int) -> WorkerPool:
+    """The cached pool for *size* ranks, (re)spawned when absent/broken."""
+    pool = _POOLS.get(size)
+    if pool is not None and pool.alive():
+        return pool
+    if pool is not None:
+        pool.close()
+        del _POOLS[size]
+    pool = WorkerPool(size)
+    _POOLS[size] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every cached pool (also runs at interpreter exit)."""
+    for size in list(_POOLS):
+        _POOLS.pop(size).close()
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,249 @@
+"""ProcComm — SimComm's collectives API with ranks as real OS processes.
+
+The top layer of :mod:`repro.parallel`: a drop-in communicator for
+:class:`~repro.mpisim.comm.SimComm` (selected through
+:func:`repro.mpisim.backend.make_comm`), so ``lacc_spmd`` / ``lacc_2d``
+and the CombBLAS SpMV layer run unchanged while every collective's data
+movement executes in forked worker processes over shared memory.
+
+Semantics are pinned to SimComm's by construction:
+
+* **Same validation** — both inherit
+  :class:`~repro.mpisim.envelope.CommBase`, so malformed calls raise the
+  same errors.
+* **Same costs** — words/messages per collective use SimComm's exact
+  formulas, so the α–β model prices both backends identically.
+* **Same fault behaviour** — the physical exchange runs once,
+  fault-free, then the result (flattened in SimComm's exact leaf order)
+  passes through the shared CRC/retry envelope; one
+  :class:`~repro.faults.FaultPlan` seed yields byte-identical fault
+  schedules, retries and :class:`~repro.faults.CollectiveError`\\ s on
+  either backend.
+* **Typed failure, never a hang** — a killed or wedged worker surfaces
+  through transport timeouts/liveness probes as a
+  :class:`~repro.faults.CollectiveError` with kind ``worker_died``; the
+  broken pool is torn down and respawned on the next communicator.
+
+Tracer spans use category ``"proccomm"`` (the ``"simcomm"`` category
+stays sim-only so word-accounting consumers know which machine produced
+a trace); when a metric registry is active, per-rank transport counters
+(bytes/messages/busy-time, labelled by rank) are merged into it at the
+root after every collective.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.errors import CollectiveError
+from repro.mpisim.envelope import CommBase, calling_iteration
+from repro.obs.metrics import metrics_registry
+from repro.obs.tracer import current as _obs
+
+from .pool import WorkerDied, get_pool
+
+__all__ = ["ProcComm"]
+
+_CAT = "proccomm"
+
+
+class ProcComm(CommBase):
+    """A world of *p* ranks, each a live worker process (see
+    :class:`~repro.parallel.pool.WorkerPool`).
+
+    Same constructor contract as :class:`~repro.mpisim.comm.SimComm`;
+    the underlying pool is cached per size and shared by every ProcComm
+    of that size in the process.
+    """
+
+    backend = "proc"
+
+    def __init__(self, size, faults=None, cost=None, backoff_base: float = 1e-4):
+        super().__init__(size, faults=faults, cost=cost, backoff_base=backoff_base)
+        self._pool = get_pool(self.size)
+
+    # ------------------------------------------------------------------
+    def _run(self, name: str, sp, fn, *args):
+        """Execute one pool collective, translating a dead/wedged worker
+        into a typed :class:`CollectiveError` (never a hang).
+
+        A death is *reported once*: the collective that observes it
+        raises, and the communicator heals itself with a fresh pool so
+        the next collective (e.g. a supervisor's retry) succeeds.
+        """
+        pool = self._pool
+        if not pool.alive():
+            pool.mark_broken()
+            self._pool = get_pool(self.size)
+            if sp:
+                sp.set("worker_died", True)
+            raise CollectiveError(
+                name, 1, ["worker_died"], iteration=calling_iteration()
+            )
+        try:
+            out = fn(pool, *args)
+        except WorkerDied as exc:
+            self._pool = get_pool(self.size)
+            if sp:
+                sp.set("worker_died", True)
+                sp.set("error", str(exc))
+            raise CollectiveError(
+                name, 1, ["worker_died"], iteration=calling_iteration()
+            ) from exc
+        self._merge_rank_metrics(pool)
+        return out
+
+    def _merge_rank_metrics(self, pool) -> None:
+        """Fold per-rank transport counters into the active registry (a
+        no-op — no extra round-trip — when metrics are off)."""
+        reg = metrics_registry()
+        if not reg:
+            return
+        try:
+            stats = pool.stats()
+        except WorkerDied:
+            return
+        for row in stats:
+            rank = str(int(row[5]))
+            reg.gauge("proc_rank_bytes_sent", "payload bytes sent by rank",
+                      rank=rank).set(int(row[0]))
+            reg.gauge("proc_rank_bytes_received", "payload bytes received by rank",
+                      rank=rank).set(int(row[1]))
+            reg.gauge("proc_rank_messages_sent", "messages sent by rank",
+                      rank=rank).set(int(row[2]))
+            reg.gauge("proc_rank_messages_received", "messages received by rank",
+                      rank=rank).set(int(row[3]))
+            reg.gauge("proc_rank_busy_seconds", "transport busy seconds of rank",
+                      rank=rank).set(int(row[4]) / 1e6)
+
+    # ------------------------------------------------------------------
+    # collectives — words/messages formulas match SimComm line for line
+    # ------------------------------------------------------------------
+    def bcast(self, bufs: List[Optional[np.ndarray]], root: int = 0) -> List[np.ndarray]:
+        """Every rank receives a copy of the root's buffer."""
+        self._check(bufs)
+        self._check_root(root)
+        with _obs().span("bcast", _CAT, root=root, ranks=self.size) as sp:
+            data = np.asarray(bufs[root])
+            words = int(data.size) * (self.size - 1)
+            messages = self.size - 1
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+            out = self._run("bcast", sp, lambda p: p.bcast(data, root))
+            return self._deliver("bcast", out, list, sp, words, messages)
+
+    def allgather(self, bufs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Every rank receives the concatenation of all buffers."""
+        self._check(bufs)
+        with _obs().span("allgather", _CAT, ranks=self.size) as sp:
+            arrs = [np.asarray(b) for b in bufs]
+            words = sum(int(a.size) for a in arrs) * (self.size - 1)
+            messages = self.size * (self.size - 1)
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+            res = self._run("allgather", sp, lambda p: p.allgather(arrs))
+            return self._deliver("allgather", res, list, sp, words, messages)
+
+    def gather(self, bufs: Sequence[np.ndarray], root: int = 0) -> List[Optional[np.ndarray]]:
+        """Root receives the concatenation; others receive ``None``."""
+        self._check(bufs)
+        self._check_root(root)
+        with _obs().span("gather", _CAT, root=root, ranks=self.size) as sp:
+            arrs = [np.asarray(b) for b in bufs]
+            concat = self._run("gather", sp, lambda p: p.gather(arrs, root))
+            out: List[Optional[np.ndarray]] = [None] * self.size
+            out[root] = concat
+            words = int(concat.size) - int(arrs[root].size)
+            messages = self.size - 1
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+            return self._deliver("gather", out, list, sp, words, messages)
+
+    def scatter(self, chunks: Optional[Sequence], root: int = 0) -> List[np.ndarray]:
+        """Root's chunks distributed to ranks (contract documented on
+        :meth:`repro.mpisim.comm.SimComm.scatter`; both call shapes)."""
+        self._check_root(root)
+        chunks = self._normalize_scatter_chunks(chunks, root)
+        with _obs().span("scatter", _CAT, root=root, ranks=self.size) as sp:
+            out = self._run("scatter", sp, lambda p: p.scatter(chunks, root))
+            words = sum(int(c.size) for r, c in enumerate(out) if r != root)
+            messages = self.size - 1
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+            return self._deliver("scatter", out, list, sp, words, messages)
+
+    def alltoallv(
+        self, send: Sequence[Sequence[np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """``send[i][j]`` is what rank *i* sends to rank *j*; the result's
+        ``recv[j][i]`` is what rank *j* received from rank *i*."""
+        self._check_alltoallv_rows(send)
+        with _obs().span("alltoallv", _CAT, ranks=self.size) as sp:
+            w = [
+                [int(np.asarray(send[i][j]).size) for j in range(self.size)]
+                for i in range(self.size)
+            ]
+            off_diag = [
+                w[i][j] for i in range(self.size) for j in range(self.size) if i != j
+            ]
+            words = sum(off_diag)
+            messages = sum(1 for x in off_diag if x > 0)
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+                sp.set("send_words", w)  # send_words[i][j]; recv is transpose
+                sp.set("rank_send_totals", [sum(row) for row in w])
+                sp.set(
+                    "rank_recv_totals",
+                    [sum(w[i][j] for i in range(self.size)) for j in range(self.size)],
+                )
+            rows = self._run("alltoallv", sp, lambda p: p.alltoallv(send))
+            # flatten destination-major — SimComm's exact leaf order, so
+            # one fault seed damages the same buffer on both backends
+            flat = [rows[j][i] for j in range(self.size) for i in range(self.size)]
+
+            def rebuild(leaves):
+                p = self.size
+                return [list(leaves[j * p : (j + 1) * p]) for j in range(p)]
+
+            return self._deliver("alltoallv", flat, rebuild, sp, words, messages)
+
+    def reduce_scatter_block(
+        self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> List[np.ndarray]:
+        """Element-wise reduce all equal-length buffers then split the
+        result into *p* contiguous blocks, block *i* to rank *i*."""
+        self._check(bufs)
+        arrs = [np.asarray(b) for b in bufs]
+        length = self._check_reduce_bufs(arrs, block=True)
+        with _obs().span("reduce_scatter", _CAT, ranks=self.size) as sp:
+            words = int(length) * (self.size - 1)
+            messages = self.size * (self.size - 1)
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+            out = self._run(
+                "reduce_scatter", sp, lambda p: p.reduce(arrs, op, "reduce_scatter")
+            )
+            return self._deliver("reduce_scatter", out, list, sp, words, messages)
+
+    def allreduce(
+        self, bufs: Sequence[np.ndarray], op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> List[np.ndarray]:
+        """Element-wise reduction visible on every rank."""
+        self._check(bufs)
+        with _obs().span("allreduce", _CAT, ranks=self.size) as sp:
+            arrs = [np.asarray(b) for b in bufs]
+            words = int(arrs[0].size) * 2 * (self.size - 1)
+            messages = 2 * self.size * (self.size - 1)
+            if sp:
+                sp.add("words", words)
+                sp.add("messages", messages)
+            out = self._run("allreduce", sp, lambda p: p.reduce(arrs, op, "allreduce"))
+            return self._deliver("allreduce", out, list, sp, words, messages)

@@ -1,0 +1,521 @@
+"""Shared-memory message transport between real OS processes.
+
+The lowest layer of the real-process backend (:mod:`repro.parallel`): a
+set of **directed point-to-point channels**, one per (src, dst) endpoint
+pair, each a fixed-capacity byte ring buffer living in a
+:class:`multiprocessing.shared_memory.SharedMemory` segment.  Messages
+are NumPy arrays, framed as a fixed 96-byte header (magic, tag, payload
+bytes, shape, dtype) followed by the raw payload bytes; payloads larger
+than the ring are streamed through it in chunks.
+
+Delivery guarantees (the contract the property/fuzz suite in
+``tests/parallel/test_shm_transport.py`` pins down):
+
+* **FIFO per channel** — a (src, dst) channel is single-producer /
+  single-consumer; messages arrive in send order, so ordering within any
+  (src, dst, tag) stream is preserved.
+* **No deadlock for matched schedules** — every endpoint runs a
+  background *drainer thread* that continuously moves complete frames
+  out of its inbound rings into process-local queues.  Senders therefore
+  only ever wait for *ring space* (which the drainer frees), never for
+  the application to call :meth:`Endpoint.recv`; any schedule in which
+  each send has a matching receive completes regardless of order.
+* **Conservation** — every payload byte sent is received exactly once;
+  per-endpoint counters (:attr:`Endpoint.bytes_sent` /
+  :attr:`Endpoint.bytes_received`) make the ledger checkable.
+* **Bounded waiting** — every blocking operation takes a timeout and
+  raises :class:`TransportTimeout` (or :class:`ChannelClosed` after
+  shutdown) instead of hanging, which is what lets a dead peer surface
+  as a typed error rather than a stuck collective.
+
+Synchronisation is one :class:`multiprocessing.Condition` per channel
+(guarding the ring's head/tail counters) plus one *doorbell* semaphore
+per endpoint that senders release after completing a frame, so idle
+drainers sleep instead of polling.
+
+The transport must be created **before** worker processes are forked:
+channels and their synchronisation primitives are inherited through
+``fork`` (see docs/PARALLELISM.md for the fork-vs-spawn discussion).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmTransport",
+    "Endpoint",
+    "TransportError",
+    "TransportTimeout",
+    "ChannelClosed",
+    "pack_arrays",
+    "unpack_arrays",
+]
+
+
+class TransportError(RuntimeError):
+    """Base class for transport failures."""
+
+
+class TransportTimeout(TransportError):
+    """A blocking transport operation exceeded its deadline."""
+
+
+class ChannelClosed(TransportError):
+    """The transport was shut down while an operation was in flight."""
+
+
+_MAGIC = 0x5AFE_C0DE
+_CTRL_BYTES = 32          # int64[4]: head, tail, closed, reserved
+_HDR_INT64S = 8           # magic, tag, nbytes, ndim, shape0..2, reserved
+_DTYPE_BYTES = 32         # dtype.str, NUL-padded
+HEADER_BYTES = _HDR_INT64S * 8 + _DTYPE_BYTES
+_MAX_NDIM = 3
+_POLL_S = 0.02            # condition-wait granularity for deadline checks
+
+DEFAULT_CAPACITY = 1 << 18  # 256 KiB per directed channel
+
+
+def _contig(a) -> np.ndarray:
+    """C-contiguous view/copy that — unlike ``np.ascontiguousarray``,
+    which implies ``ndmin=1`` — preserves 0-d shapes."""
+    a = np.asarray(a)
+    if not a.flags["C_CONTIGUOUS"]:
+        a = np.ascontiguousarray(a).reshape(a.shape)
+    return a
+
+
+def _encode_header(tag: int, arr: np.ndarray) -> bytes:
+    if arr.ndim > _MAX_NDIM:
+        raise ValueError(
+            f"transport frames support at most {_MAX_NDIM} dimensions, "
+            f"got shape {arr.shape}"
+        )
+    if arr.dtype.hasobject:
+        raise TypeError("object-dtype arrays cannot cross process boundaries")
+    head = np.zeros(_HDR_INT64S, dtype=np.int64)
+    head[0] = _MAGIC
+    head[1] = tag
+    head[2] = arr.nbytes
+    head[3] = arr.ndim
+    for d, s in enumerate(arr.shape):
+        head[4 + d] = s
+    dt = arr.dtype.str.encode()
+    if len(dt) > _DTYPE_BYTES:
+        raise TypeError(f"dtype string {arr.dtype.str!r} too long for a frame")
+    return head.tobytes() + dt.ljust(_DTYPE_BYTES, b"\0")
+
+
+def _decode_header(raw: bytes) -> Tuple[int, int, Tuple[int, ...], np.dtype]:
+    head = np.frombuffer(raw, dtype=np.int64, count=_HDR_INT64S)
+    if head[0] != _MAGIC:
+        raise TransportError(
+            f"corrupt frame header (magic {int(head[0]):#x}); the channel "
+            "stream lost sync — this is a transport bug"
+        )
+    tag = int(head[1])
+    nbytes = int(head[2])
+    ndim = int(head[3])
+    shape = tuple(int(head[4 + d]) for d in range(ndim))
+    dt = np.dtype(raw[_HDR_INT64S * 8 :].rstrip(b"\0").decode())
+    return tag, nbytes, shape, dt
+
+
+class _Channel:
+    """One directed SPSC byte ring in a SharedMemory segment."""
+
+    def __init__(self, ctx, capacity: int):
+        from multiprocessing import shared_memory
+
+        self.capacity = int(capacity)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_CTRL_BYTES + self.capacity
+        )
+        self.cond = ctx.Condition()
+        self._views_pid: Optional[int] = None
+        self._ctrl: Optional[np.ndarray] = None
+        self._data: Optional[np.ndarray] = None
+        self._bind()
+
+    def _bind(self) -> None:
+        """(Re)create the NumPy views in the current process.  After a
+        ``fork`` the inherited mapping is valid but views are rebuilt per
+        process so each side owns its objects."""
+        if self._views_pid == os.getpid():
+            return
+        self._ctrl = np.frombuffer(self._shm.buf, dtype=np.int64, count=4)
+        self._data = np.frombuffer(
+            self._shm.buf, dtype=np.uint8, offset=_CTRL_BYTES, count=self.capacity
+        )
+        self._views_pid = os.getpid()
+
+    # head/tail are monotonically increasing byte counters; occupancy is
+    # ``tail - head`` and positions are taken modulo capacity
+    def _wait(self, deadline: Optional[float], alive: Optional[Callable[[], bool]]):
+        if self._ctrl[2]:
+            raise ChannelClosed("transport closed")
+        if alive is not None and not alive():
+            raise ChannelClosed("peer process died")
+        remaining = _POLL_S
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout("transport operation timed out")
+        self.cond.wait(min(_POLL_S, remaining))
+
+    def write_bytes(
+        self,
+        payload: bytes,
+        deadline: Optional[float] = None,
+        alive: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Append *payload* to the ring, waiting for space as the
+        consumer drains; may stream in chunks when the payload exceeds
+        the remaining (or total) capacity."""
+        self._bind()
+        mv = memoryview(payload)
+        n = len(mv)
+        off = 0
+        with self.cond:
+            while off < n:
+                if self._ctrl[2]:
+                    raise ChannelClosed("transport closed")
+                head, tail = int(self._ctrl[0]), int(self._ctrl[1])
+                free = self.capacity - (tail - head)
+                if free == 0:
+                    self._wait(deadline, alive)
+                    continue
+                k = min(free, n - off)
+                pos = tail % self.capacity
+                first = min(k, self.capacity - pos)
+                self._data[pos : pos + first] = np.frombuffer(
+                    mv[off : off + first], dtype=np.uint8
+                )
+                if k > first:
+                    self._data[: k - first] = np.frombuffer(
+                        mv[off + first : off + k], dtype=np.uint8
+                    )
+                self._ctrl[1] = tail + k
+                off += k
+                self.cond.notify_all()
+
+    def available(self) -> int:
+        self._bind()
+        with self.cond:
+            return int(self._ctrl[1]) - int(self._ctrl[0])
+
+    def read_bytes(
+        self,
+        n: int,
+        deadline: Optional[float] = None,
+        alive: Optional[Callable[[], bool]] = None,
+    ) -> bytes:
+        """Consume exactly *n* bytes (blocking until the producer has
+        written them)."""
+        self._bind()
+        out = bytearray(n)
+        got = 0
+        with self.cond:
+            while got < n:
+                head, tail = int(self._ctrl[0]), int(self._ctrl[1])
+                avail = tail - head
+                if avail == 0:
+                    self._wait(deadline, alive)
+                    continue
+                k = min(avail, n - got)
+                pos = head % self.capacity
+                first = min(k, self.capacity - pos)
+                out[got : got + first] = self._data[pos : pos + first].tobytes()
+                if k > first:
+                    out[got + first : got + k] = self._data[: k - first].tobytes()
+                self._ctrl[0] = head + k
+                got += k
+                self.cond.notify_all()
+        return bytes(out)
+
+    def close(self) -> None:
+        """Mark closed and wake any waiter (idempotent, any process)."""
+        self._bind()
+        with self.cond:
+            self._ctrl[2] = 1
+            self.cond.notify_all()
+
+    def unlink(self) -> None:
+        """Release the segment (call once, in the creating process)."""
+        # drop the NumPy views first: SharedMemory.close() raises
+        # BufferError while exported pointers into the mapping exist
+        self._ctrl = None
+        self._data = None
+        self._views_pid = None
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # already gone
+            pass
+
+
+class Endpoint:
+    """One communicating party: sends directly, receives via a drainer.
+
+    Created through :meth:`ShmTransport.endpoint` and activated with
+    :meth:`start` *in the process that owns it* (the drainer thread must
+    be created after ``fork``, never inherited).
+    """
+
+    def __init__(self, transport: "ShmTransport", eid: int):
+        self.transport = transport
+        self.eid = eid
+        self._pending: Dict[Tuple[int, int], deque] = {}
+        self._cv = threading.Condition()
+        self._drainer: Optional[threading.Thread] = None
+        self._stop = False
+        self._failure: Optional[BaseException] = None
+        #: conservation ledger (payload bytes, excluding frame headers)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        #: wall seconds this endpoint spent inside send()/drain copies
+        self.busy_seconds = 0.0
+
+    # -- sending -------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        tag: int,
+        arr: np.ndarray,
+        timeout: Optional[float] = None,
+        alive: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Frame *arr* and append it to the (self → dst) channel."""
+        t0 = time.perf_counter()
+        arr = _contig(arr)
+        frame = _encode_header(tag, arr) + arr.tobytes()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        ch = self.transport.channel(self.eid, dst)
+        ch.write_bytes(frame, deadline, alive)
+        self.transport.doorbell(dst).release()
+        self.bytes_sent += arr.nbytes
+        self.messages_sent += 1
+        self.busy_seconds += time.perf_counter() - t0
+
+    # -- receiving -----------------------------------------------------
+    def start(self) -> "Endpoint":
+        """Start the drainer thread in the calling process."""
+        if self._drainer is not None:
+            return self
+        self._stop = False
+        self._drainer = threading.Thread(
+            target=self._drain_loop, name=f"shm-drain-{self.eid}", daemon=True
+        )
+        self._drainer.start()
+        return self
+
+    def stop(self) -> None:
+        if self._drainer is None:
+            return
+        self._stop = True
+        self.transport.doorbell(self.eid).release()
+        self._drainer.join(timeout=5.0)
+        self._drainer = None
+
+    def _drain_one(self, src: int) -> bool:
+        """Move one complete frame from the (src → self) ring, if any."""
+        ch = self.transport.channel(src, self.eid)
+        if ch.available() < HEADER_BYTES:
+            return False
+        t0 = time.perf_counter()
+        raw = ch.read_bytes(HEADER_BYTES)
+        tag, nbytes, shape, dt = _decode_header(raw)
+        # the sender has committed the header, so the payload is in
+        # flight: a bounded blocking read cannot deadlock (the producer
+        # finishes the frame independently of this endpoint's sends)
+        payload = ch.read_bytes(nbytes) if nbytes else b""
+        arr = np.frombuffer(bytearray(payload), dtype=dt).reshape(shape)
+        with self._cv:
+            self._pending.setdefault((src, tag), deque()).append(arr)
+            self.bytes_received += nbytes
+            self.messages_received += 1
+            self._cv.notify_all()
+        self.busy_seconds += time.perf_counter() - t0
+        return True
+
+    def _drain_loop(self) -> None:
+        bell = self.transport.doorbell(self.eid)
+        peers = [p for p in range(self.transport.n) if p != self.eid]
+        try:
+            while not self._stop:
+                moved = False
+                for src in peers:
+                    while self._drain_one(src):
+                        moved = True
+                if not moved:
+                    bell.acquire(timeout=_POLL_S)
+        except ChannelClosed:
+            pass
+        except BaseException as exc:  # surface in recv() instead of dying mute
+            self._failure = exc
+        finally:
+            with self._cv:
+                self._cv.notify_all()
+
+    def recv(
+        self,
+        src: int,
+        tag: int,
+        timeout: Optional[float] = None,
+        alive: Optional[Callable[[], bool]] = None,
+    ) -> np.ndarray:
+        """Next message on the (src, tag) stream, in send order."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        key = (src, tag)
+        with self._cv:
+            while True:
+                q = self._pending.get(key)
+                if q:
+                    return q.popleft()
+                if self._failure is not None:
+                    raise TransportError(
+                        f"drainer of endpoint {self.eid} failed"
+                    ) from self._failure
+                if self._stop or self.transport.closed:
+                    raise ChannelClosed("transport closed")
+                if alive is not None and not alive():
+                    raise ChannelClosed("peer process died")
+                remaining = _POLL_S
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TransportTimeout(
+                            f"recv(src={src}, tag={tag}) timed out on "
+                            f"endpoint {self.eid}"
+                        )
+                self._cv.wait(min(_POLL_S, remaining))
+
+
+class ShmTransport:
+    """All-pairs channel fabric for *n* endpoints (ids ``0..n-1``).
+
+    Create in the parent **before** forking; every process then calls
+    ``transport.endpoint(my_id).start()`` to activate its endpoint.
+    """
+
+    def __init__(self, n: int, capacity: int = DEFAULT_CAPACITY, ctx=None):
+        import multiprocessing as mp
+
+        if n < 1:
+            raise ValueError("transport needs at least one endpoint")
+        if capacity < HEADER_BYTES * 2:
+            raise ValueError(f"capacity must be >= {HEADER_BYTES * 2} bytes")
+        self.ctx = ctx if ctx is not None else mp.get_context(preferred_start_method())
+        self.n = int(n)
+        self.capacity = int(capacity)
+        self.closed = False
+        self._creator_pid = os.getpid()
+        self._channels: Dict[Tuple[int, int], _Channel] = {
+            (i, j): _Channel(self.ctx, capacity)
+            for i in range(n)
+            for j in range(n)
+            if i != j
+        }
+        self._doorbells = [self.ctx.Semaphore(0) for _ in range(n)]
+        self._endpoints: Dict[int, Endpoint] = {}
+
+    def channel(self, src: int, dst: int) -> _Channel:
+        return self._channels[(src, dst)]
+
+    def doorbell(self, eid: int):
+        return self._doorbells[eid]
+
+    def endpoint(self, eid: int) -> Endpoint:
+        if not 0 <= eid < self.n:
+            raise ValueError(f"endpoint id {eid} out of range 0..{self.n - 1}")
+        if eid not in self._endpoints:
+            self._endpoints[eid] = Endpoint(self, eid)
+        return self._endpoints[eid]
+
+    def close(self) -> None:
+        """Close every channel (any process) and stop local endpoints."""
+        self.closed = True
+        for ch in self._channels.values():
+            ch.close()
+        for ep in self._endpoints.values():
+            ep.stop()
+
+    def unlink(self) -> None:
+        """Release the shared segments (creator process only)."""
+        if os.getpid() != self._creator_pid:
+            return
+        for ch in self._channels.values():
+            ch.unlink()
+
+
+def preferred_start_method() -> str:
+    """``fork`` wherever available: channels and conditions are inherited
+    by worker processes, and ``spawn`` cannot pickle a live transport
+    (docs/PARALLELISM.md discusses the trade-off)."""
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    if "fork" in methods:
+        return "fork"
+    raise RuntimeError(
+        "the real-process backend needs the 'fork' start method (available "
+        f"on Linux/macOS); this platform offers only {methods}"
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-array packing: one frame for a list of buffers (collectives ship
+# whole per-rank rows at once, cutting per-message synchronisation cost)
+# ----------------------------------------------------------------------
+def pack_arrays(arrs: List[Optional[np.ndarray]]) -> np.ndarray:
+    """Serialise a list of arrays (``None`` allowed) into one uint8 buffer."""
+    parts: List[bytes] = [np.int64(len(arrs)).tobytes()]
+    for a in arrs:
+        if a is None:
+            parts.append(np.full(1, -1, dtype=np.int64).tobytes())
+            continue
+        a = _contig(a)
+        if a.ndim > _MAX_NDIM:
+            raise ValueError(f"pack_arrays supports <= {_MAX_NDIM} dims")
+        if a.dtype.hasobject:
+            raise TypeError("object-dtype arrays cannot cross process boundaries")
+        head = np.zeros(5, dtype=np.int64)
+        head[0] = a.nbytes
+        head[1] = a.ndim
+        for d, s in enumerate(a.shape):
+            head[2 + d] = s
+        dt = a.dtype.str.encode().ljust(_DTYPE_BYTES, b"\0")
+        pad = (-a.nbytes) % 8
+        parts.append(head.tobytes() + dt + a.tobytes() + b"\0" * pad)
+    return np.frombuffer(bytearray(b"".join(parts)), dtype=np.uint8)
+
+
+def unpack_arrays(buf: np.ndarray) -> List[Optional[np.ndarray]]:
+    """Inverse of :func:`pack_arrays` (arrays are owning copies)."""
+    raw = memoryview(np.ascontiguousarray(buf)).cast("B")
+    k = int(np.frombuffer(raw[:8], dtype=np.int64)[0])
+    off = 8
+    out: List[Optional[np.ndarray]] = []
+    for _ in range(k):
+        nbytes = int(np.frombuffer(raw[off : off + 8], dtype=np.int64)[0])
+        if nbytes == -1:
+            out.append(None)
+            off += 8
+            continue
+        head = np.frombuffer(raw[off : off + 40], dtype=np.int64)
+        ndim = int(head[1])
+        shape = tuple(int(head[2 + d]) for d in range(ndim))
+        dt = np.dtype(bytes(raw[off + 40 : off + 40 + _DTYPE_BYTES]).rstrip(b"\0").decode())
+        off += 40 + _DTYPE_BYTES
+        arr = np.frombuffer(bytearray(raw[off : off + nbytes]), dtype=dt)
+        out.append(arr.reshape(shape))
+        off += nbytes + ((-nbytes) % 8)
+    return out

@@ -61,6 +61,44 @@ def test_record_round_trips(tmp_path, quick_record):
     assert not compare(again, quick_record).failed
 
 
+def test_proc_backend_suite_measures_against_prediction():
+    """--backend=proc: measured wall-clock on real worker processes is
+    recorded next to the α–β prediction, and the parent vectors must be
+    byte-identical to the sim run (an exact-class metric)."""
+    rec = run_suite(quick=True, backend="proc")
+    validate_record(rec)
+    assert rec["backend"] == "proc"
+    assert set(rec["benches"]) == {"lacc_proc_archaea_r2", "lacc_proc_archaea_r4"}
+    for b in rec["benches"].values():
+        assert b["meta"]["backend"] == "proc"
+        m = b["metrics"]
+        assert m["byte_identical"] == {"noise": "exact", "value": 1}
+        assert m["wall_seconds"]["noise"] == "wall"
+        assert m["wall_seconds"]["value"] > 0
+        assert m["predicted_comm_seconds"]["noise"] == "deterministic"
+        assert m["predicted_comm_seconds"]["value"] > 0
+        assert m["words"]["value"] > 0 and m["messages"]["value"] > 0
+
+
+def test_unknown_bench_backend_rejected():
+    with pytest.raises(ValueError, match="unknown bench backend"):
+        run_suite(quick=True, backend="mpi")
+
+
+def test_cli_bench_backend_flag_wiring():
+    """Parser defaults: sim backend writes BENCH_lacc.json, proc writes
+    BENCH_proc.json (unless --out overrides)."""
+    from repro.cli import build_parser
+
+    p = build_parser()
+    a = p.parse_args(["bench", "--quick"])
+    assert a.backend == "sim" and a.out is None
+    a = p.parse_args(["bench", "--quick", "--backend", "proc"])
+    assert a.backend == "proc"
+    with pytest.raises(SystemExit):
+        p.parse_args(["bench", "--backend", "mpi"])
+
+
 def test_consolidate_artifacts(tmp_path):
     (tmp_path / "BENCH_a.json").write_text(json.dumps({"x": 1}))
     (tmp_path / "BENCH_bad.json").write_text("{not json")

@@ -1,0 +1,222 @@
+"""Cross-backend collectives conformance: ProcComm must be byte-identical
+to SimComm.
+
+The simulated communicator is the semantic reference; the real-process
+backend re-implements the same API with ranks as forked workers.  This
+suite runs every collective over both backends across a dtype × shape ×
+rank-count matrix (including empty buffers, 0-d scalars, 2-D blocks and
+uneven/empty scatterv partitions) and requires the proc results to match
+the sim reference **byte for byte** — same dtype, same shape, same bits.
+
+A watchdog alarm guards every test: a transport bug must surface as a
+failure, never as a hung pytest process (the CI deadlock gate relies on
+this).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import numpy as np
+import pytest
+
+from repro.mpisim import SimComm
+from repro.mpisim.backend import make_comm, use
+
+pytestmark = pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+
+DTYPES = [np.int64, np.int32, np.float64, np.bool_]
+
+WATCHDOG_S = 60
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    def _fire(signum, frame):
+        raise TimeoutError(f"collective hung for {WATCHDOG_S}s (deadlock gate)")
+
+    old = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(WATCHDOG_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, old)
+
+
+def shapes_for(ranks, concat=False):
+    """Per-rank buffer shapes exercised for every collective.  The
+    concatenating collectives (gather/allgather) reject 0-d buffers on
+    the sim reference already, so those skip the scalar shape."""
+    shapes = [(0,), (1,), (17,), (5, 3)]
+    return shapes if concat else [()] + shapes
+
+
+def fill(shape, dtype, rank, seed=0):
+    rng = np.random.default_rng(1000 * seed + rank)
+    if dtype is np.bool_:
+        return rng.integers(0, 2, size=shape).astype(np.bool_)
+    return rng.integers(-50, 50, size=shape).astype(dtype)
+
+
+def assert_byte_identical(ref, got, ctx):
+    assert type(ref) is type(got) or (ref is None) == (got is None), ctx
+    if ref is None:
+        assert got is None, ctx
+        return
+    ref, got = np.asarray(ref), np.asarray(got)
+    assert ref.dtype == got.dtype, (ctx, ref.dtype, got.dtype)
+    assert ref.shape == got.shape, (ctx, ref.shape, got.shape)
+    assert ref.tobytes() == got.tobytes(), ctx
+
+
+def run_both(ranks, call):
+    """Invoke *call(comm)* on the sim reference and the proc backend."""
+    ref = call(SimComm(ranks))
+    with use("proc"):
+        got = call(make_comm(ranks))
+    return ref, got
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_bcast_matrix(ranks, dtype):
+    for shape in shapes_for(ranks):
+        for root in {0, ranks - 1}:
+            data = fill(shape, dtype, root)
+            bufs = [data if r == root else None for r in range(ranks)]
+            ref, got = run_both(ranks, lambda c: c.bcast(list(bufs), root=root))
+            for r in range(ranks):
+                assert_byte_identical(ref[r], got[r], ("bcast", dtype, shape, root, r))
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_allgather_matrix(ranks, dtype):
+    for shape in shapes_for(ranks, concat=True):
+        bufs = [fill(shape, dtype, r) for r in range(ranks)]
+        ref, got = run_both(ranks, lambda c: c.allgather(bufs))
+        for r in range(ranks):
+            assert_byte_identical(ref[r], got[r], ("allgather", dtype, shape, r))
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_gather_matrix(ranks, dtype):
+    for shape in shapes_for(ranks, concat=True):
+        for root in {0, ranks - 1}:
+            bufs = [fill(shape, dtype, r) for r in range(ranks)]
+            ref, got = run_both(ranks, lambda c: c.gather(bufs, root=root))
+            for r in range(ranks):
+                assert_byte_identical(ref[r], got[r], ("gather", dtype, shape, root, r))
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_scatter_uneven_partitions(ranks, dtype):
+    """Ragged chunk lists, including empty chunks and 2-D chunks."""
+    rng = np.random.default_rng(ranks)
+    layouts = [
+        [int(rng.integers(0, 9)) for _ in range(ranks)],  # ragged
+        [0] * ranks,                                      # all empty
+        list(range(ranks)),                               # 0,1,2,...
+    ]
+    for sizes in layouts:
+        for root in {0, ranks - 1}:
+            chunks = [fill((s,), dtype, r) for r, s in enumerate(sizes)]
+            ref, got = run_both(ranks, lambda c: c.scatter(chunks, root=root))
+            for r in range(ranks):
+                assert_byte_identical(ref[r], got[r], ("scatter", dtype, sizes, root, r))
+    # per-rank call form (None everywhere except root)
+    chunks = [fill((r + 1, 2), dtype, r) for r in range(ranks)]
+    perrank = [None] * ranks
+    perrank[ranks - 1] = chunks
+    if ranks > 1:
+        ref, got = run_both(
+            ranks, lambda c: c.scatter(list(perrank), root=ranks - 1)
+        )
+        for r in range(ranks):
+            assert_byte_identical(ref[r], got[r], ("scatter-perrank", dtype, r))
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_alltoallv_matrix(ranks, dtype):
+    rng = np.random.default_rng(7 * ranks)
+    send = [
+        [fill((int(rng.integers(0, 7)),), dtype, i * ranks + j) for j in range(ranks)]
+        for i in range(ranks)
+    ]
+    ref, got = run_both(ranks, lambda c: c.alltoallv(send))
+    for i in range(ranks):
+        for j in range(ranks):
+            assert_byte_identical(ref[i][j], got[i][j], ("alltoallv", dtype, i, j))
+
+
+@pytest.mark.parametrize("dtype", [np.int64, np.float64])
+def test_reduce_scatter_block_matrix(ranks, dtype):
+    length = 12  # divisible by every tested rank count
+    for op in (np.add, np.minimum):
+        bufs = [fill((length,), dtype, r) for r in range(ranks)]
+        ref, got = run_both(ranks, lambda c: c.reduce_scatter_block(bufs, op))
+        for r in range(ranks):
+            assert_byte_identical(ref[r], got[r], ("reduce_scatter", dtype, op, r))
+
+
+@pytest.mark.parametrize("dtype", [np.int64, np.int32, np.float64])
+def test_allreduce_matrix(ranks, dtype):
+    for shape in [(0,), (13,), (4, 3)]:
+        for op in (np.add, np.minimum, np.maximum):
+            bufs = [fill(shape, dtype, r) for r in range(ranks)]
+            ref, got = run_both(ranks, lambda c: c.allreduce(bufs, op))
+            for r in range(ranks):
+                assert_byte_identical(ref[r], got[r], ("allreduce", dtype, shape, op, r))
+
+
+def test_allreduce_float_fold_order_is_rank_order(ranks):
+    """Float addition is non-associative: identical bits require the proc
+    reducer to fold in SimComm's exact rank order."""
+    rng = np.random.default_rng(42)
+    bufs = [(rng.random(64) * 10.0 ** rng.integers(-8, 8)) for _ in range(ranks)]
+    ref, got = run_both(ranks, lambda c: c.allreduce(bufs, np.add))
+    for r in range(ranks):
+        assert_byte_identical(ref[r], got[r], ("float-fold", r))
+
+
+def test_validation_errors_match(ranks):
+    """Both backends reject malformed calls with the same message."""
+    def capture(call):
+        errs = []
+        for mk in (lambda: SimComm(ranks),):
+            try:
+                call(mk())
+            except Exception as exc:
+                errs.append((type(exc), str(exc)))
+            else:
+                errs.append(None)
+        with use("proc"):
+            try:
+                call(make_comm(ranks))
+            except Exception as exc:
+                errs.append((type(exc), str(exc)))
+            else:
+                errs.append(None)
+        return errs
+
+    cases = [
+        lambda c: c.bcast([np.zeros(2)] * (ranks + 1)),
+        lambda c: c.bcast([np.zeros(2)] * ranks, root=ranks),
+        lambda c: c.bcast([np.zeros(2)] * ranks, root="0"),
+        lambda c: c.scatter(None),
+        lambda c: c.scatter([np.zeros(2)] * (ranks + 1)),
+        lambda c: c.alltoallv([[np.zeros(1)] * (ranks + 1)] * ranks),
+        lambda c: c.reduce_scatter_block(
+            [np.zeros(ranks + 1), np.zeros(ranks)] + [np.zeros(ranks)] * (ranks - 2),
+            np.add,
+        ) if ranks >= 2 else (_ for _ in ()).throw(ValueError("skip")),
+    ]
+    for k, call in enumerate(cases):
+        sim_err, proc_err = capture(call)
+        assert sim_err is not None, f"case {k} should fail on sim"
+        assert proc_err == sim_err, (k, sim_err, proc_err)
+
+
+def test_make_comm_size_validation(ranks):
+    with use("proc"):
+        with pytest.raises(ValueError):
+            make_comm(0)
+        with pytest.raises(ValueError):
+            make_comm(2.5)

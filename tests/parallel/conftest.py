@@ -1,0 +1,36 @@
+"""Shared fixtures for the real-process backend tests.
+
+Every test in this package runs under a SIGALRM watchdog: the backend's
+contract is that *nothing ever hangs* — a wedged transport, a dead
+worker, or a silent deadlock must surface as a failed test within the
+budget, not as a stuck pytest process.  CI layers a per-job GNU
+``timeout`` on top, but the alarm localises the failure to a test name.
+
+Override the budget with ``REPRO_PROC_TEST_TIMEOUT`` (seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+WATCHDOG_S = int(os.environ.get("REPRO_PROC_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def watchdog():
+    """Fail (don't hang) any test that exceeds the deadlock budget."""
+
+    def _fire(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {WATCHDOG_S}s deadlock watchdog "
+            "(REPRO_PROC_TEST_TIMEOUT)"
+        )
+
+    old = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(WATCHDOG_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, old)
