@@ -38,6 +38,7 @@ __all__ = [
     "DIST_CONFIGS",
     "SCALE_SERIAL_GRAPHS",
     "PROC_CONFIGS",
+    "PROC_RECOVERY_CONFIG",
 ]
 
 #: (graph, quick) — quick mode keeps only the fast archaea runs
@@ -57,6 +58,9 @@ PROC_CONFIGS = [
     ("archaea", 2, True),
     ("archaea", 4, True),
 ]
+#: (graph, ranks) — the elastic-recovery overhead bench (chaos ``shrink``
+#: preset: two real SIGKILLs, shrink-to-survivors, resume from snapshot)
+PROC_RECOVERY_CONFIG = ("archaea", 4)
 
 
 def _bench_serial(name: str, A, in_quick: bool) -> Dict[str, Any]:
@@ -170,6 +174,61 @@ def _bench_proc(name: str, g, ranks: int, in_quick: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_proc_recovery(name: str, g, ranks: int, in_quick: bool) -> Dict[str, Any]:
+    """Elastic-recovery overhead on the real-process backend.
+
+    Three timed runs at the same size: a plain proc run (baseline), a
+    supervised fault-free run (isolates the per-iteration checkpoint
+    tax), and a supervised run under the ``shrink`` chaos preset — two
+    real SIGKILLs, a shrink-to-survivors re-partition, resume from the
+    snapshot.  ``recovery_overhead_seconds`` (chaos − baseline, i.e.
+    checkpointing + failure detection + shrink + re-partition + replayed
+    work) and ``checkpoint_overhead_seconds`` are wall-classed: the
+    regression comparator treats them as noisy timings, not invariants.
+    The correctness columns (``byte_identical``, ``recoveries``,
+    ``shrunk_to``) stay exact-classed.
+    """
+    from repro.chaos import chaos_run
+    from repro.core.lacc_spmd import lacc_spmd
+    from repro.mpisim import backend as comm_backend
+    from repro.recovery import Supervisor, SupervisorConfig
+
+    with comm_backend.use("proc"):
+        t0 = time.perf_counter()
+        plain = lacc_spmd(g, ranks=ranks)
+        plain_wall = time.perf_counter() - t0
+
+        sup = Supervisor(config=SupervisorConfig(checkpoint_interval=1))
+        t0 = time.perf_counter()
+        sup.run(lacc_spmd, g, ranks=ranks)
+        supervised_wall = time.perf_counter() - t0
+
+    report = chaos_run(
+        g, driver="spmd", ranks=ranks, preset="shrink", seed=0,
+        backend="proc", flight=False,
+    )
+    return {
+        "meta": {"kind": "proc_recovery", "graph": name, "quick": in_quick,
+                 "kernel_tier": kernels.active(), "backend": "proc",
+                 "ranks": ranks, "vertices": g.n, "edges": g.nedges,
+                 "preset": "shrink"},
+        "metrics": {
+            "wall_seconds": metric(report.wall_seconds, "wall", "s"),
+            "baseline_wall_seconds": metric(plain_wall, "wall", "s"),
+            "checkpoint_overhead_seconds": metric(
+                max(supervised_wall - plain_wall, 0.0), "wall", "s"),
+            "recovery_overhead_seconds": metric(
+                max(report.wall_seconds - plain_wall, 0.0), "wall", "s"),
+            "recoveries": metric(report.recoveries, "exact"),
+            "shrunk_to": metric(report.shrunk_to or ranks, "exact"),
+            "iterations": metric(report.iterations, "exact"),
+            "components": metric(report.components, "exact"),
+            "byte_identical": metric(int(report.byte_identical), "exact"),
+            "resumed": metric(int(report.resumed), "exact"),
+        },
+    }
+
+
 def run_suite(
     quick: bool = True,
     registry: Optional[MetricRegistry] = None,
@@ -211,6 +270,12 @@ def run_suite(
                 key = f"lacc_proc_{gname}_r{ranks}"
                 say(f"bench {key} (real worker processes) ...")
                 benches[key] = _bench_proc(gname, corpus.load(gname), ranks, in_quick)
+            gname, ranks = PROC_RECOVERY_CONFIG
+            key = f"lacc_proc_recovery_{gname}_r{ranks}"
+            say(f"bench {key} (chaos shrink + elastic recovery) ...")
+            benches[key] = _bench_proc_recovery(
+                gname, corpus.load(gname), ranks, in_quick=True
+            )
             rec = make_record(benches, quick=quick)
             rec["backend"] = "proc"
             return rec

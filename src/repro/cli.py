@@ -22,6 +22,11 @@ Commands
     Run LACC under the :mod:`repro.recovery` checkpoint/restart
     supervisor with an injected crash (or watchdog deadline), print the
     recovery-event record, and verify the labels against union–find.
+``chaos``
+    Inject *real* process faults — SIGKILL, SIGSTOP stragglers, corrupt
+    shared-memory frames — into a distributed run on the proc backend
+    (:mod:`repro.chaos`) and verify elastic recovery: byte-identical
+    labels, union–find oracle, resume-not-restart.
 ``mcl``
     Markov-cluster a graph and print the clusters (HipMCL-lite).
 ``analyze``
@@ -56,6 +61,8 @@ Examples
     python -m repro faults archaea --preset outage --machine edison --trace f.json
     python -m repro recover archaea --driver spmd --seed 7 --after 40
     python -m repro recover archaea --driver dist --machine edison --trace r.json
+    python -m repro chaos archaea --preset kill --seed 3 --record chaos.jsonl
+    python -m repro chaos archaea --driver 2d --preset shrink --json
     python -m repro mcl similarities.mtx --inflation 2.0
     python -m repro analyze archaea --machine edison --nodes 16
     python -m repro explain archaea --preset stragglers --seed 0 --html fr.html
@@ -68,6 +75,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -629,6 +637,58 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if correct else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import chaos_run
+
+    g = _load_graph(args.graph)
+    report = chaos_run(
+        g,
+        driver=args.driver,
+        ranks=args.ranks,
+        preset=args.preset,
+        seed=args.seed,
+        after=args.after,
+        backend=args.backend,
+        stall_seconds=args.stall_seconds,
+        rank=args.rank,
+        checkpoint_interval=args.interval,
+        max_recoveries=args.max_recoveries,
+        record_path=args.record,
+    )
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+
+    print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+    print(f"chaos '{args.preset}' on {args.driver} × {args.ranks} ranks "
+          f"[{report.backend} backend], seed {args.seed}: "
+          f"{report.components} components in {report.iterations} "
+          f"iterations, {report.attempts} attempt(s), "
+          f"{report.recoveries} recover{'y' if report.recoveries == 1 else 'ies'}"
+          + (f", shrunk to {report.shrunk_to} ranks"
+             if report.shrunk_to is not None else ""))
+    print(f"injected: {report.injected or 'nothing (schedule never fired)'}")
+    for line in (
+        ("byte-identical to fault-free run", report.byte_identical),
+        ("labels match union-find oracle", report.oracle_ok),
+        ("resumed (no restart from scratch)", report.resumed),
+    ):
+        print(f"  {'PASS' if line[1] else 'FAIL'}  {line[0]}")
+    if report.recovery_events:
+        print("recovery events:")
+        for e in report.recovery_events:
+            where = "-" if e["iteration"] is None else f"iter {e['iteration']}"
+            print(f"  {e['action']:<12s} {where:<8s} {e['detail']}")
+    if report.anomaly_classes:
+        print(f"anomalies detected: {', '.join(report.anomaly_classes)}")
+    if args.record:
+        print(f"flight record written to {args.record} "
+              f"(diagnose with: python -m repro explain {args.record})")
+    print(f"wall time: {report.wall_seconds:.2f}s")
+    return 0 if report.ok else 1
+
+
 def _cmd_mcl(args: argparse.Namespace) -> int:
     from repro.mcl import markov_clustering
 
@@ -918,6 +978,44 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--json", action="store_true",
                      help="machine-readable JSON output on stdout")
     rec.set_defaults(fn=_cmd_recover)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="inject real process faults (SIGKILL / SIGSTOP stragglers / "
+             "corrupt shm frames) into a distributed run and verify "
+             "elastic recovery",
+    )
+    from repro.chaos.plan import CHAOS_PRESETS as _CHAOS_PRESETS
+
+    ch.add_argument("graph", help=".mtx / edge-list file or corpus name")
+    ch.add_argument("--driver", default="spmd", choices=["spmd", "2d"],
+                    help="which distributed driver to attack (default: spmd)")
+    ch.add_argument("--backend", default=os.environ.get("REPRO_BACKEND", "proc"),
+                    choices=["proc", "sim"],
+                    help="proc delivers real signals; sim models the same "
+                         "classified errors (default: $REPRO_BACKEND or proc)")
+    ch.add_argument("--preset", default="kill",
+                    choices=sorted(_CHAOS_PRESETS),
+                    help="chaos scenario (default: kill)")
+    ch.add_argument("--seed", type=int, default=0, help="chaos plan seed")
+    ch.add_argument("--after", type=int, default=50, metavar="N",
+                    help="fire at the N-th collective call (default: 50, "
+                         "mid-iteration-2 on the corpus graphs)")
+    ch.add_argument("--rank", type=int, default=None,
+                    help="victim rank (default: seeded deterministic pick)")
+    ch.add_argument("--stall-seconds", type=float, default=1.0,
+                    help="SIGSTOP duration for the stall preset")
+    ch.add_argument("--ranks", type=int, default=4,
+                    help="ranks for spmd / nprocs for 2d")
+    ch.add_argument("--interval", type=int, default=1,
+                    help="checkpoint every K iterations")
+    ch.add_argument("--max-recoveries", type=int, default=5,
+                    help="bounded recovery budget before degrading")
+    ch.add_argument("--record", metavar="FILE",
+                    help="write the flight record as JSONL (for repro explain)")
+    ch.add_argument("--json", action="store_true",
+                    help="machine-readable JSON report on stdout")
+    ch.set_defaults(fn=_cmd_chaos)
 
     mcl = sub.add_parser("mcl", help="Markov clustering (HipMCL-lite)")
     mcl.add_argument("graph")

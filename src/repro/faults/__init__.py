@@ -34,6 +34,7 @@ from .plan import (
     DATA_FAULT_KINDS,
     FAULT_KINDS,
     PRESETS,
+    PROC_FAULT_KINDS,
     FaultCall,
     FaultEvent,
     FaultPlan,
@@ -44,6 +45,7 @@ from .plan import (
 __all__ = [
     "FAULT_KINDS",
     "DATA_FAULT_KINDS",
+    "PROC_FAULT_KINDS",
     "FaultRule",
     "FaultEvent",
     "FaultCall",

@@ -39,23 +39,36 @@ class CollectiveError(FaultError):
         kinds: Sequence[str] = (),
         phase: Optional[str] = None,
         iteration: Optional[int] = None,
+        lost_ranks: Sequence[int] = (),
     ):
         self.collective = collective
         self.attempts = int(attempts)
         self.kinds = tuple(kinds)
         self.phase = phase
         self.iteration = None if iteration is None else int(iteration)
+        #: worker ranks the failure detector classified as permanently
+        #: lost (proc backend; empty on the simulator unless a chaos plan
+        #: models a victim)
+        self.lost_ranks = tuple(int(r) for r in lost_ranks)
         where = ""
         if iteration is not None:
             where += f" in iteration {iteration}"
         if phase:
             where += f" (phase {phase!r})"
         what = f" [{', '.join(self.kinds)}]" if self.kinds else ""
-        verdict = (
-            "unrecoverable crash, not retrying"
-            if "crash" in self.kinds
-            else "permanent fault, giving up"
-        )
+        if "rank_lost" in self.kinds:
+            who = (
+                f" rank(s) {', '.join(map(str, self.lost_ranks))}"
+                if self.lost_ranks
+                else " a rank"
+            )
+            verdict = f"{who.strip()} permanently lost, retry cannot help"
+        elif "deadline_exceeded" in self.kinds:
+            verdict = "collective deadline exceeded, worker stalled"
+        elif "crash" in self.kinds:
+            verdict = "unrecoverable crash, not retrying"
+        else:
+            verdict = "permanent fault, giving up"
         super().__init__(
             f"collective {collective!r}{where} failed validation after "
             f"{attempts} delivery attempt(s){what}: {verdict}"

@@ -38,6 +38,7 @@ import numpy as np
 __all__ = [
     "FAULT_KINDS",
     "DATA_FAULT_KINDS",
+    "PROC_FAULT_KINDS",
     "FaultRule",
     "FaultEvent",
     "FaultCall",
@@ -53,7 +54,21 @@ __all__ = [
 #: envelope raises :class:`~repro.faults.errors.CollectiveError`
 #: immediately and recovery is the job of ``repro.recovery``).
 DATA_FAULT_KINDS = ("truncate", "corrupt", "duplicate", "zero")
-FAULT_KINDS = DATA_FAULT_KINDS + ("delay", "fail", "crash")
+#: Process-level kinds injected by the chaos harness (:mod:`repro.chaos`)
+#: against **real** worker processes of the proc backend: ``kill``
+#: (SIGKILL), ``stop`` (SIGSTOP, resumed after ``stall_seconds`` — a real
+#: straggler), ``exit`` (SIGTERM, abnormal exit code) and ``frame``
+#: (a corrupt frame header written into a shared-memory ring).  The
+#: CRC/retry envelope never injects these itself
+#: (:meth:`FaultCall.active` excludes them); on the sim backend the chaos
+#: injector models them as the classified
+#: :class:`~repro.faults.errors.CollectiveError` the real fault produces.
+PROC_FAULT_KINDS = ("kill", "stop", "exit", "frame")
+FAULT_KINDS = DATA_FAULT_KINDS + ("delay", "fail", "crash") + PROC_FAULT_KINDS
+
+#: kinds the delivery envelope never applies to buffers (handled before
+#: delivery, or injected physically by the chaos harness)
+_NON_DELIVERY_KINDS = ("delay", "crash") + PROC_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,13 @@ class FaultRule:
     skip_calls:
         Number of matching calls to let through before the rule becomes
         eligible (models mid-run failures).
+    rank:
+        For process-level kinds: the worker rank to target (``None`` =
+        a deterministic seed-derived victim, like
+        :func:`~repro.mpisim.envelope.straggler_rank`).
+    stall_seconds:
+        For ``kind="stop"``: how long the victim stays SIGSTOPped before
+        the injector delivers SIGCONT.
     """
 
     kind: str
@@ -97,6 +119,8 @@ class FaultRule:
     delay_factor: float = 3.0
     max_injections: Optional[int] = None
     skip_calls: int = 0
+    rank: Optional[int] = None
+    stall_seconds: float = 3.0
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -113,6 +137,10 @@ class FaultRule:
             raise ValueError("max_injections must be >= 1 when given")
         if self.skip_calls < 0:
             raise ValueError("skip_calls must be non-negative")
+        if self.rank is not None and self.rank < 0:
+            raise ValueError("rank must be non-negative when given")
+        if self.stall_seconds <= 0.0:
+            raise ValueError("stall_seconds must be positive")
 
     def matches(self, collective: str, phase: Optional[str]) -> bool:
         if self.collective is not None and self.collective != collective:
@@ -182,11 +210,12 @@ class FaultCall:
 
     def active(self, attempt: int) -> List[FaultRule]:
         """Rules still corrupting this delivery attempt (``delay`` and
-        ``crash`` are handled by the envelope before delivery)."""
+        ``crash`` are handled by the envelope before delivery; process-
+        level kinds are injected physically by :mod:`repro.chaos`)."""
         return [
             r
             for r in self.fired
-            if r.kind not in ("delay", "crash") and r.active_at(attempt)
+            if r.kind not in _NON_DELIVERY_KINDS and r.active_at(attempt)
         ]
 
     def delays(self) -> List[FaultRule]:
@@ -197,11 +226,30 @@ class FaultCall:
         a dead rank never produces buffers to validate)."""
         return [r for r in self.fired if r.kind == "crash"]
 
+    def proc(self) -> List[FaultRule]:
+        """Process-level rules that fired on this call (consumed by the
+        chaos injector, never by the delivery envelope)."""
+        return [r for r in self.fired if r.kind in PROC_FAULT_KINDS]
+
     def rng(self, attempt: int) -> np.random.Generator:
         """Deterministic generator for payload mutations of one attempt."""
         return np.random.default_rng(
             [int(self.plan.seed) & 0xFFFFFFFF, self.index, attempt]
         )
+
+    def backoff_jitter(self, attempt: int) -> float:
+        """Deterministic retry-backoff jitter multiplier in ``[1, 2)``.
+
+        Seeded per ``(seed, call, attempt)`` exactly like :meth:`rng` (a
+        distinct stream constant keeps it independent of payload
+        mutations), so replays are byte-exact while synchronized retry
+        storms across ranks decorrelate.  Never below 1.0: jitter may
+        only stretch a backoff, preserving every ``>= backoff_base``
+        timing invariant."""
+        rng = np.random.default_rng(
+            [int(self.plan.seed) & 0xFFFFFFFF, self.index, attempt, 0x7F4A7C15]
+        )
+        return 1.0 + float(rng.random())
 
     def record(
         self,

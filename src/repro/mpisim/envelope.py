@@ -71,7 +71,10 @@ class CommBase:
         accumulated in :attr:`fault_seconds`.
     backoff_base:
         Simulated seconds of backoff before the first retransmission;
-        doubles on every further retry.
+        doubles on every further retry and is stretched by a seeded
+        per-``(seed, call, attempt)`` jitter multiplier in ``[1, 2)``
+        (:meth:`~repro.faults.FaultCall.backoff_jitter`) so synchronized
+        retry storms decorrelate without losing byte-exact replay.
     """
 
     def __init__(
@@ -195,6 +198,16 @@ class CommBase:
         retransmission; permanent faults raise
         :class:`~repro.faults.CollectiveError`.
         """
+        if getattr(self, "backend", "sim") != "proc":
+            # sim-side chaos: model the typed error a real process fault
+            # would produce, from the same seeded schedule the proc
+            # backend injects physically (ProcComm fires the injector in
+            # _run, before the physical exchange — never twice).
+            from repro.chaos.injector import active_injector
+
+            inj = active_injector()
+            if inj is not None:
+                inj.fire_sim(name, self.size)
         plan = self.faults
         if plan is None:
             return rebuild(leaves)
@@ -276,7 +289,14 @@ class CommBase:
                 raise CollectiveError(
                     name, attempt, kinds, iteration=calling_iteration()
                 )
-            backoff = self.backoff_base * (2 ** (attempt - 1))
+            # seeded jitter (multiplier in [1, 2), deterministic per
+            # (seed, call, attempt)) decorrelates synchronized retry
+            # storms across ranks while keeping replays byte-exact
+            backoff = (
+                self.backoff_base
+                * (2 ** (attempt - 1))
+                * call.backoff_jitter(attempt)
+            )
             if fr:
                 fr.record("retry", collective=name, attempt=attempt,
                           kinds=kinds, backoff_seconds=backoff)

@@ -15,7 +15,12 @@ Zhang/Azad/Hu, see PAPERS.md):
   faults (a persistently slow node);
 * :class:`CheckpointChurnDetector` — the recovery supervisor looping
   (repair/rollback without forward progress, repeated re-checkpointing
-  of the same iteration, degradation to serial replay).
+  of the same iteration, degradation to serial replay);
+* :class:`RankLossDetector` — worker processes classified permanently
+  dead by the proc backend's failure detector (or the sim-side chaos
+  model of the same fault);
+* :class:`ShrinkRecoveryDetector` — the supervisor re-partitioned the
+  run onto fewer ranks (shrink-to-survivors) after permanent losses.
 
 Each detector consumes :class:`~repro.obs.flight.FlightEvent`\\ s as the
 :class:`~repro.obs.flight.FlightRecorder` appends them (``on_event``)
@@ -54,6 +59,8 @@ __all__ = [
     "RetryStormDetector",
     "StragglerDetector",
     "CheckpointChurnDetector",
+    "RankLossDetector",
+    "ShrinkRecoveryDetector",
     "default_detectors",
 ]
 
@@ -571,6 +578,88 @@ class CheckpointChurnDetector(AnomalyDetector):
         return out
 
 
+class RankLossDetector(AnomalyDetector):
+    """Worker processes classified permanently dead.
+
+    Every ``rank_lost`` event (proc-backend failure detector, or the
+    sim-side chaos model of the same fault) is a severity-critical
+    anomaly per rank: losing a rank is never business as usual, even
+    when the supervisor goes on to recover.  Repeated losses of one rank
+    merge into a single verdict carrying the loss count.
+    """
+
+    name = "rank_lost"
+
+    def __init__(self):
+        self._by_rank: Dict[int, List[FlightEvent]] = {}
+
+    def on_event(self, ev: FlightEvent) -> List[Anomaly]:
+        if ev.kind == "rank_lost" and ev.rank is not None:
+            self._by_rank.setdefault(int(ev.rank), []).append(ev)
+        return []
+
+    def finish(self) -> List[Anomaly]:
+        out: List[Anomaly] = []
+        for rank in sorted(self._by_rank):
+            evs = self._by_rank[rank]
+            iters = [e.iteration for e in evs if e.iteration is not None]
+            colls = sorted({e.data.get("collective", "?") for e in evs})
+            out.append(
+                Anomaly(
+                    detector=self.name,
+                    severity="critical",
+                    message=(
+                        f"rank {rank} permanently lost "
+                        f"({len(evs)}× , during {', '.join(colls)})"
+                        if len(evs) > 1
+                        else f"rank {rank} permanently lost during {colls[0]}"
+                    ),
+                    first_iteration=min(iters) if iters else None,
+                    last_iteration=max(iters) if iters else None,
+                    rank=rank,
+                    evidence=[e.seq for e in evs],
+                    data={"losses": len(evs), "collectives": colls},
+                )
+            )
+        self._by_rank = {}
+        return out
+
+
+class ShrinkRecoveryDetector(AnomalyDetector):
+    """The supervisor re-partitioned onto fewer ranks after rank loss.
+
+    Each ``recovery`` event with ``action == "shrink"`` is one
+    severity-warning anomaly (the run *survived*, but on degraded
+    resources — capacity planning should know).
+    """
+
+    name = "shrink_recovery"
+
+    def on_event(self, ev: FlightEvent) -> List[Anomaly]:
+        if ev.kind != "recovery" or ev.data.get("action") != "shrink":
+            return []
+        old, new = ev.data.get("old_ranks"), ev.data.get("new_ranks")
+        return [
+            Anomaly(
+                detector=self.name,
+                severity="warning",
+                message=(
+                    f"shrink-to-survivors: re-partitioned {old}→{new} ranks"
+                    + (
+                        f" at iteration {ev.iteration}"
+                        if ev.iteration is not None
+                        else ""
+                    )
+                ),
+                first_iteration=ev.iteration,
+                last_iteration=ev.iteration,
+                evidence=[ev.seq],
+                data={"old_ranks": old, "new_ranks": new,
+                      "lost_ranks": ev.data.get("lost_ranks")},
+            )
+        ]
+
+
 def default_detectors() -> List[AnomalyDetector]:
     """Fresh instances of every built-in detector (one set per run)."""
     return [
@@ -579,4 +668,6 @@ def default_detectors() -> List[AnomalyDetector]:
         RetryStormDetector(),
         StragglerDetector(),
         CheckpointChurnDetector(),
+        RankLossDetector(),
+        ShrinkRecoveryDetector(),
     ]

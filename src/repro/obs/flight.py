@@ -31,8 +31,11 @@ Event kinds written by the instrumented layers
 ``fault``             one injected fault (kind, collective, rank)
 ``retry``             one retransmission after validation failure
 ``collective_error``  a collective that failed permanently
+``rank_lost``         a worker process classified permanently dead (proc
+                      backend failure detector, or the sim-side chaos
+                      model of the same fault)
 ``checkpoint``        supervisor sealed a checkpoint
-``recovery``          supervisor action: fault/watchdog/repair/rollback/degrade
+``recovery``          supervisor action: fault/watchdog/repair/rollback/shrink/degrade
 ``metric``            a metric-registry sample (see :meth:`FlightRecorder.sample_metrics`)
 ``anomaly``           a detector verdict (see :mod:`repro.obs.anomaly`)
 ``run_end``           driver exit: iterations, components

@@ -3,9 +3,13 @@
 Layering (bottom up):
 
 * :mod:`~repro.parallel.shm` — directed shared-memory ring channels with
-  framing, drainer threads, and typed timeout/closed errors;
+  framing, drainer threads, typed timeout/closed errors, and a leak
+  registry that lets the next run sweep segments orphaned by abnormal
+  exits;
 * :mod:`~repro.parallel.pool` — persistent forked worker pools executing
   the collective choreography (cached per size, respawned when broken);
+* :mod:`~repro.parallel.detector` — heartbeat-based failure detector
+  classifying workers ok / slow / stalled / dead;
 * :mod:`~repro.parallel.proccomm` — :class:`ProcComm`, the drop-in
   implementation of :class:`~repro.mpisim.comm.SimComm`'s collectives
   API, sharing its validation and CRC/retry fault envelope.
@@ -14,6 +18,7 @@ Select with ``REPRO_BACKEND=proc`` or
 :func:`repro.mpisim.backend.make_comm`; see docs/PARALLELISM.md.
 """
 
+from .detector import TAG_HB, FailureDetector, WorkerStatus, heartbeat_interval
 from .pool import WorkerDied, WorkerPool, get_pool, shutdown_pools
 from .proccomm import ProcComm
 from .shm import (
@@ -22,7 +27,9 @@ from .shm import (
     ShmTransport,
     TransportError,
     TransportTimeout,
+    leaked_segments,
     pack_arrays,
+    sweep_leaked_segments,
     unpack_arrays,
 )
 
@@ -39,4 +46,10 @@ __all__ = [
     "ChannelClosed",
     "pack_arrays",
     "unpack_arrays",
+    "FailureDetector",
+    "WorkerStatus",
+    "TAG_HB",
+    "heartbeat_interval",
+    "leaked_segments",
+    "sweep_leaked_segments",
 ]

@@ -1,0 +1,163 @@
+"""Heartbeat-based failure detection for the real-process backend.
+
+Every worker of a :class:`~repro.parallel.pool.WorkerPool` runs a small
+heartbeat thread that periodically sends a frame on the reserved tag
+:data:`TAG_HB` to the conductor endpoint: ``float64[3]`` of
+``[rank, counter, send_monotonic]``.  The conductor's
+:class:`FailureDetector` drains those frames (non-blocking, via
+:meth:`~repro.parallel.shm.Endpoint.try_recv`) and classifies each
+worker:
+
+``ok``
+    process alive, latest heartbeat fresher than half the stall budget;
+``slow``
+    alive, but the latest heartbeat is older than half the stall budget
+    (the worker is falling behind — GC pause, CPU contention);
+``stalled``
+    alive, but no heartbeat for a full stall budget (a SIGSTOPped or
+    deadlocked worker: the OS still lists the process, yet it makes no
+    progress);
+``dead``
+    the process is gone (``Process.is_alive()`` is false).
+
+The age of a heartbeat is computed from the **sender's** timestamp —
+``time.monotonic()`` is system-wide ``CLOCK_MONOTONIC`` on Linux, so a
+frame that sat queued while the worker was stopped cannot masquerade as
+fresh: what matters is when the worker last *sent*, not when the
+conductor drained.
+
+Classification snapshots ride on :class:`~repro.parallel.pool.WorkerDied`
+(attribute ``status``) so :class:`~repro.parallel.ProcComm` can raise a
+*typed* :class:`~repro.faults.CollectiveError` — kind ``rank_lost`` when
+a worker is permanently gone, ``deadline_exceeded`` when it is merely
+stalled — which is what lets the recovery supervisor choose between
+shrinking to survivors and simply retrying.
+
+Environment knobs
+-----------------
+``REPRO_PROC_HB_INTERVAL``
+    Worker heartbeat period in seconds (default ``0.25``; ``0`` disables
+    heartbeats entirely, degrading classification to dead-vs-ok).
+``REPRO_PROC_STALL_AFTER``
+    Heartbeat age, in seconds, after which a live worker is classified
+    ``stalled`` (default ``1.0``; ``slow`` triggers at half this).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "TAG_HB",
+    "HB_INTERVAL_S",
+    "STALL_AFTER_S",
+    "WorkerStatus",
+    "FailureDetector",
+    "heartbeat_interval",
+]
+
+#: reserved heartbeat tag — TAG_CMD is 0 and data tags are positive
+#: sequence numbers, so -1 can never collide with either stream
+TAG_HB = -1
+
+HB_INTERVAL_S = float(os.environ.get("REPRO_PROC_HB_INTERVAL", "0.25"))
+STALL_AFTER_S = float(os.environ.get("REPRO_PROC_STALL_AFTER", "1.0"))
+
+
+def heartbeat_interval() -> float:
+    """The configured worker heartbeat period (0 = disabled)."""
+    return HB_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """One worker's liveness verdict at a poll instant."""
+
+    rank: int
+    state: str  # "ok" | "slow" | "stalled" | "dead"
+    age: float  # seconds since the last heartbeat was *sent*
+    beats: int  # heartbeats observed so far
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rank": self.rank,
+            "state": self.state,
+            "age": round(self.age, 4),
+            "beats": self.beats,
+        }
+
+
+class FailureDetector:
+    """Timeout-based liveness monitor over a pool's heartbeat streams.
+
+    Owned by the conductor; never blocks (draining uses ``try_recv``) so
+    it is safe to poll from the middle of a collective.
+    """
+
+    def __init__(
+        self,
+        pool,
+        stall_after: Optional[float] = None,
+        hb_interval: Optional[float] = None,
+    ):
+        self.pool = pool
+        self.stall_after = STALL_AFTER_S if stall_after is None else float(stall_after)
+        self.hb_interval = HB_INTERVAL_S if hb_interval is None else float(hb_interval)
+        now = time.monotonic()
+        #: latest heartbeat send-timestamp per rank (start = construction
+        #: time: a fresh pool gets a full stall budget of grace)
+        self._last_sent: Dict[int, float] = {r: now for r in range(pool.size)}
+        self._beats: Dict[int, int] = {r: 0 for r in range(pool.size)}
+
+    # ------------------------------------------------------------------
+    def poll(self) -> None:
+        """Drain every queued heartbeat frame (non-blocking)."""
+        ep = self.pool.ep
+        for rank in range(self.pool.size):
+            while True:
+                frame = ep.try_recv(rank, TAG_HB)
+                if frame is None:
+                    break
+                # float64 [rank, counter, send_monotonic]
+                sent = float(frame[2])
+                if sent > self._last_sent[rank]:
+                    self._last_sent[rank] = sent
+                self._beats[rank] += 1
+
+    def classify(self, rank: int) -> WorkerStatus:
+        """Liveness verdict for one rank (poll first for freshness)."""
+        proc = self.pool.procs[rank]
+        if not proc.is_alive():
+            return WorkerStatus(rank, "dead", float("inf"), self._beats[rank])
+        if self.hb_interval <= 0:
+            # heartbeats disabled: a live process is all we can assert
+            return WorkerStatus(rank, "ok", 0.0, self._beats[rank])
+        age = time.monotonic() - self._last_sent[rank]
+        if age > self.stall_after:
+            state = "stalled"
+        elif age > self.stall_after / 2.0:
+            state = "slow"
+        else:
+            state = "ok"
+        return WorkerStatus(rank, state, max(age, 0.0), self._beats[rank])
+
+    def snapshot(self) -> Tuple[WorkerStatus, ...]:
+        """Poll, then classify every rank — the per-failure evidence that
+        rides on :class:`~repro.parallel.pool.WorkerDied`."""
+        try:
+            self.poll()
+        except Exception:  # teardown races: classification must not raise
+            pass
+        return tuple(self.classify(r) for r in range(self.pool.size))
+
+    # -- convenience views ---------------------------------------------
+    @staticmethod
+    def dead_ranks(status: Tuple[WorkerStatus, ...]) -> List[int]:
+        return [s.rank for s in status if s.state == "dead"]
+
+    @staticmethod
+    def stalled_ranks(status: Tuple[WorkerStatus, ...]) -> List[int]:
+        return [s.rank for s in status if s.state == "stalled"]

@@ -38,18 +38,22 @@ import os
 import pickle
 import signal
 import sys
+import threading
 import time
 import warnings
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .detector import TAG_HB, FailureDetector, WorkerStatus, heartbeat_interval
 from .shm import (
     DEFAULT_CAPACITY,
     ShmTransport,
     TransportError,
     pack_arrays,
     preferred_start_method,
+    sweep_leaked_segments,
     unpack_arrays,
 )
 
@@ -92,18 +96,57 @@ DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_PROC_TIMEOUT", "60"))
 
 
 class WorkerDied(TransportError):
-    """A worker process died or stopped responding mid-collective."""
+    """A worker process died or stopped responding mid-collective.
+
+    Carries the failure detector's classification snapshot (attribute
+    :attr:`status`, a tuple of
+    :class:`~repro.parallel.detector.WorkerStatus`), taken **before** the
+    pool is torn down — teardown kills every worker, so classifying
+    afterwards would make everyone look dead.
+    """
+
+    status: Tuple[WorkerStatus, ...] = ()
 
 
 # ----------------------------------------------------------------------
 # worker side (runs in the forked children; excluded from coverage
 # because the collector only follows the parent process)
 # ----------------------------------------------------------------------
+def _heartbeat_loop(ep, parent: int, rank: int, interval: float, stop, alive) -> None:  # pragma: no cover
+    """Worker-side heartbeat: float64 ``[rank, counter, send_monotonic]``
+    on :data:`TAG_HB` every *interval* seconds.  The send timestamp is
+    ``time.monotonic()`` — system-wide CLOCK_MONOTONIC — so the conductor
+    measures staleness from when the worker last ran, not from when the
+    frame happened to be drained."""
+    counter = 0
+    while not stop.is_set() and alive():
+        try:
+            ep.send(
+                parent,
+                TAG_HB,
+                np.array([rank, counter, time.monotonic()], dtype=np.float64),
+                timeout=max(interval, 0.05),
+            )
+        except TransportError:
+            return  # fabric closing down; the worker is exiting anyway
+        counter += 1
+        stop.wait(interval)
+
+
 def _worker_main(transport: ShmTransport, rank: int, size: int) -> None:  # pragma: no cover
     parent = size  # conductor endpoint id
     ppid0 = os.getppid()
     alive = lambda: os.getppid() == ppid0  # reparenting means the parent died
     ep = transport.endpoint(rank).start()
+    hb_stop = threading.Event()
+    hb_interval = heartbeat_interval()
+    if hb_interval > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(ep, parent, rank, hb_interval, hb_stop, alive),
+            name=f"repro-hb-{rank}",
+            daemon=True,
+        ).start()
     pickled_op: Optional[Callable] = None
     try:
         while True:
@@ -220,6 +263,7 @@ def _worker_main(transport: ShmTransport, rank: int, size: int) -> None:  # prag
         traceback.print_exc()
         os._exit(1)
     finally:
+        hb_stop.set()
         ep.stop()
     # skip inherited atexit state (pytest capture, coverage hooks)
     os._exit(0)
@@ -242,6 +286,12 @@ class WorkerPool:
         self.size = int(size)
         self.timeout = float(timeout)
         self.broken = False
+        # reclaim /dev/shm litter from conductors that died without
+        # unlink() (SIGKILL, OOM) before allocating our own rings
+        try:
+            sweep_leaked_segments()
+        except OSError:  # pragma: no cover - tmpdir races are non-fatal
+            pass
         ctx_method = preferred_start_method()
         import multiprocessing as mp
 
@@ -265,6 +315,7 @@ class WorkerPool:
         # start the conductor's drainer only now: forking with a live
         # drainer could copy a held channel lock into a child
         self.ep = self.transport.endpoint(self.size).start()
+        self.detector = FailureDetector(self)
         try:
             self.ping(timeout=max(self.timeout, 10.0))
         except TransportError as exc:
@@ -287,14 +338,24 @@ class WorkerPool:
         self._seq += 1
         return self._seq
 
+    def _died(self, message: str, exc: TransportError) -> WorkerDied:
+        """Build a classified :class:`WorkerDied`.  The detector snapshot
+        MUST be taken before :meth:`mark_broken`: teardown terminates
+        every worker, which would turn any classification into
+        'all dead'."""
+        status = self.detector.snapshot()
+        self.mark_broken()
+        err = WorkerDied(message)
+        err.status = status
+        return err
+
     def _send(self, rank: int, tag: int, arr: np.ndarray) -> None:
         try:
             self.ep.send(
                 rank, tag, arr, timeout=self.timeout, alive=self._workers_alive
             )
         except TransportError as exc:
-            self.mark_broken()
-            raise WorkerDied(f"send to rank {rank} failed: {exc}") from exc
+            raise self._died(f"send to rank {rank} failed: {exc}", exc) from exc
 
     def _recv(self, rank: int, tag: int, timeout: Optional[float] = None) -> np.ndarray:
         try:
@@ -305,15 +366,32 @@ class WorkerPool:
                 alive=self._workers_alive,
             )
         except TransportError as exc:
-            self.mark_broken()
-            raise WorkerDied(f"no reply from rank {rank}: {exc}") from exc
+            raise self._died(f"no reply from rank {rank}: {exc}", exc) from exc
 
     def _command(self, opcode: int, arg: int = 0, flags: int = 0) -> int:
+        self.detector.poll()  # keep heartbeat ledger fresh, never blocks
         seq = self._next_seq()
         cmd = np.array([opcode, seq, arg, flags], dtype=np.int64)
         for r in range(self.size):
             self._send(r, TAG_CMD, cmd)
         return seq
+
+    @contextmanager
+    def deadline(self, seconds: Optional[float]):
+        """Per-collective deadline budget: every worker round-trip inside
+        the block waits at most *seconds* (never more than the pool's own
+        timeout), so a stalled worker surfaces as a classified
+        :class:`WorkerDied` within the budget instead of after the full
+        pool timeout."""
+        if seconds is None:
+            yield
+            return
+        prev = self.timeout
+        self.timeout = min(prev, float(seconds))
+        try:
+            yield
+        finally:
+            self.timeout = prev
 
     # -- collectives (fault-free data movement; the envelope lives in
     #    ProcComm, which wraps these results) -------------------------
@@ -394,6 +472,11 @@ class WorkerPool:
         for p in self.procs:
             if p.is_alive():
                 p.terminate()
+                p.join(timeout=1.0)
+            if p.is_alive():
+                # a SIGSTOPped worker queues SIGTERM until SIGCONT and
+                # would survive terminate(); SIGKILL reaps it regardless
+                p.kill()
                 p.join(timeout=1.0)
         self.transport.close()
         self.transport.unlink()

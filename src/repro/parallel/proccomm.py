@@ -33,20 +33,30 @@ root after every collective.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.faults.errors import CollectiveError
 from repro.mpisim.envelope import CommBase, calling_iteration
+from repro.obs.flight import flight_recorder as _freg
 from repro.obs.metrics import metrics_registry
 from repro.obs.tracer import current as _obs
 
+from .detector import FailureDetector
 from .pool import WorkerDied, get_pool
 
 __all__ = ["ProcComm"]
 
 _CAT = "proccomm"
+
+#: optional per-collective deadline budget, seconds (unset = pool timeout)
+_DEADLINE_S: Optional[float] = (
+    float(os.environ["REPRO_PROC_DEADLINE"])
+    if os.environ.get("REPRO_PROC_DEADLINE")
+    else None
+)
 
 
 class ProcComm(CommBase):
@@ -65,33 +75,90 @@ class ProcComm(CommBase):
         self._pool = get_pool(self.size)
 
     # ------------------------------------------------------------------
+    def _fail(self, name: str, sp, status, error: Optional[str] = None):
+        """Translate a classified worker failure into the typed
+        :class:`CollectiveError` the recovery supervisor dispatches on,
+        healing the communicator with a fresh pool first.
+
+        Classification → error kind: any ``dead`` rank means the loss is
+        permanent (``rank_lost``, retry cannot help, shrink can); only
+        ``stalled`` ranks means the collective ran out of its deadline
+        budget while the worker still exists (``deadline_exceeded``); no
+        classified culprit degrades to the legacy ``worker_died``.
+        """
+        lost = FailureDetector.dead_ranks(status) if status else []
+        stalled = FailureDetector.stalled_ranks(status) if status else []
+        if lost:
+            kinds = ["rank_lost"]
+        elif stalled:
+            kinds = ["deadline_exceeded"]
+        else:
+            kinds = ["worker_died"]
+        iteration = calling_iteration()
+        self._pool = get_pool(self.size)
+        fr = _freg()
+        if fr:
+            for r in lost:
+                fr.record("rank_lost", rank=r, collective=name,
+                          survivors=self.size - len(lost))
+            fr.record("collective_error", collective=name, kinds=kinds,
+                      attempts=1, lost_ranks=lost, stalled_ranks=stalled)
+        reg = metrics_registry()
+        if reg:
+            for r in lost:
+                reg.counter(
+                    "proc_rank_lost_total",
+                    "workers classified permanently lost, by rank",
+                    rank=str(r),
+                ).inc()
+        if sp:
+            sp.set("worker_died", True)
+            sp.set("failure_kinds", ",".join(kinds))
+            if lost:
+                sp.set("lost_ranks", lost)
+            if stalled:
+                sp.set("stalled_ranks", stalled)
+            if status:
+                sp.set("worker_status",
+                       ";".join(f"{s.rank}:{s.state}" for s in status))
+            if error:
+                sp.set("error", error)
+        raise CollectiveError(
+            name, 1, kinds, iteration=iteration, lost_ranks=lost
+        )
+
     def _run(self, name: str, sp, fn, *args):
         """Execute one pool collective, translating a dead/wedged worker
         into a typed :class:`CollectiveError` (never a hang).
 
         A death is *reported once*: the collective that observes it
         raises, and the communicator heals itself with a fresh pool so
-        the next collective (e.g. a supervisor's retry) succeeds.
+        the next collective (e.g. a supervisor's retry) succeeds.  When a
+        chaos injector is active (:mod:`repro.chaos`) its scheduled
+        process faults fire here, before the physical exchange — the real
+        counterpart of the simulator's envelope hook.
         """
         pool = self._pool
+        from repro.chaos.injector import active_injector
+
+        inj = active_injector()
+        if inj is not None:
+            inj.fire_proc(name, pool)
         if not pool.alive():
+            status = pool.detector.snapshot()
             pool.mark_broken()
-            self._pool = get_pool(self.size)
-            if sp:
-                sp.set("worker_died", True)
-            raise CollectiveError(
-                name, 1, ["worker_died"], iteration=calling_iteration()
+            self._fail(name, sp, status)
+        deadline = _DEADLINE_S
+        if inj is not None and inj.deadline_s is not None:
+            deadline = (
+                inj.deadline_s if deadline is None
+                else min(deadline, inj.deadline_s)
             )
         try:
-            out = fn(pool, *args)
+            with pool.deadline(deadline):
+                out = fn(pool, *args)
         except WorkerDied as exc:
-            self._pool = get_pool(self.size)
-            if sp:
-                sp.set("worker_died", True)
-                sp.set("error", str(exc))
-            raise CollectiveError(
-                name, 1, ["worker_died"], iteration=calling_iteration()
-            ) from exc
+            self._fail(name, sp, getattr(exc, "status", ()), error=str(exc))
         self._merge_rank_metrics(pool)
         return out
 

@@ -40,7 +40,9 @@ channels and their synchronisation primitives are inherited through
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 import threading
 import time
 from collections import deque
@@ -56,6 +58,8 @@ __all__ = [
     "ChannelClosed",
     "pack_arrays",
     "unpack_arrays",
+    "leaked_segments",
+    "sweep_leaked_segments",
 ]
 
 
@@ -130,12 +134,12 @@ def _decode_header(raw: bytes) -> Tuple[int, int, Tuple[int, ...], np.dtype]:
 class _Channel:
     """One directed SPSC byte ring in a SharedMemory segment."""
 
-    def __init__(self, ctx, capacity: int):
+    def __init__(self, ctx, capacity: int, name: Optional[str] = None):
         from multiprocessing import shared_memory
 
         self.capacity = int(capacity)
         self._shm = shared_memory.SharedMemory(
-            create=True, size=_CTRL_BYTES + self.capacity
+            create=True, size=_CTRL_BYTES + self.capacity, name=name
         )
         self.cond = ctx.Condition()
         self._views_pid: Optional[int] = None
@@ -240,11 +244,23 @@ class _Channel:
         return bytes(out)
 
     def close(self) -> None:
-        """Mark closed and wake any waiter (idempotent, any process)."""
+        """Mark closed and wake any waiter (idempotent, any process).
+
+        Acquires the channel lock with a bounded wait: a SIGSTOPped peer
+        may be holding the condition's lock indefinitely, and close()
+        must never deadlock on it.  The closed flag is a plain int64
+        store, so it is set even without the lock — waiters poll at
+        ``_POLL_S`` granularity and observe it promptly.
+        """
         self._bind()
-        with self.cond:
+        got = self.cond.acquire(timeout=1.0)
+        try:
             self._ctrl[2] = 1
-            self.cond.notify_all()
+            if got:
+                self.cond.notify_all()
+        finally:
+            if got:
+                self.cond.release()
 
     def unlink(self) -> None:
         """Release the segment (call once, in the creating process)."""
@@ -273,6 +289,12 @@ class Endpoint:
         self.eid = eid
         self._pending: Dict[Tuple[int, int], deque] = {}
         self._cv = threading.Condition()
+        # rings are SPSC: when two local threads (e.g. the main thread
+        # and the heartbeat thread) share one endpoint, a per-destination
+        # lock serialises them so frames never interleave
+        self._send_locks: Dict[int, threading.Lock] = {
+            d: threading.Lock() for d in range(transport.n)
+        }
         self._drainer: Optional[threading.Thread] = None
         self._stop = False
         self._failure: Optional[BaseException] = None
@@ -299,7 +321,8 @@ class Endpoint:
         frame = _encode_header(tag, arr) + arr.tobytes()
         deadline = None if timeout is None else time.monotonic() + timeout
         ch = self.transport.channel(self.eid, dst)
-        ch.write_bytes(frame, deadline, alive)
+        with self._send_locks[dst]:
+            ch.write_bytes(frame, deadline, alive)
         self.transport.doorbell(dst).release()
         self.bytes_sent += arr.nbytes
         self.messages_sent += 1
@@ -365,6 +388,15 @@ class Endpoint:
             with self._cv:
                 self._cv.notify_all()
 
+    def try_recv(self, src: int, tag: int) -> Optional[np.ndarray]:
+        """Non-blocking :meth:`recv`: next queued message on the
+        (src, tag) stream, or ``None`` if nothing has arrived.  Never
+        raises on a closed transport — liveness monitors poll with this
+        during teardown."""
+        with self._cv:
+            q = self._pending.get((src, tag))
+            return q.popleft() if q else None
+
     def recv(
         self,
         src: int,
@@ -418,12 +450,20 @@ class ShmTransport:
         self.capacity = int(capacity)
         self.closed = False
         self._creator_pid = os.getpid()
-        self._channels: Dict[Tuple[int, int], _Channel] = {
-            (i, j): _Channel(self.ctx, capacity)
-            for i in range(n)
-            for j in range(n)
-            if i != j
-        }
+        # explicit segment names + an on-disk registry make orphaned
+        # /dev/shm segments attributable and sweepable after an abnormal
+        # exit (SIGKILLed conductor): see sweep_leaked_segments()
+        token = os.urandom(4).hex()
+        self._channels: Dict[Tuple[int, int], _Channel] = {}
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    self._channels[(i, j)] = _Channel(
+                        self.ctx, capacity, name=f"rp{token}c{i}x{j}"
+                    )
+        self._registry_path = _register_segments(
+            token, [ch._shm.name for ch in self._channels.values()]
+        )
         self._doorbells = [self.ctx.Semaphore(0) for _ in range(n)]
         self._endpoints: Dict[int, Endpoint] = {}
 
@@ -454,6 +494,87 @@ class ShmTransport:
             return
         for ch in self._channels.values():
             ch.unlink()
+        try:
+            os.unlink(self._registry_path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# segment leak guard: every transport registers its segment names in a
+# per-transport JSON file under the system tmpdir; if the creator dies
+# without unlink() (SIGKILL, OOM), the registry outlives it and the next
+# conductor sweeps the orphans before allocating its own rings.
+# ----------------------------------------------------------------------
+def _registry_dir() -> str:
+    d = os.path.join(tempfile.gettempdir(), "repro-shm")
+    os.makedirs(d, exist_ok=True)
+    return d
+
+
+def _register_segments(token: str, names: List[str]) -> str:
+    path = os.path.join(_registry_dir(), f"{os.getpid()}-{token}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump({"pid": os.getpid(), "segments": names}, f)
+    os.replace(tmp, path)
+    return path
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    return True
+
+
+def leaked_segments() -> Dict[str, List[str]]:
+    """Registry files whose creator process is gone, keyed by registry
+    path — the segments they name are orphans in ``/dev/shm``."""
+    out: Dict[str, List[str]] = {}
+    reg = _registry_dir()
+    for fname in sorted(os.listdir(reg)):
+        if not fname.endswith(".json"):
+            continue
+        path = os.path.join(reg, fname)
+        try:
+            with open(path) as f:
+                rec = json.load(f)
+            pid, names = int(rec["pid"]), list(rec["segments"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # torn write mid-crash: leave for manual inspection
+        if not _pid_alive(pid):
+            out[path] = names
+    return out
+
+
+def sweep_leaked_segments() -> List[str]:
+    """Unlink every orphaned segment found by :func:`leaked_segments`
+    and drop its registry file; returns the unlinked segment names.
+    Safe to call from any process at any time (idempotent)."""
+    from multiprocessing import shared_memory
+
+    removed: List[str] = []
+    for path, names in leaked_segments().items():
+        for name in names:
+            try:
+                seg = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            try:
+                seg.close()
+                seg.unlink()
+                removed.append(name)
+            except (FileNotFoundError, BufferError):  # pragma: no cover
+                pass
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with another sweeper
+            pass
+    return removed
 
 
 def preferred_start_method() -> str:

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import contextlib
 import inspect
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
@@ -79,13 +80,19 @@ class SupervisorConfig:
     charge_recovery: bool = True
     #: extra simulated seconds charged per recovery (job-restart cost)
     restart_penalty_seconds: float = 0.0
+    #: on repeated permanent rank loss, re-partition across the survivors
+    #: (P−1 ranks, or the next lower perfect square for the 2D grid)
+    #: instead of respawning at full size forever
+    allow_shrink: bool = True
+    #: never shrink below this many ranks
+    min_ranks: int = 1
 
 
 @dataclass
 class RecoveryEvent:
     """One row of the recovery-event record (the CI artifact)."""
 
-    action: str  # "fault" | "watchdog" | "audit_repair" | "rollback" | "degrade"
+    action: str  # "fault" | "watchdog" | "audit_repair" | "rollback" | "shrink" | "degrade"
     iteration: Optional[int]
     simulated_seconds: float
     detail: str = ""
@@ -128,10 +135,27 @@ class SupervisedResult:
 
     @property
     def n_recoveries(self) -> int:
-        """Recovery actions taken (repairs + rollbacks + degrades)."""
+        """Recovery actions taken (repairs + rollbacks + shrinks + degrades)."""
         return sum(
-            1 for e in self.events if e.action in ("audit_repair", "rollback", "degrade")
+            1
+            for e in self.events
+            if e.action in ("audit_repair", "rollback", "shrink", "degrade")
         )
+
+    @property
+    def shrunk_to(self) -> Optional[int]:
+        """Final rank count after shrink-to-survivors recoveries, or
+        ``None`` when the run never shrank."""
+        sizes = [
+            e.detail for e in self.events if e.action == "shrink"
+        ]
+        if not sizes:
+            return None
+        # detail format: "re-partitioned P→P' ..." — parse the last P'
+        import re
+
+        m = re.search(r"→(\d+)", sizes[-1])
+        return int(m.group(1)) if m else None
 
 
 class Supervisor:
@@ -254,6 +278,7 @@ class Supervisor:
         resume: Optional[IterationSnapshot] = None
         attempts = 0
         recoveries = 0
+        rank_losses = 0
         last_failure_iter: Optional[int] = None
         rollback_depth = 0
 
@@ -290,25 +315,50 @@ class Supervisor:
                     reg.counter("recovery_failures_total",
                                 "driver failures intercepted by the supervisor",
                                 kind=events[-1].action).inc()
+                rank_lost = (
+                    isinstance(exc, CollectiveError) and "rank_lost" in exc.kinds
+                )
+                if rank_lost:
+                    rank_losses += 1
                 with rec_ctx():
                     if recoveries > cfg.max_recoveries:
                         return self._degrade(
                             exc, args, kw, events, latest[0], resume,
                             ckpts_written[0], attempts, master_cost,
                         )
-                    if (
+                    repeated = (
                         last_failure_iter is not None
                         and fail_iter is not None
                         and fail_iter <= last_failure_iter
+                    )
+                    shrunk = False
+                    if (
+                        cfg.allow_shrink
+                        and rank_lost
+                        and (rank_losses >= 2 or repeated)
                     ):
-                        # audit-repair did not get us past this point — the
-                        # in-memory state is suspect, fall back to durable,
-                        # CRC-verified checkpoints, one older per repeat
-                        rollback_depth += 1
-                        resume = self._rollback(rollback_depth, events)
-                    else:
-                        rollback_depth = 0
-                        resume = self._audit_repair(latest[0], events)
+                        # a second permanent rank loss (or one that keeps
+                        # recurring at the same iteration): respawning at
+                        # full size is not converging — re-partition
+                        # across the survivors and resume from the best
+                        # known original-vertex-space state
+                        shrunk, resume = self._shrink(
+                            kw, latest[0], events,
+                            getattr(exc, "lost_ranks", ()),
+                        )
+                        if shrunk:
+                            rollback_depth = 0
+                    if not shrunk:
+                        if repeated:
+                            # audit-repair did not get us past this point —
+                            # the in-memory state is suspect, fall back to
+                            # durable, CRC-verified checkpoints, one older
+                            # per repeat
+                            rollback_depth += 1
+                            resume = self._rollback(rollback_depth, events)
+                        else:
+                            rollback_depth = 0
+                            resume = self._audit_repair(latest[0], events)
                     last_failure_iter = fail_iter
                     if master_cost is not None and cfg.charge_recovery:
                         with _obs().span(
@@ -383,6 +433,89 @@ class Supervisor:
             reg.counter("recovery_repairs_total",
                         "audit-repair recoveries performed").inc()
         return snap
+
+    def _shrink(
+        self,
+        kw: dict,
+        latest: Optional[IterationSnapshot],
+        events: List[RecoveryEvent],
+        lost_ranks,
+    ):
+        """Shrink-to-survivors: drop the run's rank count and resume from
+        the best known state.
+
+        Snapshots live in the **original vertex space** (the drivers'
+        ``to_permuted_parents`` surface maps back before ``on_iteration``
+        fires), so re-partitioning across P−1 survivors is nothing more
+        than the drivers' normal ``initial_parents`` scatter at the new
+        size — and Awerbuch–Shiloach is self-stabilizing from any
+        in-range parent forest, so the final labels stay byte-identical
+        to the fault-free run.
+
+        Returns ``(shrunk, resume_snapshot)``; ``(False, None)`` when the
+        call carries no shrinkable rank kwarg or is already at
+        ``min_ranks``.
+        """
+        cfg = self.config
+        key = old = new = None
+        if "ranks" in kw:
+            # 1D layout: any positive rank count works — drop one per
+            # lost rank
+            key, old = "ranks", int(kw["ranks"])
+            new = max(cfg.min_ranks, old - max(1, len(tuple(lost_ranks))))
+        elif "nprocs" in kw:
+            # 2D grid: the CombBLAS perfect-square restriction — drop to
+            # the next strictly lower square
+            key, old = "nprocs", int(kw["nprocs"])
+            side = math.isqrt(old)
+            while side > 1 and side * side >= old:
+                side -= 1
+            new = max(cfg.min_ranks, side * side)
+        if key is None or new is None or new >= old:
+            return False, None
+        kw[key] = new
+        source = latest
+        if source is None:
+            ck = self.store.latest_valid()
+            source = None if ck is None else ck.to_snapshot()
+        snap: Optional[IterationSnapshot] = None
+        from_what = "scratch"
+        if source is not None:
+            snap = IterationSnapshot(
+                iteration=source.iteration,
+                parents=np.array(source.parents, dtype=np.int64, copy=True),
+                star=None if source.star is None else source.star.copy(),
+                active=None if source.active is None else source.active.copy(),
+                simulated_seconds=source.simulated_seconds,
+                plan_cursor=source.plan_cursor,
+            )
+            self.auditor.repair(snap)
+            from_what = f"iteration {snap.iteration}"
+        lost = sorted(int(r) for r in lost_ranks)
+        detail = (
+            f"re-partitioned {old}→{new} ranks"
+            + (f" after losing rank(s) {lost}" if lost else "")
+            + f"; resume from {from_what}"
+        )
+        events.append(
+            RecoveryEvent(
+                "shrink",
+                None if snap is None else snap.iteration,
+                0.0 if snap is None else snap.simulated_seconds,
+                detail,
+            )
+        )
+        fr = _freg()
+        if fr:
+            fr.record("recovery",
+                      iteration=None if snap is None else snap.iteration,
+                      action="shrink", detail=detail,
+                      old_ranks=old, new_ranks=new, lost_ranks=lost)
+        reg = _mreg()
+        if reg:
+            reg.counter("recovery_shrinks_total",
+                        "shrink-to-survivors re-partitions").inc()
+        return True, snap
 
     def _rollback(
         self, depth: int, events: List[RecoveryEvent]

@@ -68,16 +68,45 @@ def test_proc_backend_suite_measures_against_prediction():
     rec = run_suite(quick=True, backend="proc")
     validate_record(rec)
     assert rec["backend"] == "proc"
-    assert set(rec["benches"]) == {"lacc_proc_archaea_r2", "lacc_proc_archaea_r4"}
-    for b in rec["benches"].values():
+    assert set(rec["benches"]) == {
+        "lacc_proc_archaea_r2",
+        "lacc_proc_archaea_r4",
+        "lacc_proc_recovery_archaea_r4",
+    }
+    for key, b in rec["benches"].items():
         assert b["meta"]["backend"] == "proc"
         m = b["metrics"]
         assert m["byte_identical"] == {"noise": "exact", "value": 1}
         assert m["wall_seconds"]["noise"] == "wall"
         assert m["wall_seconds"]["value"] > 0
+        if b["meta"]["kind"] == "proc_recovery":
+            continue
         assert m["predicted_comm_seconds"]["noise"] == "deterministic"
         assert m["predicted_comm_seconds"]["value"] > 0
         assert m["words"]["value"] > 0 and m["messages"]["value"] > 0
+
+
+def test_proc_recovery_bench_prices_the_shrink_path():
+    """The recovery bench injects the shrink preset on real processes and
+    records the recovery overhead as a wall-class metric next to exact
+    outcome metrics (byte_identical, shrunk_to, resumed)."""
+    from repro.bench.suite import PROC_RECOVERY_CONFIG, _bench_proc_recovery
+    from repro.graphs import corpus
+
+    gname, ranks = PROC_RECOVERY_CONFIG
+    b = _bench_proc_recovery(gname, corpus.load(gname), ranks, in_quick=True)
+    assert b["meta"]["kind"] == "proc_recovery"
+    m = b["metrics"]
+    for k in ("wall_seconds", "baseline_wall_seconds",
+              "checkpoint_overhead_seconds", "recovery_overhead_seconds"):
+        assert m[k]["noise"] == "wall"
+        assert m[k]["value"] >= 0
+    assert m["recovery_overhead_seconds"]["value"] > 0
+    assert m["byte_identical"] == {"noise": "exact", "value": 1}
+    assert m["resumed"] == {"noise": "exact", "value": 1}
+    assert m["recoveries"]["noise"] == "exact"
+    assert m["recoveries"]["value"] >= 2
+    assert m["shrunk_to"] == {"noise": "exact", "value": ranks - 1}
 
 
 def test_unknown_bench_backend_rejected():

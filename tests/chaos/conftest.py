@@ -1,0 +1,42 @@
+"""Shared fixtures for the chaos suite.
+
+Chaos tests deliver real signals to real processes, so the same
+never-hang contract as ``tests/parallel`` applies: every test runs under
+a SIGALRM watchdog (override with ``REPRO_PROC_TEST_TIMEOUT``), and the
+session must leave no pools or shared-memory segments behind.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+WATCHDOG_S = int(os.environ.get("REPRO_PROC_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def watchdog():
+    """Fail (don't hang) any test that exceeds the deadlock budget."""
+
+    def _fire(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {WATCHDOG_S}s deadlock watchdog "
+            "(REPRO_PROC_TEST_TIMEOUT)"
+        )
+
+    old = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(WATCHDOG_S)
+    yield
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, old)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def pool_teardown():
+    """Shut every cached pool down when the chaos session ends."""
+    yield
+    from repro.parallel import shutdown_pools
+
+    shutdown_pools()

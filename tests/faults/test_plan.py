@@ -150,8 +150,12 @@ class TestPresets:
         assert plan.max_retries >= 5
 
     def test_fault_kind_lists_consistent(self):
+        from repro.faults.plan import PROC_FAULT_KINDS
+
         assert set(DATA_FAULT_KINDS) < set(FAULT_KINDS)
-        assert set(FAULT_KINDS) - set(DATA_FAULT_KINDS) == {
+        assert set(PROC_FAULT_KINDS) < set(FAULT_KINDS)
+        assert not set(PROC_FAULT_KINDS) & set(DATA_FAULT_KINDS)
+        assert set(FAULT_KINDS) - set(DATA_FAULT_KINDS) - set(PROC_FAULT_KINDS) == {
             "delay",
             "fail",
             "crash",

@@ -286,8 +286,9 @@ def test_churn_silent_on_normal_checkpointing():
 
 def test_default_detectors_fresh_instances_and_distinct_names():
     a, b = default_detectors(), default_detectors()
-    assert len(a) == 5
+    assert len(a) == 7
     assert all(x is not y for x, y in zip(a, b))
     names = [d.name for d in a]
-    assert len(set(names)) == 5
+    assert len(set(names)) == 7
     assert "convergence_stall" in names and "retry_storm" in names
+    assert "rank_lost" in names and "shrink_recovery" in names

@@ -34,3 +34,29 @@ def watchdog():
     yield
     signal.alarm(0)
     signal.signal(signal.SIGALRM, old)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def shm_leak_check():
+    """No shared-memory segments may outlive the test session.
+
+    Live pools are cached across tests (that is the design), so the
+    check runs once at teardown: shut every pool down, then assert the
+    leak registry holds nothing for this process — a segment that
+    survives pool shutdown is exactly the leak the registry exists to
+    catch (and ``sweep_leaked_segments`` exists to clean up after
+    *abnormal* exits, which can't run their teardown at all).
+    """
+    yield
+    from repro.parallel import shutdown_pools
+    from repro.parallel.shm import _registry_dir
+
+    shutdown_pools()
+    me = os.getpid()
+    leftovers = []
+    for fname in os.listdir(_registry_dir()):
+        if fname.startswith(f"{me}-"):
+            leftovers.append(fname)
+    assert not leftovers, (
+        f"shm segment registries leaked by this test session: {leftovers}"
+    )

@@ -1,0 +1,171 @@
+"""Failure detector: heartbeats, liveness classification, typed errors.
+
+Unit tests drive :class:`~repro.parallel.FailureDetector` against a
+duck-typed fake pool (deterministic, no sleeps beyond what the scenario
+itself requires); the integration tests use a real
+:class:`~repro.parallel.WorkerPool` and real signals.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    TAG_HB,
+    FailureDetector,
+    WorkerStatus,
+    get_pool,
+    heartbeat_interval,
+    shutdown_pools,
+)
+
+
+class _FakeProc:
+    def __init__(self, alive=True):
+        self._alive = alive
+
+    def is_alive(self):
+        return self._alive
+
+
+class _FakeEp:
+    """Endpoint stub: hand-fed heartbeat frames per (rank, tag)."""
+
+    def __init__(self):
+        self.frames = {}
+
+    def feed(self, rank, sent, counter=1):
+        self.frames.setdefault(rank, []).append(
+            np.array([rank, counter, sent], dtype=np.float64)
+        )
+
+    def try_recv(self, src, tag):
+        assert tag == TAG_HB
+        q = self.frames.get(src, [])
+        return q.pop(0) if q else None
+
+
+class _FakePool:
+    def __init__(self, size, dead=()):
+        self.size = size
+        self.procs = [_FakeProc(alive=r not in set(dead)) for r in range(size)]
+        self.ep = _FakeEp()
+
+
+class TestClassification:
+    def test_fresh_pool_is_ok_within_grace(self):
+        det = FailureDetector(_FakePool(2), stall_after=10.0)
+        assert [s.state for s in det.snapshot()] == ["ok", "ok"]
+
+    def test_recent_heartbeat_is_ok(self):
+        pool = _FakePool(2)
+        det = FailureDetector(pool, stall_after=1.0)
+        pool.ep.feed(0, time.monotonic())
+        pool.ep.feed(1, time.monotonic())
+        snap = det.snapshot()
+        assert all(s.state == "ok" for s in snap)
+        assert all(s.beats == 1 for s in snap)
+
+    def test_aging_heartbeat_degrades_slow_then_stalled(self):
+        pool = _FakePool(1)
+        now = time.monotonic()
+        det = FailureDetector(pool, stall_after=1.0)
+        det._last_sent[0] = now - 0.7  # between stall/2 and stall
+        assert det.classify(0).state == "slow"
+        det._last_sent[0] = now - 5.0
+        assert det.classify(0).state == "stalled"
+
+    def test_dead_process_wins_over_everything(self):
+        pool = _FakePool(2, dead={1})
+        det = FailureDetector(pool, stall_after=1.0)
+        pool.ep.feed(1, time.monotonic())  # even a fresh beat cannot help
+        snap = det.snapshot()
+        assert snap[1].state == "dead"
+        assert snap[1].age == float("inf")
+        assert FailureDetector.dead_ranks(snap) == [1]
+        assert FailureDetector.stalled_ranks(snap) == []
+
+    def test_send_timestamp_not_drain_time_defines_age(self):
+        """A frame that sat queued while the worker was stopped must not
+        look fresh when finally drained — age comes from frame[2]."""
+        pool = _FakePool(1)
+        det = FailureDetector(pool, stall_after=1.0)
+        det._last_sent[0] = time.monotonic() - 9.0
+        pool.ep.feed(0, time.monotonic() - 5.0)  # sent long ago, drained now
+        s = det.snapshot()[0]
+        assert s.state == "stalled"
+        assert s.age >= 4.0
+
+    def test_heartbeats_disabled_degrades_to_dead_vs_ok(self):
+        pool = _FakePool(2, dead={0})
+        det = FailureDetector(pool, stall_after=0.001, hb_interval=0.0)
+        snap = det.snapshot()
+        assert snap[0].state == "dead"
+        assert snap[1].state == "ok"  # never stalled/slow without beats
+
+    def test_stale_frame_does_not_rewind_freshness(self):
+        pool = _FakePool(1)
+        det = FailureDetector(pool, stall_after=30.0)
+        now = time.monotonic()
+        pool.ep.feed(0, now)
+        pool.ep.feed(0, now - 20.0)  # reordered stale frame
+        det.poll()
+        assert det._last_sent[0] >= now
+
+    def test_status_as_dict_round_trips(self):
+        s = WorkerStatus(rank=3, state="slow", age=0.51234, beats=7)
+        d = s.as_dict()
+        assert d == {"rank": 3, "state": "slow", "age": 0.5123, "beats": 7}
+
+
+class TestRealPool:
+    def teardown_method(self):
+        shutdown_pools()
+
+    @pytest.mark.skipif(heartbeat_interval() <= 0,
+                        reason="heartbeats disabled via REPRO_PROC_HB_INTERVAL")
+    def test_heartbeats_flow_from_live_workers(self):
+        pool = get_pool(2)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            snap = pool.detector.snapshot()
+            if all(s.beats > 0 for s in snap):
+                break
+            time.sleep(0.05)
+        snap = pool.detector.snapshot()
+        assert all(s.state == "ok" for s in snap)
+        assert all(s.beats > 0 for s in snap)
+
+    @pytest.mark.skipif(heartbeat_interval() <= 0,
+                        reason="heartbeats disabled via REPRO_PROC_HB_INTERVAL")
+    def test_sigstopped_worker_classified_stalled_then_recovers(self):
+        pool = get_pool(2)
+        det = FailureDetector(pool, stall_after=0.6)
+        pid = pool.procs[0].pid
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            time.sleep(1.0)  # > stall budget with no beats sent
+            snap = det.snapshot()
+            assert snap[0].state == "stalled"
+            assert snap[1].state in ("ok", "slow")
+        finally:
+            os.kill(pid, signal.SIGCONT)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if det.snapshot()[0].state == "ok":
+                break
+            time.sleep(0.05)
+        assert det.snapshot()[0].state == "ok"
+
+    def test_killed_worker_classified_dead(self):
+        pool = get_pool(2)
+        pool.procs[1].kill()
+        pool.procs[1].join(timeout=10)
+        snap = pool.detector.snapshot()
+        assert snap[1].state == "dead"
+        assert FailureDetector.dead_ranks(snap) == [1]

@@ -149,7 +149,11 @@ class TestWorkerDeath:
         pool.procs[1].join(timeout=10)
         with pytest.raises(CollectiveError) as ei:
             comm.allreduce([np.arange(4, dtype=np.int64)] * 3, np.add)
-        assert list(ei.value.kinds) == ["worker_died"]
+        # the failure detector classifies the SIGKILLed worker as
+        # permanently dead, so the error is the non-retryable rank_lost
+        # (not the generic worker_died of unattributable breakage)
+        assert list(ei.value.kinds) == ["rank_lost"]
+        assert ei.value.lost_ranks == (1,)
         assert pool.broken
 
     def test_pool_respawns_after_death(self):

@@ -1,0 +1,146 @@
+"""Shared-memory leak registry: segments must not outlive their creator.
+
+The historical failure mode: a worker (or the whole test process) dies
+abnormally — SIGKILL, ``os._exit`` — and its ``/dev/shm`` ring segments
+stay allocated forever, because ``SharedMemory.unlink`` only runs in
+orderly teardown.  The fix is a per-transport JSON registry of segment
+names keyed by creator pid: :func:`repro.parallel.shm.leaked_segments`
+lists registries whose creator is dead, and
+:func:`~repro.parallel.shm.sweep_leaked_segments` unlinks them.
+``WorkerPool`` sweeps on construction, so the *next* run cleans up after
+any crashed predecessor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from multiprocessing import shared_memory
+
+from repro.parallel.shm import (
+    ShmTransport,
+    _registry_dir,
+    leaked_segments,
+    sweep_leaked_segments,
+)
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _my_registries():
+    me = os.getpid()
+    return [
+        f for f in os.listdir(_registry_dir()) if f.startswith(f"{me}-")
+    ]
+
+
+class TestRegistryLifecycle:
+    def test_transport_registers_and_unregisters(self):
+        before = set(_my_registries())
+        tr = ShmTransport(2)
+        during = set(_my_registries()) - before
+        assert len(during) == 1
+        reg = json.load(open(os.path.join(_registry_dir(), during.pop())))
+        assert reg["pid"] == os.getpid()
+        # every directed channel's segment is listed: n·(n−1) of them
+        assert len(reg["segments"]) == 2 * 1
+        tr.unlink()
+        assert set(_my_registries()) == before
+
+    def test_live_process_is_not_leaked(self):
+        tr = ShmTransport(2)
+        try:
+            # our own registries never count as leaks while we are alive
+            paths = leaked_segments()
+            me = f"{os.getpid()}-"
+            assert not any(os.path.basename(p).startswith(me) for p in paths)
+        finally:
+            tr.unlink()
+
+
+class TestSweep:
+    def test_sweeps_dead_pid_registry_and_segments(self, tmp_path):
+        # fabricate the crash aftermath: a real segment plus a registry
+        # naming it under a pid that cannot be alive
+        seg = shared_memory.SharedMemory(create=True, size=1024)
+        name = seg.name
+        seg.close()
+        fake = os.path.join(_registry_dir(), "999999999-deadbeef.json")
+        with open(fake, "w") as fh:
+            json.dump({"pid": 999999999, "segments": [name]}, fh)
+
+        assert fake in leaked_segments()
+        swept = sweep_leaked_segments()
+        assert name in swept
+        assert not os.path.exists(fake)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        # idempotent: nothing left to sweep
+        assert name not in sweep_leaked_segments()
+
+    def test_torn_registry_json_is_skipped(self):
+        torn = os.path.join(_registry_dir(), "999999998-cafe.json")
+        with open(torn, "w") as fh:
+            fh.write('{"pid": 9999')  # interrupted write
+        try:
+            assert torn not in leaked_segments()
+            sweep_leaked_segments()  # must not raise
+        finally:
+            os.unlink(torn)
+
+    def test_abnormal_exit_leak_is_swept_by_next_run(self):
+        """The real scenario: a process allocates a transport and dies
+        without teardown; the next process sweeps its segments."""
+        script = (
+            "import os, sys\n"
+            "from multiprocessing import resource_tracker\n"
+            "from repro.parallel.shm import ShmTransport\n"
+            "tr = ShmTransport(2)\n"
+            "names = [ch._shm.name for ch in tr._channels.values()]\n"
+            # the stdlib resource tracker would unlink on our exit; a real
+            # crash (SIGKILL of the whole process group) takes the tracker
+            # down too, so detach it to reproduce that failure mode
+            "for n in names:\n"
+            "    resource_tracker.unregister('/' + n, 'shared_memory')\n"
+            "print('\\n'.join(names))\n"
+            "sys.stdout.flush()\n"
+            "os._exit(1)\n"  # abnormal: no unlink, no atexit
+        )
+        env = dict(os.environ, PYTHONPATH=SRC)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        names = [n for n in out.stdout.split() if n]
+        assert names, f"helper produced no segments: {out.stderr}"
+        # the segments really leaked (still attachable) ...
+        probe = shared_memory.SharedMemory(name=names[0])
+        probe.close()
+        # ... and the sweep reclaims every one of them
+        swept = sweep_leaked_segments()
+        assert set(names) <= set(swept)
+        for n in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=n)
+
+
+class TestPoolSweepsOnConstruction:
+    def test_worker_pool_init_sweeps_orphans(self):
+        seg = shared_memory.SharedMemory(create=True, size=512)
+        name = seg.name
+        seg.close()
+        fake = os.path.join(_registry_dir(), "999999997-f00d.json")
+        with open(fake, "w") as fh:
+            json.dump({"pid": 999999997, "segments": [name]}, fh)
+
+        from repro.parallel import get_pool, shutdown_pools
+
+        shutdown_pools()  # a cached pool would skip construction
+        get_pool(2)  # construction sweeps before allocating
+        assert not os.path.exists(fake)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
