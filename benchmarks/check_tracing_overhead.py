@@ -17,6 +17,13 @@ plus a small absolute noise floor):
   :class:`~repro.obs.metrics.NullRegistry` vs. nothing activated.  This
   is the acceptance criterion for the metrics layer: the per-kernel /
   per-collective counters must cost nothing when no registry is live.
+* **proc obs-off** — literal-SPMD ``lacc_spmd`` on the real-process
+  backend with per-rank observability *disabled* (the default) vs. the
+  same run with the null obs objects activated at the conductor.  Workers
+  must fork with no sideband, no tracer and no flight ring
+  (``pool.obsband is None`` is asserted), so the only admissible cost is
+  the conductor's falsy checks.  Real forked processes schedule noisily,
+  so this check gets a larger absolute noise floor.
 
 If someone makes a null object allocate, read a clock, or routes the
 disabled path through a real tracer/registry, this check fails.
@@ -44,6 +51,12 @@ TOLERANCE = 0.05
 NOISE_FLOOR_S = 0.050
 DIST_GRAPH = "eukarya"  # Figure 8's largest protein-similarity input here
 DIST_NODES = 16
+PROC_GRAPH = "archaea"
+PROC_RANKS = 4
+PROC_ROUNDS = 3
+#: forked-process wall time is scheduler-noisy; the relative budget stays
+#: 5% but the absolute floor is what actually gates at this scale
+PROC_NOISE_FLOOR_S = 0.200
 
 
 def main() -> int:
@@ -97,6 +110,42 @@ def main() -> int:
     )
     print(registry_res.summary())
 
+    from repro.core.lacc_spmd import lacc_spmd
+    from repro.mpisim import backend as comm_backend
+    from repro.parallel.obsband import rank_obs_enabled
+    from repro.parallel.pool import get_pool, shutdown_pools
+
+    gp = corpus.load(PROC_GRAPH)
+    print(f"{PROC_GRAPH}: {gp.n} vertices, {gp.nedges} edges "
+          f"(lacc_spmd, proc backend, {PROC_RANKS} ranks)")
+    assert not rank_obs_enabled(), "rank obs must default to off"
+
+    def proc_baseline():
+        with comm_backend.use("proc"):
+            lacc_spmd(gp, ranks=PROC_RANKS)
+
+    def proc_probe():
+        with activate(null_tracer), activate_metrics(null_reg), \
+                comm_backend.use("proc"):
+            lacc_spmd(gp, ranks=PROC_RANKS)
+
+    # warm the pool so neither side pays the fork+handshake, then pin the
+    # null-path invariant: an obs-off pool carries no sideband at all
+    proc_baseline()
+    with comm_backend.use("proc"):
+        assert get_pool(PROC_RANKS).obsband is None, \
+            "obs-off worker pool must not allocate an obs sideband"
+    proc_res = measure_overhead(
+        baseline=proc_baseline,
+        probe=proc_probe,
+        name="obs_off_lacc_proc",
+        rounds=PROC_ROUNDS,
+        tolerance=TOLERANCE,
+        noise_floor_s=PROC_NOISE_FLOOR_S,
+    )
+    print(proc_res.summary())
+    shutdown_pools()
+
     record = {
         "check": "observability_overhead",
         "graphs": {
@@ -106,9 +155,13 @@ def main() -> int:
             "dist": {"kind": "corpus", "name": DIST_GRAPH,
                      "vertices": gd.n, "edges": gd.nedges,
                      "machine": "Edison", "nodes": DIST_NODES},
+            "proc": {"kind": "corpus", "name": PROC_GRAPH,
+                     "vertices": gp.n, "edges": gp.nedges,
+                     "backend": "proc", "ranks": PROC_RANKS},
         },
         "nulltracer": tracer_res.to_dict(),
         "nullregistry": registry_res.to_dict(),
+        "proc_obs_off": proc_res.to_dict(),
         # kept for older tooling reading the flat schema
         "baseline_seconds": tracer_res.baseline_seconds,
         "nulltracer_seconds": tracer_res.probe_seconds,
@@ -122,7 +175,8 @@ def main() -> int:
         json.dump(record, fh, indent=2)
     print(f"[written to {os.path.relpath(out)}]")
 
-    failed = [r.name for r in (tracer_res, registry_res) if not r.within_budget]
+    failed = [r.name for r in (tracer_res, registry_res, proc_res)
+              if not r.within_budget]
     if failed:
         print(f"FAIL: disabled-mode overhead budget exceeded: {', '.join(failed)}")
         return 1

@@ -127,12 +127,23 @@ def _bench_proc(name: str, g, ranks: int, in_quick: bool) -> Dict[str, Any]:
     the proc run is then timed for real, and the two parent vectors must
     be byte-identical (``byte_identical`` is an exact-class metric, so the
     regression comparator holds it to 1 forever).
+
+    A third run repeats the proc bench with per-rank observability on
+    (its own worker pool — the obs-off timing above stays a true null
+    path) and distils the worker timelines into *measured* attribution:
+    overall λ plus compute/comm/wait seconds from
+    :func:`repro.obs.analytics.analyze_proc`.  Those land next to
+    ``predicted_comm_seconds`` so ``BENCH_proc.json`` carries the
+    measured-vs-predicted pair for every config.
     """
     from repro.core.lacc_spmd import lacc_spmd
     from repro.mpisim import backend as comm_backend
     from repro.mpisim.costmodel import CostModel
     from repro.mpisim.machine import LAPTOP
+    from repro.obs.analytics import analyze_proc
     from repro.obs.tracer import Tracer, activate
+    from repro.parallel.obsband import collect_rank_obs, enable_rank_obs
+    from repro.parallel.pool import get_pool
 
     tracer = Tracer()
     t0 = time.perf_counter()
@@ -150,6 +161,15 @@ def _bench_proc(name: str, g, ranks: int, in_quick: bool) -> Dict[str, Any]:
         t0 = time.perf_counter()
         proc_res = lacc_spmd(g, ranks=ranks)
         proc_wall = time.perf_counter() - t0
+
+    # traced rerun on a separate obs-enabled pool: measured attribution
+    with enable_rank_obs(), comm_backend.use("proc"):
+        traced_res = lacc_spmd(g, ranks=ranks)
+        obs = collect_rank_obs(get_pool(ranks), merge_registry=False)
+    rep = analyze_proc(obs, n_iterations=traced_res.n_iterations)
+    m_compute = sum(ph.compute_seconds for ph in rep.phases)
+    m_comm = sum(ph.comm_seconds for ph in rep.phases)
+    m_wait = sum(ph.delay_seconds for ph in rep.phases)
 
     identical = int(
         sim_res.parents.dtype == proc_res.parents.dtype
@@ -170,6 +190,12 @@ def _bench_proc(name: str, g, ranks: int, in_quick: bool) -> Dict[str, Any]:
             "iterations": metric(proc_res.n_iterations, "exact"),
             "components": metric(proc_res.n_components, "exact"),
             "byte_identical": metric(identical, "exact"),
+            # measured attribution from the traced rerun's worker
+            # timelines (wall-classed: real scheduling noise)
+            "measured_lambda_overall": metric(rep.overall_lambda, "wall"),
+            "measured_compute_seconds": metric(m_compute, "wall", "s"),
+            "measured_comm_seconds": metric(m_comm, "wall", "s"),
+            "measured_wait_seconds": metric(m_wait, "wall", "s"),
         },
     }
 

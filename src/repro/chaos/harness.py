@@ -17,6 +17,7 @@ resume can still be checked byte-for-byte.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional
@@ -88,6 +89,41 @@ class ChaosReport:
             "anomaly_classes": self.anomaly_classes,
             "recovery_events": self.recovery_events,
         }
+
+
+def _merge_surviving_rank_obs(fr) -> None:
+    """Collect every still-live obs pool and fold each surviving rank's
+    deterministic flight record into *fr* as ``rank_event`` rows.
+
+    Dead ranks are already in the record: :class:`~repro.parallel.ProcComm`
+    replays their sideband salvage (``salvaged=True``) at failure time.
+    This pass adds the *survivors* — the other side of the same collective
+    — so the merged postmortem shows both halves.
+    """
+    from repro.parallel.obsband import drain_active_obs_pools
+
+    try:
+        per_pool = drain_active_obs_pools()
+    except Exception:  # a half-dead pool must not sink the verdict
+        return
+    for _size, obs in sorted(per_pool.items()):
+        for r in sorted(obs.flight_events):
+            for ev in obs.flight_events[r]:
+                extra = {
+                    k: v
+                    for k, v in ev.data.items()
+                    if k not in ("rank", "iteration", "step")
+                }
+                fr.record(
+                    "rank_event",
+                    rank=ev.rank if ev.rank is not None else r,
+                    iteration=ev.iteration,
+                    step=ev.step,
+                    rank_kind=ev.kind,
+                    rank_seq=ev.seq,
+                    rank_ts=ev.ts,
+                    **extra,
+                )
 
 
 def _driver_for(name: str, ranks: int):
@@ -167,20 +203,30 @@ def chaos_run(
         else None
     )
 
+    # proc runs under the flight recorder also trace inside every worker:
+    # a SIGKILLed rank's eagerly-shipped flight events get salvaged into
+    # this record by ProcComm (kind ``rank_event``, ``salvaged=True``),
+    # which is what makes a chaos postmortem show the dead rank's last
+    # moments and not just the conductor's view of the loss
+    rank_obs = backend_name == "proc" and fr is not None
     t0 = perf_counter()
     try:
-        if fr is not None:
-            with activate_flight(fr), activate_chaos(injector):
-                with backend_mod.use(backend_name):
-                    res = sup.run(drv, g, **dict(dkw))
-        else:
-            with activate_chaos(injector):
-                with backend_mod.use(backend_name):
-                    res = sup.run(drv, g, **dict(dkw))
+        with ExitStack() as stack:
+            if rank_obs:
+                from repro.parallel.obsband import enable_rank_obs
+
+                stack.enter_context(enable_rank_obs())
+            if fr is not None:
+                stack.enter_context(activate_flight(fr))
+            stack.enter_context(activate_chaos(injector))
+            stack.enter_context(backend_mod.use(backend_name))
+            res = sup.run(drv, g, **dict(dkw))
+        wall = perf_counter() - t0
+        if rank_obs:
+            _merge_surviving_rank_obs(fr)
     finally:
         if fr is not None:
             fr.close()
-    wall = perf_counter() - t0
 
     # every path back to iteration 0 spells it out in the event detail
     # ("fresh start" / "restart" / "from scratch") — their absence is the

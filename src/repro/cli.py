@@ -287,6 +287,43 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     g = _load_graph(args.graph)
     A = g.to_matrix()
+    if getattr(args, "backend", None) == "proc":
+        from repro.obs.profile import trace_lacc_proc
+
+        res, tracer, obs = trace_lacc_proc(g, ranks=args.ranks,
+                                           flight_path=args.flight)
+        total = sum(r.duration for r in tracer.roots)
+        n_spans = sum(1 for _ in tracer.walk())
+        n_rank_spans = sum(
+            sum(1 for _ in tr.walk()) for tr in obs.tracers.values()
+        )
+        print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+        print(f"components: {res.n_components} in {res.n_iterations} "
+              f"iterations, {total*1e3:.3f} ms "
+              f"[wall seconds, {obs.size} worker ranks]")
+        print(f"trace: {n_spans} conductor spans + {n_rank_spans} worker "
+              f"spans across {obs.size} ranks")
+        offs = ", ".join(f"r{r}={o*1e6:+.1f}µs"
+                         for r, o in sorted(obs.offsets.items()))
+        print(f"clock offsets vs conductor: {offs}")
+        sb_drop = sum(obs.sideband_dropped.values())
+        fl_drop = sum(obs.flight_dropped.values())
+        if sb_drop or fl_drop:
+            print(f"warning: {sb_drop} sideband frames / "
+                  f"{fl_drop} flight events dropped")
+        print()
+        print(top_table(tracer, limit=args.top))
+        if args.trace:
+            write_chrome_trace(obs.merged_trace(conductor=tracer), args.trace)
+            print(f"\nmerged Chrome trace written to {args.trace} "
+                  f"(one pid lane per rank + conductor; open in "
+                  "chrome://tracing or https://ui.perfetto.dev)")
+        if args.flight:
+            print(f"merged flight record written to {args.flight}")
+        if args.jsonl:
+            write_jsonl(tracer, args.jsonl)
+            print(f"conductor span records written to {args.jsonl}")
+        return 0
     if args.machine:
         from repro.mpisim.machine import load_machine
         from repro.obs.profile import trace_lacc_dist
@@ -707,11 +744,27 @@ def _cmd_mcl(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    if getattr(args, "backend", "sim") == "proc":
+        from repro.obs.analytics import analyze_proc
+        from repro.obs.profile import trace_lacc_proc
+
+        res, _tracer, obs = trace_lacc_proc(g, ranks=args.ranks)
+        try:
+            rep = analyze_proc(obs, n_iterations=res.n_iterations)
+        except ValueError as exc:
+            print(f"cannot analyze: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(rep.to_dict(), indent=2))
+        else:
+            print(f"graph: {g.name} ({g.n} vertices, {g.nedges} edges)")
+            print(rep.render())
+        return 0
     from repro.core.lacc_dist import lacc_dist
     from repro.mpisim.machine import load_machine
     from repro.obs.analytics import analyze
 
-    g = _load_graph(args.graph)
     machine = load_machine(args.machine)
     res = lacc_dist(g.to_matrix(), machine, nodes=args.nodes, trace_comm=True)
     try:
@@ -894,6 +947,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows in the hotspot table")
     prof.add_argument("--flame", action="store_true",
                       help="also print an ASCII flamegraph")
+    prof.add_argument("--backend", choices=["proc"], default=None,
+                      help="proc: run literal SPMD on forked workers with "
+                           "per-rank tracing; --trace then emits one merged "
+                           "Chrome trace with a pid lane per rank")
+    prof.add_argument("--ranks", type=int, default=4,
+                      help="worker ranks for --backend=proc")
+    prof.add_argument("--flight", metavar="FILE",
+                      help="with --backend=proc: write the merged flight "
+                           "record (conductor + rank_event rows) as JSONL")
     prof.set_defaults(fn=_cmd_profile)
 
     co = sub.add_parser("corpus", help="Table III corpus analogues")
@@ -1034,6 +1096,13 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--nodes", type=int, default=16)
     an.add_argument("--json", action="store_true",
                     help="emit the report as JSON instead of text")
+    an.add_argument("--backend", choices=["sim", "proc"], default="sim",
+                    help="sim: α–β cost-model attribution (default); "
+                         "proc: run on forked workers and report *measured* "
+                         "per-step λ and compute/comm/wait from worker "
+                         "timelines")
+    an.add_argument("--ranks", type=int, default=4,
+                    help="worker ranks for --backend=proc")
     an.set_defaults(fn=_cmd_analyze)
 
     ex = sub.add_parser(

@@ -325,21 +325,32 @@ def lacc_spmd(
             iterations = start_iteration + k
             if fr:
                 fr.set_coords(iteration=iterations)
+            # step spans (cat "step") name the algorithm phase each
+            # collective serves; the proc backend stamps the enclosing
+            # step into worker-side spans/flight events for measured
+            # per-step attribution
             with _obs().span("iteration", "iteration", iteration=iterations):
-                starcheck()
-                hooks = hook(conditional=True)
-                starcheck()
-                hooks += hook(conditional=False)
-                starcheck()
-                changed = shortcut()
-                # allreduce the termination predicate
-                nonstars = comm.allreduce(
-                    [
-                        np.array([int((star.blocks[r] == 0).sum())])
-                        for r in range(ranks)
-                    ],
-                    np.add,
-                )[0][0]
+                with _obs().span("starcheck", "step"):
+                    starcheck()
+                with _obs().span("cond_hook", "step"):
+                    hooks = hook(conditional=True)
+                with _obs().span("starcheck", "step"):
+                    starcheck()
+                with _obs().span("uncond_hook", "step"):
+                    hooks += hook(conditional=False)
+                with _obs().span("starcheck", "step"):
+                    starcheck()
+                with _obs().span("shortcut", "step"):
+                    changed = shortcut()
+                with _obs().span("convergence", "step"):
+                    # allreduce the termination predicate
+                    nonstars = comm.allreduce(
+                        [
+                            np.array([int((star.blocks[r] == 0).sum())])
+                            for r in range(ranks)
+                        ],
+                        np.add,
+                    )[0][0]
             if fr:
                 fr.record("iteration", iteration=iterations, hooks=hooks,
                           shortcut_changed=changed, nonstars=int(nonstars))

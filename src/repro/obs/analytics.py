@@ -30,7 +30,13 @@ import numpy as np
 
 from repro.mpisim.costmodel import CostModel
 
-__all__ = ["StepImbalance", "PhaseBreakdown", "AnalyticsReport", "analyze"]
+__all__ = [
+    "StepImbalance",
+    "PhaseBreakdown",
+    "AnalyticsReport",
+    "analyze",
+    "analyze_proc",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,12 @@ class AnalyticsReport:
     #: True when the kind split came from a traced event timeline rather
     #: than the α–β reconstruction fallback
     from_event_trace: bool = False
+    #: where the numbers come from: ``None`` for the α–β/simulated paths,
+    #: ``"measured-proc"`` when built from real worker timelines
+    #: (:func:`analyze_proc`) — there λ and the phase split are wall-clock
+    #: measurements, total_requests counts received bytes, and the delay
+    #: column is measured receive-side *wait*
+    source: Optional[str] = None
 
     @property
     def overall_lambda(self) -> float:
@@ -102,6 +114,7 @@ class AnalyticsReport:
             "overall_lambda": self.overall_lambda,
             "edges_lambda": self.edges_lambda,
             "from_event_trace": self.from_event_trace,
+            "source": self.source,
             "steps": [
                 {
                     "step": s.step,
@@ -129,10 +142,18 @@ class AnalyticsReport:
 
     def render(self) -> str:
         """Deterministic plain-text report (CI-log friendly)."""
+        measured = self.source == "measured-proc"
+        time_label = "measured wall time" if measured else "model time"
+        step_header = (
+            "step imbalance (measured rank-seconds; requests = bytes received):"
+            if measured
+            else "step imbalance (received requests per rank):"
+        )
+        worst_of = "of step time" if measured else "of requests"
         lines = [
             f"per-rank analytics: {self.machine}, nodes={self.nodes}, "
             f"ranks={self.ranks}, iterations={self.n_iterations}",
-            f"model time {self.model_seconds * 1e3:.3f} ms, "
+            f"{time_label} {self.model_seconds * 1e3:.3f} ms, "
             f"overall λ {self.overall_lambda:.3f}"
             + (
                 f", static edge λ {self.edges_lambda:.3f}"
@@ -140,7 +161,7 @@ class AnalyticsReport:
                 else ""
             ),
             "",
-            "step imbalance (received requests per rank):",
+            step_header,
             f"  {'step':<12} {'calls':>5} {'requests':>10} {'λ':>7} "
             f"{'idle%':>6}  worst rank",
         ]
@@ -148,14 +169,20 @@ class AnalyticsReport:
             lines.append(
                 f"  {s.step:<12} {s.calls:>5} {s.total_requests:>10.0f} "
                 f"{s.lam:>7.3f} {100 * s.idle_fraction:>5.1f}%  "
-                f"r{s.worst_rank} ({100 * s.worst_share:.1f}% of requests)"
+                f"r{s.worst_rank} ({100 * s.worst_share:.1f}% {worst_of})"
             )
         if not self.steps:
             lines.append("  (no routed requests recorded)")
-        src = "event timeline" if self.from_event_trace else "α–β reconstruction"
+        if measured:
+            src = "measured worker timelines"
+        elif self.from_event_trace:
+            src = "event timeline"
+        else:
+            src = "α–β reconstruction"
+        wait_col = "wait%" if measured else "delay%"
         lines += ["", f"phase time breakdown ({src}):",
                   f"  {'phase':<12} {'ms':>9} {'%':>6} {'compute%':>8} "
-                  f"{'comm%':>6} {'delay%':>7}"]
+                  f"{'comm%':>6} {wait_col:>7}"]
         for p in self.phases:
             tot = p.seconds or 1.0
             lines.append(
@@ -294,4 +321,102 @@ def analyze(result, edges_per_rank: Optional[np.ndarray] = None) -> AnalyticsRep
         phases=phases,
         edges_lambda=lam_e,
         from_event_trace=bool(cost.events),
+    )
+
+
+def analyze_proc(obs_result, n_iterations: int = 0) -> AnalyticsReport:
+    """Measured per-rank analytics from real worker timelines.
+
+    Where :func:`analyze` prices a simulated run with the α–β model,
+    this builds the same report shape from the proc backend's per-rank
+    tracers (:class:`~repro.parallel.obsband.RankObsResult`) — the
+    repo's first *measured* counterpart to the predicted numbers:
+
+    * **λ per step** = max/mean of per-rank wall seconds spent in that
+      step's collectives (aggregated over the run);
+    * **compute / comm / wait** per step, exact by construction: a
+      collective span's ``ring_send`` children are transport time
+      (comm), its ``ring_recv`` children are blocked-on-peer time
+      (wait), and the remainder — reduction folds, concatenation,
+      packing — is compute;
+    * ``total_requests`` counts received payload bytes (the measured
+      analogue of the routing report's request counts).
+
+    Steps are the driver's ``cat="step"`` spans as stamped into worker
+    command frames; collectives issued outside any step (e.g. the
+    result gather) aggregate under ``"(untagged)"``.
+    """
+    ranks = int(obs_result.size)
+    if ranks <= 0 or not obs_result.tracers:
+        raise ValueError("no rank timelines to analyze (empty RankObsResult)")
+    sec: Dict[str, np.ndarray] = {}
+    comm: Dict[str, np.ndarray] = {}
+    wait: Dict[str, np.ndarray] = {}
+    rbytes: Dict[str, np.ndarray] = {}
+    calls: Dict[str, int] = {}
+
+    def row(d: Dict[str, np.ndarray], step: str) -> np.ndarray:
+        return d.setdefault(step, np.zeros(ranks))
+
+    for r, tr in obs_result.tracers.items():
+        per_rank_calls: Dict[str, int] = {}
+        for sp in tr.find(cat="collective"):
+            step = sp.attrs.get("step") or "(untagged)"
+            c = sum(ch.duration for ch in sp.children if ch.name == "ring_send")
+            w = sum(ch.duration for ch in sp.children if ch.name == "ring_recv")
+            b = sum(
+                ch.counters.get("bytes", 0.0)
+                for ch in sp.children
+                if ch.name == "ring_recv"
+            )
+            row(sec, step)[r] += sp.duration
+            row(comm, step)[r] += min(c, sp.duration)
+            row(wait, step)[r] += min(w, sp.duration)
+            row(rbytes, step)[r] += b
+            per_rank_calls[step] = per_rank_calls.get(step, 0) + 1
+        for s, n in per_rank_calls.items():
+            calls[s] = max(calls.get(s, 0), n)
+
+    steps: List[StepImbalance] = []
+    phases: List[PhaseBreakdown] = []
+    total_mean = sum(float(v.mean()) for v in sec.values()) or 1.0
+    for step in sorted(sec):
+        s = sec[step]
+        mean = float(s.mean())
+        lam = float(s.max() / mean) if mean > 0 else 1.0
+        worst = int(np.argmax(s))
+        tot_s = float(s.sum())
+        steps.append(
+            StepImbalance(
+                step=step,
+                calls=calls.get(step, 0),
+                total_requests=float(rbytes[step].sum()),
+                lam=lam,
+                worst_rank=worst,
+                worst_share=float(s[worst] / tot_s) if tot_s > 0 else 0.0,
+            )
+        )
+        comm_m = float(comm[step].mean())
+        wait_m = float(wait[step].mean())
+        phases.append(
+            PhaseBreakdown(
+                phase=step,
+                seconds=mean,
+                compute_seconds=max(mean - comm_m - wait_m, 0.0),
+                comm_seconds=comm_m,
+                delay_seconds=wait_m,
+                share=mean / total_mean,
+            )
+        )
+    phases.sort(key=lambda p: p.seconds, reverse=True)
+    return AnalyticsReport(
+        machine="proc-shm",
+        nodes=1,
+        ranks=ranks,
+        n_iterations=int(n_iterations),
+        model_seconds=sum(p.seconds for p in phases),
+        steps=steps,
+        phases=phases,
+        from_event_trace=True,
+        source="measured-proc",
     )

@@ -50,6 +50,10 @@ class RunDiagnosis:
     completed: bool = True
     error: Optional[str] = None
     n_events: int = 0
+    #: events the recorder's ring buffer evicted before this replay (the
+    #: record's seq numbering has holes); nonzero also surfaces as a
+    #: ``record_truncated`` anomaly
+    n_dropped: int = 0
     #: anomaly payloads (dicts as written into the record), causal order,
     #: each possibly extended with a ``correlation`` block from analytics
     anomalies: List[Dict[str, Any]] = field(default_factory=list)
@@ -94,6 +98,7 @@ class RunDiagnosis:
             "completed": self.completed,
             "error": self.error,
             "n_events": self.n_events,
+            "n_dropped": self.n_dropped,
             "healthy": self.healthy,
             "worst_severity": self.worst_severity,
             "anomaly_classes": self.anomaly_classes(),
@@ -119,6 +124,9 @@ class RunDiagnosis:
             + (f" [{self.driver}]" if self.driver else "")
             + (": " + ", ".join(where) if where else ""),
         ]
+        tally = f"{self.n_events} flight events"
+        if self.n_dropped:
+            tally += f", {self.n_dropped} dropped from the ring"
         if self.completed:
             done = []
             if self.n_iterations is not None:
@@ -127,12 +135,12 @@ class RunDiagnosis:
                 done.append(f"{self.n_components} components")
             lines.append(
                 "completed" + (": " + ", ".join(done) if done else "")
-                + f"  ({self.n_events} flight events)"
+                + f"  ({tally})"
             )
         else:
             lines.append(
                 f"DID NOT COMPLETE: {self.error or 'unknown error'}"
-                + f"  ({self.n_events} flight events)"
+                + f"  ({tally})"
             )
         lines.append("")
         if not self.anomalies:
@@ -246,6 +254,10 @@ def diagnose(
     if not events:
         raise ValueError("empty flight record: nothing to diagnose")
     d = RunDiagnosis(run_id="?", n_events=len(events))
+    # seq is assigned densely at append time, so holes mean the ring
+    # evicted events before this replay (a JSONL sink keeps everything,
+    # so file replays normally show zero)
+    d.n_dropped = max(0, max(ev.seq for ev in events) + 1 - len(events))
     adict: Optional[Dict[str, Any]] = None
     if analytics is not None:
         adict = analytics if isinstance(analytics, dict) else analytics.to_dict()
@@ -287,6 +299,21 @@ def diagnose(
         if d.driver is not None:
             d.completed = False
             d.error = "flight record ends before run_end (crash or truncation)"
+    if d.n_dropped > 0:
+        # the evidence itself is incomplete: every other verdict below
+        # was reached without the evicted events, so say so loudly
+        d.anomalies.append(
+            {
+                "detector": "record_truncated",
+                "severity": "warning",
+                "message": (
+                    f"flight ring evicted {d.n_dropped} events before this "
+                    "replay — verdicts are based on an incomplete record "
+                    "(raise the recorder capacity or add a JSONL sink)"
+                ),
+                "dropped": d.n_dropped,
+            }
+        )
     return d
 
 

@@ -50,13 +50,17 @@ def chrome_trace(
     pid: int = 0,
     process_name: str = "repro",
     registry=None,
+    tid: int = 0,
+    base: Optional[float] = None,
+    sort_index: Optional[int] = None,
+    thread_name: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Render a tracer as a Chrome Trace Event Format dict.
 
-    Every closed span becomes a ``"B"``/``"E"`` pair on thread 0 of *pid*;
-    timestamps are microseconds from the first root's start.  Program order
-    is single-threaded, so a depth-first emission is already monotone in
-    ``ts`` — the test suite asserts this invariant.
+    Every closed span becomes a ``"B"``/``"E"`` pair on thread *tid* of
+    *pid*; timestamps are microseconds from the first root's start.
+    Program order is single-threaded, so a depth-first emission is already
+    monotone in ``ts`` — the test suite asserts this invariant.
 
     When a :class:`~repro.obs.metrics.MetricRegistry` is passed as
     *registry*, its counters and gauges additionally ride along as Chrome
@@ -67,17 +71,44 @@ def chrome_trace(
     by ``ts`` (metadata first; the sort is stable, so ``B``/``E`` nesting
     at equal timestamps is preserved) — strict pickier-than-Chrome
     parsers get monotone timestamps per ``pid``/``tid``.
+
+    Multi-lane merges (one pid lane per rank) pass a shared *base* so all
+    lanes keep one time origin, *sort_index* to pin lane order in the
+    viewer (a ``process_sort_index`` metadata event), and *thread_name* /
+    *tid* to label secondary per-process threads (e.g. a worker's
+    heartbeat thread).
     """
-    base = _t0(tracer)
+    if base is None:
+        base = _t0(tracer)
     events: List[Dict[str, Any]] = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": pid,
-            "tid": 0,
+            "tid": tid,
             "args": {"name": process_name},
         }
     ]
+    if sort_index is not None:
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": sort_index},
+            }
+        )
+    if thread_name is not None:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_name},
+            }
+        )
 
     def emit(span: Span) -> None:
         if span.t1 is None:  # still open: skip (profile always closes spans)
@@ -89,7 +120,7 @@ def chrome_trace(
                 "ph": "B",
                 "ts": (span.t0 - base) * 1e6,
                 "pid": pid,
-                "tid": 0,
+                "tid": tid,
                 "args": _args(span),
             }
         )
@@ -102,7 +133,7 @@ def chrome_trace(
                 "ph": "E",
                 "ts": (span.t1 - base) * 1e6,
                 "pid": pid,
-                "tid": 0,
+                "tid": tid,
             }
         )
 

@@ -76,6 +76,7 @@ __all__ = [
     "flight_recorder",
     "activate_flight",
     "read_flight_jsonl",
+    "merge_flight_events",
 ]
 
 #: Version of the on-disk / in-memory event schema.  Bump on any change
@@ -460,6 +461,66 @@ def activate_flight(recorder) -> _Activation:
     Activations nest; the previous recorder is restored on exit.
     """
     return _Activation(recorder)
+
+
+def merge_flight_events(
+    per_rank: Dict[int, List[FlightEvent]],
+    conductor: Optional[List[FlightEvent]] = None,
+) -> List[FlightEvent]:
+    """Merge per-rank flight records into one rank-stamped record.
+
+    Every event gets its source rank as its ``rank`` coordinate (the
+    worker recorders run with deterministic per-rank clocks, so their own
+    coordinates never carry the global view), plus ``origin_seq`` /
+    ``origin_ts`` in ``data`` preserving the per-rank causal order and
+    per-rank clock.  Conductor events, when given, keep ``rank=None``.
+    The merged sequence is reassigned globally: conductor order first
+    criterion is the per-rank timestamp (the worker flight clocks count
+    collective calls, so equal call indices across ranks interleave by
+    rank id — a deterministic tie-break).
+    """
+    rows: List[tuple] = []
+    for rank in sorted(per_rank):
+        for ev in per_rank[rank]:
+            data = dict(ev.data)
+            data["origin_seq"] = ev.seq
+            data["origin_ts"] = ev.ts
+            rows.append(
+                (
+                    ev.ts,
+                    rank,
+                    ev.seq,
+                    FlightEvent(
+                        seq=0,
+                        ts=ev.ts,
+                        kind=ev.kind,
+                        rank=rank,
+                        iteration=ev.iteration,
+                        step=ev.step,
+                        data=data,
+                    ),
+                )
+            )
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    merged = [r[3] for r in rows]
+    if conductor:
+        # copy: the caller's recorder still owns the originals, and the
+        # merge reassigns sequence numbers
+        merged = [
+            FlightEvent(
+                seq=ev.seq,
+                ts=ev.ts,
+                kind=ev.kind,
+                rank=ev.rank,
+                iteration=ev.iteration,
+                step=ev.step,
+                data=dict(ev.data),
+            )
+            for ev in conductor
+        ] + merged
+    for i, ev in enumerate(merged):
+        ev.seq = i
+    return merged
 
 
 def read_flight_jsonl(path: str) -> List[FlightEvent]:

@@ -262,6 +262,47 @@ class MetricRegistry:
                 fh.write(json.dumps(rec) + "\n")
         return path
 
+    def merge_snapshot(
+        self, snapshot: List[Dict[str, Any]], **extra_labels: Any
+    ) -> int:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process path: each worker of the real-process backend
+        snapshots its own registry and ships the rows over the obs
+        sideband; the conductor merges them here, usually stamping
+        ``rank=...`` as an *extra_labels* so per-rank series stay
+        distinguishable.  Counters accumulate, gauges last-write-win,
+        histograms merge their count/sum/min/max and log₂ buckets.
+        Returns the number of rows merged; malformed rows raise.
+        """
+        merged = 0
+        for rec in snapshot:
+            labels = dict(rec.get("labels") or {})
+            labels.update(extra_labels)
+            kind = rec.get("kind")
+            name = str(rec["name"])
+            if kind == "counter":
+                self.counter(name, **labels).inc(float(rec.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(rec.get("value", 0.0)))
+            elif kind == "histogram":
+                h = self.histogram(name, **labels)
+                count = int(rec.get("count", 0))
+                if count > 0:
+                    h.count += count
+                    h.total += float(rec.get("sum", 0.0))
+                    if rec.get("min") is not None:
+                        h.vmin = min(h.vmin, float(rec["min"]))
+                    if rec.get("max") is not None:
+                        h.vmax = max(h.vmax, float(rec["max"]))
+                    for ub, n in (rec.get("buckets") or {}).items():
+                        b = Histogram.bucket_index(float(ub))
+                        h.buckets[b] = h.buckets.get(b, 0) + int(n)
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+            merged += 1
+        return merged
+
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4).
 

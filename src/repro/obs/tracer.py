@@ -102,6 +102,38 @@ class Span:
     def __bool__(self) -> bool:  # real spans are truthy; NullSpan is not
         return True
 
+    # -- serialization (workers ship span forests to the conductor over
+    #    the obs sideband; only JSON-safe attr/counter values survive) --
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Span":
+        sp = cls(str(d["name"]), str(d.get("cat", "")), float(d["t0"]))
+        t1 = d.get("t1")
+        sp.t1 = None if t1 is None else float(t1)
+        sp.attrs.update(d.get("attrs") or {})
+        sp.counters.update(d.get("counters") or {})
+        sp.children = [cls.from_dict(c) for c in d.get("children") or []]
+        return sp
+
+    def shift(self, offset: float) -> None:
+        """Translate this subtree's timestamps by *offset* seconds (used
+        to realign worker clocks onto the conductor timeline)."""
+        self.t0 += offset
+        if self.t1 is not None:
+            self.t1 += offset
+        for c in self.children:
+            c.shift(offset)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = f"{self.duration * 1e3:.3f}ms" if self.t1 is not None else "open"
         return f"Span({self.cat}/{self.name}, {state}, {len(self.children)} children)"
@@ -217,6 +249,26 @@ class Tracer:
     def max_depth(self) -> int:
         """Number of nesting levels (0 for an empty trace)."""
         return max((d + 1 for _, d in self.walk()), default=0)
+
+    # -- serialization --------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The recorded forest as plain dicts (JSON-safe; closed and open
+        spans alike — exporters already skip open ones).  Snapshots the
+        root list so a tracer another thread is appending to (the worker
+        heartbeat tracer) serializes without tripping over the append."""
+        return [r.to_dict() for r in list(self.roots)]
+
+    @classmethod
+    def from_dicts(
+        cls,
+        roots: List[Dict[str, Any]],
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_dicts` output (all spans are
+        treated as closed history; the span stack stays empty)."""
+        tr = cls(clock)
+        tr.roots = [Span.from_dict(d) for d in roots]
+        return tr
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         n = sum(1 for _ in self.walk())

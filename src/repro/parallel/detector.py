@@ -111,6 +111,11 @@ class FailureDetector:
         #: time: a fresh pool gets a full stall budget of grace)
         self._last_sent: Dict[int, float] = {r: now for r in range(pool.size)}
         self._beats: Dict[int, int] = {r: 0 for r in range(pool.size)}
+        self._last_state: Dict[int, str] = {r: "ok" for r in range(pool.size)}
+        #: chronological ``(rank, old_state, new_state)`` records — a rank
+        #: that went stalled and then classifies ok again shows up here as
+        #: ``(r, "stalled", "ok")``, i.e. *recovered* (SIGCONT, GC ended)
+        self.transitions: List[Tuple[int, str, str]] = []
 
     # ------------------------------------------------------------------
     def poll(self) -> None:
@@ -131,10 +136,12 @@ class FailureDetector:
         """Liveness verdict for one rank (poll first for freshness)."""
         proc = self.pool.procs[rank]
         if not proc.is_alive():
-            return WorkerStatus(rank, "dead", float("inf"), self._beats[rank])
+            return self._verdict(
+                WorkerStatus(rank, "dead", float("inf"), self._beats[rank])
+            )
         if self.hb_interval <= 0:
             # heartbeats disabled: a live process is all we can assert
-            return WorkerStatus(rank, "ok", 0.0, self._beats[rank])
+            return self._verdict(WorkerStatus(rank, "ok", 0.0, self._beats[rank]))
         age = time.monotonic() - self._last_sent[rank]
         if age > self.stall_after:
             state = "stalled"
@@ -142,7 +149,15 @@ class FailureDetector:
             state = "slow"
         else:
             state = "ok"
-        return WorkerStatus(rank, state, max(age, 0.0), self._beats[rank])
+        return self._verdict(WorkerStatus(rank, state, max(age, 0.0), self._beats[rank]))
+
+    def _verdict(self, status: WorkerStatus) -> WorkerStatus:
+        """Record a state change in :attr:`transitions`, then pass through."""
+        old = self._last_state[status.rank]
+        if status.state != old:
+            self.transitions.append((status.rank, old, status.state))
+            self._last_state[status.rank] = status.state
+        return status
 
     def snapshot(self) -> Tuple[WorkerStatus, ...]:
         """Poll, then classify every rank — the per-failure evidence that

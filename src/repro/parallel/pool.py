@@ -18,10 +18,13 @@ broken, torn down, and transparently respawned on next use.
 
 Protocol
 --------
-Commands travel on the reserved tag ``TAG_CMD`` (0) as ``int64[4]``
-frames ``[opcode, seq, arg, flags]``; all data frames of one collective
-use its unique ``seq`` as tag, so concurrent state from an aborted
-collective can never bleed into the next one.  Reduction operators are
+Commands travel on the reserved tag ``TAG_CMD`` (0) as ``int64[6]``
+frames ``[opcode, seq, arg, flags, iteration, step_code]`` (the last two
+slots carry the conductor's driver coordinates for per-rank
+observability; workers parse only the slots they know, so shorter legacy
+frames still decode); all data frames of one collective use its unique
+``seq`` as tag, so concurrent state from an aborted collective can never
+bleed into the next one.  Reduction operators are
 named by a small registry of NumPy ufuncs (``arg`` slot); arbitrary
 callables fall back to a pickled payload sent to the reducing rank only.
 
@@ -41,12 +44,13 @@ import sys
 import threading
 import time
 import warnings
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .detector import TAG_HB, FailureDetector, WorkerStatus, heartbeat_interval
+from .obsband import ObsSideband, RankObs, _TracedEndpoint, rank_obs_enabled
 from .shm import (
     DEFAULT_CAPACITY,
     ShmTransport,
@@ -72,7 +76,20 @@ TAG_CMD = 0
     OP_ALLTOALLV,
     OP_REDUCE_SCATTER,
     OP_ALLREDUCE,
-) = range(10)
+    OP_CLOCKSYNC,
+    OP_OBS,
+) = range(12)
+
+#: display names for the opcode-level spans / flight events
+_OPCODE_NAMES: Dict[int, str] = {
+    OP_BCAST: "bcast",
+    OP_ALLGATHER: "allgather",
+    OP_GATHER: "gather",
+    OP_SCATTER: "scatter",
+    OP_ALLTOALLV: "alltoallv",
+    OP_REDUCE_SCATTER: "reduce_scatter",
+    OP_ALLREDUCE: "allreduce",
+}
 
 FLAG_PICKLED_OP = 1
 
@@ -112,50 +129,80 @@ class WorkerDied(TransportError):
 # worker side (runs in the forked children; excluded from coverage
 # because the collector only follows the parent process)
 # ----------------------------------------------------------------------
-def _heartbeat_loop(ep, parent: int, rank: int, interval: float, stop, alive) -> None:  # pragma: no cover
+def _heartbeat_loop(ep, parent: int, rank: int, interval: float, stop, alive, obs=None) -> None:  # pragma: no cover
     """Worker-side heartbeat: float64 ``[rank, counter, send_monotonic]``
     on :data:`TAG_HB` every *interval* seconds.  The send timestamp is
     ``time.monotonic()`` — system-wide CLOCK_MONOTONIC — so the conductor
     measures staleness from when the worker last ran, not from when the
-    frame happened to be drained."""
+    frame happened to be drained.
+
+    Heartbeat spans go on the rank's *dedicated* heartbeat tracer (the
+    main tracer's LIFO span stack is not thread-safe); they never touch
+    the flight record, which must stay deterministic."""
     counter = 0
     while not stop.is_set() and alive():
+        span = obs.heartbeat_span(counter) if obs is not None else nullcontext()
         try:
-            ep.send(
-                parent,
-                TAG_HB,
-                np.array([rank, counter, time.monotonic()], dtype=np.float64),
-                timeout=max(interval, 0.05),
-            )
+            with span:
+                ep.send(
+                    parent,
+                    TAG_HB,
+                    np.array([rank, counter, time.monotonic()], dtype=np.float64),
+                    timeout=max(interval, 0.05),
+                )
         except TransportError:
             return  # fabric closing down; the worker is exiting anyway
         counter += 1
         stop.wait(interval)
 
 
-def _worker_main(transport: ShmTransport, rank: int, size: int) -> None:  # pragma: no cover
+def _worker_main(transport: ShmTransport, rank: int, size: int, obs_channel=None) -> None:  # pragma: no cover
     parent = size  # conductor endpoint id
     ppid0 = os.getppid()
     alive = lambda: os.getppid() == ppid0  # reparenting means the parent died
     ep = transport.endpoint(rank).start()
+    obs = RankObs(rank, size, obs_channel) if obs_channel is not None else None
+    # collective exchanges go through the traced facade so ring sends and
+    # receives become measured comm/wait child spans; control replies and
+    # heartbeats use the raw endpoint (no span, no flight event)
+    dep = _TracedEndpoint(ep, obs) if obs is not None else ep
     hb_stop = threading.Event()
     hb_interval = heartbeat_interval()
     if hb_interval > 0:
         threading.Thread(
             target=_heartbeat_loop,
-            args=(ep, parent, rank, hb_interval, hb_stop, alive),
+            args=(ep, parent, rank, hb_interval, hb_stop, alive, obs),
             name=f"repro-hb-{rank}",
             daemon=True,
         ).start()
     pickled_op: Optional[Callable] = None
     try:
         while True:
-            cmd = ep.recv(parent, TAG_CMD, timeout=None, alive=alive)
+            if obs is not None:
+                # idle-between-commands is the rank's "not working" time;
+                # spanning the blocking recv makes it visible in the lane
+                with obs.tracer.span("cmd_wait", "rank"):
+                    cmd = ep.recv(parent, TAG_CMD, timeout=None, alive=alive)
+            else:
+                cmd = ep.recv(parent, TAG_CMD, timeout=None, alive=alive)
             opcode, seq, arg, flags = (int(x) for x in cmd[:4])
+            # coordinate slots are optional: legacy int64[4] frames decode
+            # as "no iteration / no step"
+            it = int(cmd[4]) if cmd.size > 4 else -1
+            step_code = int(cmd[5]) if cmd.size > 5 else 0
             if opcode == OP_SHUTDOWN:
                 break
             if opcode == OP_PING:
                 ep.send(parent, seq, np.array([rank, os.getpid()], dtype=np.int64))
+                continue
+            if opcode == OP_CLOCKSYNC:
+                # the conductor brackets this round-trip with its own
+                # monotonic reads to estimate this rank's clock offset
+                ep.send(parent, seq, np.array([time.monotonic()], dtype=np.float64))
+                continue
+            if opcode == OP_OBS:
+                if obs is not None:
+                    obs.finalize_and_ship()
                 continue
             if opcode == OP_STATS:
                 ep.send(
@@ -174,87 +221,99 @@ def _worker_main(transport: ShmTransport, rank: int, size: int) -> None:  # prag
                     ),
                 )
                 continue
-            if opcode == OP_BCAST:
-                root = arg
-                if rank == root:
-                    data = ep.recv(parent, seq, alive=alive)
+            opname = _OPCODE_NAMES.get(opcode)
+            if opname is None:
+                raise RuntimeError(f"worker {rank}: unknown opcode {opcode}")
+            span = (
+                obs.collective(opname, it, step_code)
+                if obs is not None
+                else nullcontext()
+            )
+            with span:
+                if opcode == OP_BCAST:
+                    root = arg
+                    if rank == root:
+                        data = dep.recv(parent, seq, alive=alive)
+                        for j in range(size):
+                            if j != rank:
+                                dep.send(j, seq, data, alive=alive)
+                    else:
+                        data = dep.recv(root, seq, alive=alive)
+                    dep.send(parent, seq, data, alive=alive)
+                elif opcode == OP_ALLGATHER:
+                    own = dep.recv(parent, seq, alive=alive)
                     for j in range(size):
                         if j != rank:
-                            ep.send(j, seq, data, alive=alive)
-                else:
-                    data = ep.recv(root, seq, alive=alive)
-                ep.send(parent, seq, data, alive=alive)
-            elif opcode == OP_ALLGATHER:
-                own = ep.recv(parent, seq, alive=alive)
-                for j in range(size):
-                    if j != rank:
-                        ep.send(j, seq, own, alive=alive)
-                parts = [
-                    own if i == rank else ep.recv(i, seq, alive=alive)
-                    for i in range(size)
-                ]
-                ep.send(parent, seq, np.concatenate(parts), alive=alive)
-            elif opcode == OP_GATHER:
-                root = arg
-                own = ep.recv(parent, seq, alive=alive)
-                if rank == root:
+                            dep.send(j, seq, own, alive=alive)
                     parts = [
-                        own if i == rank else ep.recv(i, seq, alive=alive)
+                        own if i == rank else dep.recv(i, seq, alive=alive)
                         for i in range(size)
                     ]
-                    ep.send(parent, seq, np.concatenate(parts), alive=alive)
-                else:
-                    ep.send(root, seq, own, alive=alive)
-            elif opcode == OP_SCATTER:
-                root = arg
-                if rank == root:
-                    chunks = unpack_arrays(ep.recv(parent, seq, alive=alive))
+                    dep.send(parent, seq, np.concatenate(parts), alive=alive)
+                elif opcode == OP_GATHER:
+                    root = arg
+                    own = dep.recv(parent, seq, alive=alive)
+                    if rank == root:
+                        parts = [
+                            own if i == rank else dep.recv(i, seq, alive=alive)
+                            for i in range(size)
+                        ]
+                        dep.send(parent, seq, np.concatenate(parts), alive=alive)
+                    else:
+                        dep.send(root, seq, own, alive=alive)
+                elif opcode == OP_SCATTER:
+                    root = arg
+                    if rank == root:
+                        chunks = unpack_arrays(dep.recv(parent, seq, alive=alive))
+                        for j in range(size):
+                            if j != rank:
+                                dep.send(j, seq, chunks[j], alive=alive)
+                        mine = np.asarray(chunks[rank])
+                    else:
+                        mine = dep.recv(root, seq, alive=alive)
+                    dep.send(parent, seq, mine, alive=alive)
+                elif opcode == OP_ALLTOALLV:
+                    row = unpack_arrays(dep.recv(parent, seq, alive=alive))
                     for j in range(size):
                         if j != rank:
-                            ep.send(j, seq, chunks[j], alive=alive)
-                    mine = np.asarray(chunks[rank])
-                else:
-                    mine = ep.recv(root, seq, alive=alive)
-                ep.send(parent, seq, mine, alive=alive)
-            elif opcode == OP_ALLTOALLV:
-                row = unpack_arrays(ep.recv(parent, seq, alive=alive))
-                for j in range(size):
-                    if j != rank:
-                        ep.send(j, seq, row[j], alive=alive)
-                got = [
-                    np.asarray(row[i]) if i == rank else ep.recv(i, seq, alive=alive)
-                    for i in range(size)
-                ]
-                ep.send(parent, seq, pack_arrays(got), alive=alive)
-            elif opcode in (OP_REDUCE_SCATTER, OP_ALLREDUCE):
-                if rank == 0 and flags & FLAG_PICKLED_OP:
-                    blob = ep.recv(parent, seq, alive=alive)
-                    pickled_op = pickle.loads(blob.tobytes())
-                own = ep.recv(parent, seq, alive=alive)
-                if rank == 0:
-                    op = pickled_op if flags & FLAG_PICKLED_OP else _OP_REGISTRY[arg]
-                    pickled_op = None
-                    # reduce in rank order — bit-identical to SimComm's
-                    # sequential fold, even for non-commutative floats
-                    total = own
-                    for i in range(1, size):
-                        total = op(total, ep.recv(i, seq, alive=alive))
-                    total = np.asarray(total)
-                    if opcode == OP_ALLREDUCE:
-                        for j in range(1, size):
-                            ep.send(j, seq, total, alive=alive)
-                        mine = total
+                            dep.send(j, seq, row[j], alive=alive)
+                    got = [
+                        np.asarray(row[i]) if i == rank else dep.recv(i, seq, alive=alive)
+                        for i in range(size)
+                    ]
+                    dep.send(parent, seq, pack_arrays(got), alive=alive)
+                else:  # OP_REDUCE_SCATTER / OP_ALLREDUCE
+                    if rank == 0 and flags & FLAG_PICKLED_OP:
+                        blob = dep.recv(parent, seq, alive=alive)
+                        pickled_op = pickle.loads(blob.tobytes())
+                    own = dep.recv(parent, seq, alive=alive)
+                    if rank == 0:
+                        op = pickled_op if flags & FLAG_PICKLED_OP else _OP_REGISTRY[arg]
+                        pickled_op = None
+                        # reduce in rank order — bit-identical to SimComm's
+                        # sequential fold, even for non-commutative floats
+                        total = own
+                        for i in range(1, size):
+                            chunk = dep.recv(i, seq, alive=alive)
+                            if obs is not None:
+                                with obs.tracer.span("fold", "rank", src=i):
+                                    total = op(total, chunk)
+                            else:
+                                total = op(total, chunk)
+                        total = np.asarray(total)
+                        if opcode == OP_ALLREDUCE:
+                            for j in range(1, size):
+                                dep.send(j, seq, total, alive=alive)
+                            mine = total
+                        else:
+                            blk = total.size // size
+                            for j in range(1, size):
+                                dep.send(j, seq, total[j * blk : (j + 1) * blk], alive=alive)
+                            mine = total[:blk]
                     else:
-                        blk = total.size // size
-                        for j in range(1, size):
-                            ep.send(j, seq, total[j * blk : (j + 1) * blk], alive=alive)
-                        mine = total[:blk]
-                else:
-                    ep.send(0, seq, own, alive=alive)
-                    mine = ep.recv(0, seq, alive=alive)
-                ep.send(parent, seq, mine, alive=alive)
-            else:
-                raise RuntimeError(f"worker {rank}: unknown opcode {opcode}")
+                        dep.send(0, seq, own, alive=alive)
+                        mine = dep.recv(0, seq, alive=alive)
+                    dep.send(parent, seq, mine, alive=alive)
     except TransportError:
         pass  # parent shut the fabric down (or died); just exit
     except BaseException:
@@ -280,6 +339,7 @@ class WorkerPool:
         size: int,
         capacity: int = DEFAULT_CAPACITY,
         timeout: float = DEFAULT_TIMEOUT_S,
+        obs: bool = False,
     ):
         if size < 1:
             raise ValueError("worker pool needs at least one rank")
@@ -297,12 +357,31 @@ class WorkerPool:
 
         ctx = mp.get_context(ctx_method)
         self.transport = ShmTransport(self.size + 1, capacity, ctx)
+        # the obs sideband (one extra worker→conductor ring per rank) is
+        # only allocated when per-rank observability is on: obs-off pools
+        # carry no extra segments and exchange zero sideband bytes
+        self.obsband = ObsSideband(ctx, self.size) if obs else None
+        #: driver coordinates stamped into command frames (iteration,
+        #: step code); -1/0 = outside any iteration/step
+        self._coords: Tuple[int, int] = (-1, 0)
+        #: per-rank worker-clock minus conductor-clock offsets (seconds),
+        #: measured by the clock-sync handshake; empty when obs is off
+        self.clock_offsets: Dict[int, float] = {}
+        #: sideband frames salvaged from dead/closing workers at teardown
+        self.obs_salvage: Dict[int, List[dict]] = {}
+        #: survivor stats captured by :meth:`_died` just before teardown
+        self.stats_salvage: Tuple[Dict[int, np.ndarray], List[int]] = ({}, [])
         self._seq = 0
         self.procs = []
         for rank in range(self.size):
             p = ctx.Process(
                 target=_worker_main,
-                args=(self.transport, rank, self.size),
+                args=(
+                    self.transport,
+                    rank,
+                    self.size,
+                    self.obsband.channels[rank] if obs else None,
+                ),
                 name=f"repro-rank-{rank}",
                 daemon=True,
             )
@@ -318,6 +397,8 @@ class WorkerPool:
         self.detector = FailureDetector(self)
         try:
             self.ping(timeout=max(self.timeout, 10.0))
+            if obs:
+                self.clock_offsets = self._clock_sync()
         except TransportError as exc:
             self.close()
             raise WorkerDied(f"worker pool of {size} failed to start") from exc
@@ -344,6 +425,13 @@ class WorkerPool:
         every worker, which would turn any classification into
         'all dead'."""
         status = self.detector.snapshot()
+        # last chance to read survivor counters: teardown below kills
+        # every worker.  Ranks wedged inside the aborted collective will
+        # not answer within the short budget — they count as unreached.
+        try:
+            self.stats_salvage = self.stats_survivors(timeout=0.5)
+        except Exception:  # pragma: no cover - salvage must never mask death
+            pass
         self.mark_broken()
         err = WorkerDied(message)
         err.status = status
@@ -368,13 +456,48 @@ class WorkerPool:
         except TransportError as exc:
             raise self._died(f"no reply from rank {rank}: {exc}", exc) from exc
 
+    def set_coords(self, iteration: int = -1, step_code: int = 0) -> None:
+        """Stamp driver coordinates into subsequent command frames so
+        workers can tag their spans/flight events with the iteration and
+        step they serve (codes from
+        :data:`~repro.parallel.obsband.STEP_CODES`)."""
+        self._coords = (int(iteration), int(step_code))
+
     def _command(self, opcode: int, arg: int = 0, flags: int = 0) -> int:
         self.detector.poll()  # keep heartbeat ledger fresh, never blocks
         seq = self._next_seq()
-        cmd = np.array([opcode, seq, arg, flags], dtype=np.int64)
+        it, step_code = self._coords
+        cmd = np.array([opcode, seq, arg, flags, it, step_code], dtype=np.int64)
         for r in range(self.size):
             self._send(r, TAG_CMD, cmd)
         return seq
+
+    def _clock_sync(self, rounds: int = 5) -> Dict[int, float]:
+        """Handshake-measure each worker's ``time.monotonic()`` offset.
+
+        Per rank: *rounds* bracketed round-trips; the sample at minimum
+        RTT gives ``offset = t_worker - (t0 + t1) / 2`` (the midpoint
+        estimate, exact for symmetric transit).  Subtracting the offset
+        from worker timestamps puts them on the conductor's timeline.
+        CLOCK_MONOTONIC is system-wide on Linux, so offsets are near
+        zero — the sync exists to *verify* that and to keep the merge
+        correct on platforms where per-process clocks diverge.
+        """
+        offsets: Dict[int, float] = {}
+        for r in range(self.size):
+            best_rtt, best_off = float("inf"), 0.0
+            for _ in range(rounds):
+                seq = self._next_seq()
+                cmd = np.array([OP_CLOCKSYNC, seq, 0, 0, -1, 0], dtype=np.int64)
+                t0 = time.monotonic()
+                self._send(r, TAG_CMD, cmd)
+                t_worker = float(self._recv(r, seq)[0])
+                t1 = time.monotonic()
+                rtt = t1 - t0
+                if rtt < best_rtt:
+                    best_rtt, best_off = rtt, t_worker - (t0 + t1) / 2.0
+            offsets[r] = best_off
+        return offsets
 
     @contextmanager
     def deadline(self, seconds: Optional[float]):
@@ -407,6 +530,33 @@ class WorkerPool:
         sent/received, busy microseconds, rank id."""
         seq = self._command(OP_STATS)
         return [self._recv(r, seq) for r in range(self.size)]
+
+    def stats_survivors(
+        self, timeout: float = 1.0
+    ) -> Tuple[Dict[int, np.ndarray], List[int]]:
+        """Best-effort per-rank stats that a dead rank cannot poison.
+
+        Unlike :meth:`stats`, a non-responding rank does **not** tear the
+        pool down (``_send``/``_recv`` would mark it broken): each rank is
+        queried independently with a short *timeout*, dead processes are
+        skipped outright, and the result is ``(survivor_stats,
+        unreached_ranks)``.  The metrics merge after a faulty collective
+        uses this so survivor counters are kept instead of dropped.
+        """
+        got: Dict[int, np.ndarray] = {}
+        missed: List[int] = []
+        for r in range(self.size):
+            if not self.procs[r].is_alive():
+                missed.append(r)
+                continue
+            try:
+                seq = self._next_seq()
+                cmd = np.array([OP_STATS, seq, 0, 0, -1, 0], dtype=np.int64)
+                self.ep.send(r, TAG_CMD, cmd, timeout=timeout)
+                got[r] = self.ep.recv(r, seq, timeout=timeout)
+            except TransportError:
+                missed.append(r)
+        return got, missed
 
     def bcast(self, data: np.ndarray, root: int) -> List[np.ndarray]:
         seq = self._command(OP_BCAST, arg=root)
@@ -478,30 +628,51 @@ class WorkerPool:
                 # would survive terminate(); SIGKILL reaps it regardless
                 p.kill()
                 p.join(timeout=1.0)
+        if self.obsband is not None:
+            # workers are reaped, so the rings are quiescent: whatever
+            # eagerly-streamed frames remain (a killed rank's last flight
+            # events) are salvaged before the segments go away
+            for r in range(self.size):
+                try:
+                    msgs, _truncated = self.obsband.drain_ready(r, deadline_s=0.2)
+                except Exception:  # pragma: no cover - salvage is best-effort
+                    msgs = []
+                if msgs:
+                    self.obs_salvage[r] = msgs
         self.transport.close()
         self.transport.unlink()
+        if self.obsband is not None:
+            self.obsband.close()
+            self.obsband.unlink()
 
 
-_POOLS: Dict[int, WorkerPool] = {}
+_POOLS: Dict[Tuple[int, bool], WorkerPool] = {}
 
 
 def get_pool(size: int) -> WorkerPool:
-    """The cached pool for *size* ranks, (re)spawned when absent/broken."""
-    pool = _POOLS.get(size)
+    """The cached pool for *size* ranks, (re)spawned when absent/broken.
+
+    Pools are keyed by ``(size, obs)`` where *obs* follows
+    :func:`~repro.parallel.obsband.rank_obs_enabled`: an instrumented run
+    gets a sideband-equipped pool without disturbing the plain cached one
+    (and vice versa — obs-off stays a true null path)."""
+    obs = rank_obs_enabled()
+    key = (size, obs)
+    pool = _POOLS.get(key)
     if pool is not None and pool.alive():
         return pool
     if pool is not None:
         pool.close()
-        del _POOLS[size]
-    pool = WorkerPool(size)
-    _POOLS[size] = pool
+        del _POOLS[key]
+    pool = WorkerPool(size, obs=obs)
+    _POOLS[key] = pool
     return pool
 
 
 def shutdown_pools() -> None:
     """Close every cached pool (also runs at interpreter exit)."""
-    for size in list(_POOLS):
-        _POOLS.pop(size).close()
+    for key in list(_POOLS):
+        _POOLS.pop(key).close()
 
 
 atexit.register(shutdown_pools)

@@ -45,6 +45,7 @@ from repro.obs.metrics import metrics_registry
 from repro.obs.tracer import current as _obs
 
 from .detector import FailureDetector
+from .obsband import STEP_TO_CODE, salvaged_flight_events
 from .pool import WorkerDied, get_pool
 
 __all__ = ["ProcComm"]
@@ -95,6 +96,7 @@ class ProcComm(CommBase):
         else:
             kinds = ["worker_died"]
         iteration = calling_iteration()
+        old_pool = self._pool  # holds the dead run's salvage after teardown
         self._pool = get_pool(self.size)
         fr = _freg()
         if fr:
@@ -103,6 +105,31 @@ class ProcComm(CommBase):
                           survivors=self.size - len(lost))
             fr.record("collective_error", collective=name, kinds=kinds,
                       attempts=1, lost_ranks=lost, stalled_ranks=stalled)
+            # the dead pool's sideband was drained at teardown: replay the
+            # salvaged per-rank flight events (a killed rank's last acts)
+            # into the conductor record for the postmortem.  Re-recorded —
+            # not spliced — so the conductor's run_meta/seq stay intact.
+            for r, msgs in sorted(getattr(old_pool, "obs_salvage", {}).items()):
+                for ev in salvaged_flight_events(msgs):
+                    extra = {
+                        k: v
+                        for k, v in ev.data.items()
+                        if k not in ("rank", "iteration", "step")
+                    }
+                    fr.record(
+                        "rank_event",
+                        rank=ev.rank if ev.rank is not None else r,
+                        iteration=ev.iteration,
+                        step=ev.step,
+                        rank_kind=ev.kind,
+                        rank_seq=ev.seq,
+                        rank_ts=ev.ts,
+                        salvaged=True,
+                        **extra,
+                    )
+        # survivor transport counters were captured just before teardown;
+        # merge what reached us and count the rest as unmerged
+        self._merge_rank_metrics(old_pool)
         reg = metrics_registry()
         if reg:
             for r in lost:
@@ -146,8 +173,22 @@ class ProcComm(CommBase):
             inj.fire_proc(name, pool)
         if not pool.alive():
             status = pool.detector.snapshot()
+            try:  # survivor counters die with the pool; grab them first
+                pool.stats_salvage = pool.stats_survivors(timeout=0.5)
+            except Exception:
+                pass
             pool.mark_broken()
             self._fail(name, sp, status)
+        if pool.obsband is not None:
+            # stamp the driver coordinates (iteration, enclosing step
+            # span) into the command frame so workers tag their spans and
+            # flight events with where-in-the-algorithm they served
+            it = calling_iteration()
+            st = _obs().innermost(cat="step")
+            pool.set_coords(
+                -1 if it is None else int(it),
+                STEP_TO_CODE.get(st.name, 0) if st is not None else 0,
+            )
         deadline = _DEADLINE_S
         if inj is not None and inj.deadline_s is not None:
             deadline = (
@@ -164,15 +205,26 @@ class ProcComm(CommBase):
 
     def _merge_rank_metrics(self, pool) -> None:
         """Fold per-rank transport counters into the active registry (a
-        no-op — no extra round-trip — when metrics are off)."""
+        no-op — no extra round-trip — when metrics are off).
+
+        Partial by design: a dead worker must not cost the survivors
+        their counters.  On a live pool every rank is queried with a
+        per-rank timeout; on a broken pool the rows captured just before
+        teardown (``stats_salvage``) are used.  Ranks that could not be
+        reached either way are recorded under the
+        ``proccomm_ranks_unmerged`` counter instead of silently dropped.
+        """
         reg = metrics_registry()
         if not reg:
             return
-        try:
-            stats = pool.stats()
-        except WorkerDied:
-            return
-        for row in stats:
+        if pool.broken or not pool.alive():
+            got, _ = getattr(pool, "stats_salvage", ({}, []))
+        else:
+            try:
+                got, _ = pool.stats_survivors(timeout=pool.timeout)
+            except Exception:
+                got = {}
+        for row in got.values():
             rank = str(int(row[5]))
             reg.gauge("proc_rank_bytes_sent", "payload bytes sent by rank",
                       rank=rank).set(int(row[0]))
@@ -184,6 +236,14 @@ class ProcComm(CommBase):
                       rank=rank).set(int(row[3]))
             reg.gauge("proc_rank_busy_seconds", "transport busy seconds of rank",
                       rank=rank).set(int(row[4]) / 1e6)
+        for r in range(pool.size):
+            if r not in got:
+                reg.counter(
+                    "proccomm_ranks_unmerged",
+                    "ranks whose transport counters could not be merged "
+                    "(died or unreachable at merge time)",
+                    rank=str(r),
+                ).inc()
 
     # ------------------------------------------------------------------
     # collectives — words/messages formulas match SimComm line for line

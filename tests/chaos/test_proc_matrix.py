@@ -122,3 +122,27 @@ class TestTypedErrorsThroughProc:
         assert "rank_lost" in err.kinds
         assert err.lost_ranks == (2,)
         assert "permanently lost" in str(err)
+
+
+class TestRankObsPostmortem:
+    """Chaos + per-rank obs: the merged flight record must carry both
+    halves of a kill — the dead rank's salvaged last events and the
+    survivors' records (see docs/OBSERVABILITY.md, "Per-rank
+    observability")."""
+
+    def test_kill_preserves_dead_rank_flight_events(self, tmp_path):
+        from repro.obs.flight import read_flight_jsonl
+
+        path = str(tmp_path / "kill.jsonl")
+        r = _run("spmd", "kill", 1, record_path=path)
+        assert r.ok and r.rank_lost_events >= 1
+        events = read_flight_jsonl(path)
+        rank_rows = [ev for ev in events if ev.kind == "rank_event"]
+        salvaged = [ev for ev in rank_rows if ev.data.get("salvaged")]
+        assert salvaged, "dead pool's sideband salvage missing"
+        assert "collective" in {ev.data["rank_kind"] for ev in salvaged}
+        # the post-run drain folded the surviving pool's records in too
+        assert any(not ev.data.get("salvaged") for ev in rank_rows)
+        # the conductor's own envelope survived the merge untouched
+        assert events[0].kind == "run_meta"
+        assert any(ev.kind == "run_end" for ev in events)

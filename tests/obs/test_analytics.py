@@ -155,3 +155,73 @@ class TestUnanalyzableResults:
         res = lacc(rmat(6, edge_factor=4, seed=3).to_matrix())
         with pytest.raises(ValueError, match="no cost model"):
             analyze(res)
+
+
+class TestAnalyzeProc:
+    """Measured-proc attribution from synthetic worker timelines — unit
+    coverage of :func:`analyze_proc` without forking real processes."""
+
+    def _obs(self):
+        from repro.obs.tracer import Tracer
+        from repro.parallel.obsband import RankObsResult
+
+        def lane(busy):
+            """One rank's timeline: one starcheck collective whose span
+            lasts *busy* seconds, of which 0.1 is send and 0.2 is recv."""
+            t = iter([
+                0.0,          # collective B
+                0.0, 0.1,     # ring_send B/E
+                0.1, 0.3,     # ring_recv B/E
+                busy,         # collective E
+            ])
+            tr = Tracer(clock=lambda: next(t))
+            with tr.span("allgather", "collective", iteration=1,
+                         step="starcheck", call=1):
+                with tr.span("ring_send", "rank", dst=1) as sp:
+                    sp.add("bytes", 100)
+                with tr.span("ring_recv", "rank", src=1) as sp:
+                    sp.add("bytes", 400)
+            return tr
+
+        return RankObsResult(
+            size=2,
+            offsets={0: 0.0, 1: 0.0},
+            tracers={0: lane(1.0), 1: lane(0.5)},
+        )
+
+    def test_lambda_is_max_over_mean_measured_seconds(self):
+        from repro.obs.analytics import analyze_proc
+
+        rep = analyze_proc(self._obs(), n_iterations=1)
+        assert rep.source == "measured-proc"
+        assert rep.machine == "proc-shm" and rep.ranks == 2
+        (step,) = rep.steps
+        assert step.step == "starcheck"
+        assert step.lam == pytest.approx(1.0 / 0.75)  # max=1.0, mean=0.75
+        assert step.worst_rank == 0
+        assert step.total_requests == 800  # received bytes, both ranks
+
+    def test_phase_split_is_exact_compute_comm_wait(self):
+        from repro.obs.analytics import analyze_proc
+
+        rep = analyze_proc(self._obs(), n_iterations=1)
+        (ph,) = rep.phases
+        assert ph.comm_seconds == pytest.approx(0.1)   # mean ring_send
+        assert ph.delay_seconds == pytest.approx(0.2)  # mean ring_recv
+        assert ph.seconds == pytest.approx(0.75)       # mean span length
+        assert ph.compute_seconds == pytest.approx(0.75 - 0.3)
+
+    def test_render_says_measured(self):
+        from repro.obs.analytics import analyze_proc
+
+        out = analyze_proc(self._obs(), n_iterations=1).render()
+        assert "measured wall time" in out
+        assert "measured rank-seconds" in out
+        assert "wait%" in out
+
+    def test_empty_obs_rejected(self):
+        from repro.obs.analytics import analyze_proc
+        from repro.parallel.obsband import RankObsResult
+
+        with pytest.raises(ValueError):
+            analyze_proc(RankObsResult(size=0))

@@ -183,3 +183,29 @@ def test_record_path_round_trips_through_replay(tmp_path, archaea, edison):
     assert [a["message"] for a in replayed.anomalies] == [
         a["message"] for a in diag.anomalies
     ]
+
+
+def test_ring_evicted_events_raise_record_truncated():
+    """A record whose ring evicted events must say so: nonzero
+    ``n_dropped``, a ``record_truncated`` anomaly (so ``--expect-clean``
+    fails on verdicts drawn from an incomplete record), and the tally
+    line in the rendering."""
+    fr = FlightRecorder(capacity=4)  # run_meta + 3 events survive
+    _basic_record(fr)  # records 5 events -> 2 evicted
+    d = diagnose(fr.events)
+    assert d.n_dropped == 2
+    assert "record_truncated" in d.anomaly_classes()
+    assert not d.healthy
+    (a,) = [x for x in d.anomalies if x["detector"] == "record_truncated"]
+    assert a["severity"] == "warning" and a["dropped"] == 2
+    assert "2 dropped from the ring" in d.render()
+    assert d.to_dict()["n_dropped"] == 2
+
+
+def test_complete_record_reports_zero_dropped():
+    fr = FlightRecorder(run_id="full")
+    _basic_record(fr)
+    d = diagnose(fr.events)
+    assert d.n_dropped == 0
+    assert "record_truncated" not in d.anomaly_classes()
+    assert "dropped from the ring" not in d.render()

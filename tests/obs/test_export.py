@@ -165,3 +165,66 @@ class TestSpanRecords:
         assert parsed[0]["name"] == "run"
         assert {"name", "cat", "depth", "t0", "seconds", "self_seconds",
                 "attrs", "counters"} <= set(parsed[0])
+
+
+class TestMultiLaneMerge:
+    """The per-rank merge surface: shared base, pinned lane order,
+    secondary thread lanes, and hostile-name escaping."""
+
+    def _lane(self, pid, t0, **kw):
+        clock = iter([t0, t0 + 0.25])
+        tr = Tracer(clock=lambda: next(clock))
+        with tr.span("work", "rank"):
+            pass
+        return chrome_trace(tr, pid=pid, process_name=f"rank {pid}",
+                            base=0.0, **kw)
+
+    def test_shared_base_keeps_one_time_origin(self):
+        merged = merge_chrome_traces([self._lane(0, 1.0), self._lane(1, 2.0)])
+        b = {e["pid"]: e["ts"] for e in merged["traceEvents"] if e["ph"] == "B"}
+        # lane 1 starts one (simulated) second after lane 0, not at 0
+        assert b[1] - b[0] == pytest.approx(1.0e6)
+
+    def test_sort_index_pins_lane_order(self):
+        doc = self._lane(3, 0.0, sort_index=-1)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        si = next(e for e in meta if e["name"] == "process_sort_index")
+        assert si["args"]["sort_index"] == -1
+        assert si["pid"] == 3
+
+    def test_thread_name_labels_secondary_lane(self):
+        doc = self._lane(2, 0.0, tid=1, thread_name="heartbeat")
+        ev = doc["traceEvents"]
+        tn = next(e for e in ev if e["ph"] == "M" and e["name"] == "thread_name")
+        assert tn["args"]["name"] == "heartbeat" and tn["tid"] == 1
+        assert all(e["tid"] == 1 for e in ev if e["ph"] in ("B", "E"))
+
+    def test_merged_lanes_stay_monotone_per_pid_tid(self):
+        lanes = [self._lane(r, 0.5 * r) for r in range(4)]
+        merged = merge_chrome_traces(lanes)
+        streams = {}
+        for e in merged["traceEvents"]:
+            if e["ph"] in ("B", "E"):
+                streams.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+        assert len(streams) == 4
+        for key, ts in streams.items():
+            assert ts == sorted(ts), f"non-monotone lane {key}"
+
+    def test_hostile_names_survive_json_round_trip(self, tmp_path):
+        """Span and process names with quotes, backslashes, newlines and
+        non-ASCII must come back intact from the exported file."""
+        evil = 'sp"an\\na<me> \n\t λ–rank'
+        tr = Tracer(clock=FakeClock())
+        with tr.span(evil, "step", note='q"uo\\te'):
+            pass
+        path = tmp_path / "evil.json"
+        write_chrome_trace(
+            chrome_trace(tr, pid=0, process_name='rank "0"\\'), str(path)
+        )
+        doc = json.load(open(path))
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "B"]
+        assert names == [evil]
+        b = next(e for e in doc["traceEvents"] if e["ph"] == "B")
+        assert b["args"]["note"] == 'q"uo\\te'
+        meta = next(e for e in doc["traceEvents"] if e["ph"] == "M")
+        assert meta["args"]["name"] == 'rank "0"\\'

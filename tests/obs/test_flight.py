@@ -209,3 +209,49 @@ def test_sample_metrics_records_registry_snapshot():
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         FlightRecorder(capacity=0)
+
+
+# -- merge_flight_events (the per-rank merge behind the proc backend) -----
+
+def _rank_record(rank, calls):
+    fr = FlightRecorder(run_id=f"rank-{rank}", clock=lambda: float(len(fr.events)))
+    for c in range(calls):
+        fr.record("collective", opcode="allgather", call=c + 1)
+    return fr.events
+
+
+def test_merge_stamps_rank_and_reassigns_dense_seq():
+    from repro.obs.flight import merge_flight_events
+
+    per_rank = {0: _rank_record(0, 2), 1: _rank_record(1, 2)}
+    merged = merge_flight_events(per_rank)
+    assert [ev.seq for ev in merged] == list(range(len(merged)))
+    assert {ev.rank for ev in merged} == {0, 1}
+    # per-rank causal order is preserved via origin_seq
+    for r in (0, 1):
+        origin = [ev.data["origin_seq"] for ev in merged if ev.rank == r]
+        assert origin == sorted(origin)
+
+
+def test_merge_ties_break_by_rank_deterministically():
+    from repro.obs.flight import merge_flight_events
+
+    per_rank = {1: _rank_record(1, 1), 0: _rank_record(0, 1)}
+    merged = merge_flight_events(per_rank)
+    # equal worker-clock timestamps interleave by rank id
+    ts0 = [ev.rank for ev in merged if ev.ts == merged[0].ts]
+    assert ts0 == sorted(ts0)
+
+
+def test_merge_does_not_mutate_conductor_events():
+    from repro.obs.flight import merge_flight_events
+
+    fr = FlightRecorder(run_id="conductor")
+    fr.record("iteration", iteration=1)
+    original_seqs = [ev.seq for ev in fr.events]
+    merged = merge_flight_events({0: _rank_record(0, 1)}, conductor=fr.events)
+    assert [ev.seq for ev in fr.events] == original_seqs  # untouched
+    assert [ev.seq for ev in merged] == list(range(len(merged)))
+    conductor_rows = [ev for ev in merged if ev.data.get("run_id") == "conductor"
+                      or ev.kind == "iteration"]
+    assert any(ev.rank is None for ev in conductor_rows)

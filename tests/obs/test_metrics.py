@@ -312,3 +312,49 @@ class TestWiring:
         assert list(series[1]["args"].values()) == [
             reg.value("lacc_iterations_total", driver="serial")
         ]
+
+
+class TestMergeSnapshot:
+    """Cross-process merge: each proc-backend worker ships a snapshot,
+    the conductor folds it in with a ``rank`` label."""
+
+    def _worker_snapshot(self):
+        w = MetricRegistry()
+        w.counter("rank_collectives_total", op="allgather").inc(3)
+        w.gauge("rank_queue_depth").set(7)
+        h = w.histogram("rank_frame_bytes")
+        h.observe(10.0)
+        h.observe(1000.0)
+        return w.snapshot()
+
+    def test_counters_accumulate_with_extra_label(self):
+        root = MetricRegistry()
+        snap = self._worker_snapshot()
+        assert root.merge_snapshot(snap, rank="0") == 3
+        root.merge_snapshot(snap, rank="1")
+        assert root.value("rank_collectives_total", op="allgather", rank="0") == 3
+        assert root.total("rank_collectives_total") == 6
+        # label sets stay distinguishable per rank
+        assert root.value("rank_queue_depth", rank="1") == 7
+
+    def test_merging_twice_accumulates_counters_not_gauges(self):
+        root = MetricRegistry()
+        snap = self._worker_snapshot()
+        root.merge_snapshot(snap, rank="0")
+        root.merge_snapshot(snap, rank="0")
+        assert root.value("rank_collectives_total", op="allgather", rank="0") == 6
+        assert root.value("rank_queue_depth", rank="0") == 7  # last write wins
+
+    def test_histograms_merge_counts_and_extremes(self):
+        root = MetricRegistry()
+        root.histogram("rank_frame_bytes", rank="0").observe(5.0)
+        root.merge_snapshot(self._worker_snapshot(), rank="0")
+        h = root.histogram("rank_frame_bytes", rank="0")
+        assert h.count == 3
+        assert h.vmin == 5.0 and h.vmax == 1000.0
+        assert h.total == 1015.0
+
+    def test_malformed_row_raises(self):
+        root = MetricRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            root.merge_snapshot([{"name": "x", "kind": "summary", "value": 1}])

@@ -204,3 +204,61 @@ class TestActivation:
         assert [r.name for r in tr.roots] == ["mxv"]
         gb.mxv(out, None, None, sr.SEL2ND_MIN_INT64, A, u)  # deactivated again
         assert len(tr.roots) == 1
+
+
+class TestSerialization:
+    """Span/Tracer dict round-trip — the wire format of the proc obs
+    sideband — and the clock-alignment shift."""
+
+    def _tracer(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("collective", "collective", iteration=2, step="shortcut"):
+            with tr.span("ring_send", "rank", dst=1) as sp:
+                sp.add("bytes", 64)
+        with tr.span("cmd_wait", "rank"):
+            pass
+        return tr
+
+    def test_round_trip_preserves_everything(self):
+        tr = self._tracer()
+        clone = Tracer.from_dicts(tr.to_dicts())
+        assert len(clone.roots) == 2
+        a, b = clone.roots
+        assert (a.name, a.cat) == ("collective", "collective")
+        assert a.attrs == {"iteration": 2, "step": "shortcut"}
+        assert a.t0 == tr.roots[0].t0 and a.t1 == tr.roots[0].t1
+        (send,) = a.children
+        assert send.counters == {"bytes": 64}
+        assert send.attrs == {"dst": 1}
+        assert (b.name, b.t0) == ("cmd_wait", tr.roots[1].t0)
+
+    def test_round_trip_through_json(self):
+        import json as _json
+
+        tr = self._tracer()
+        wire = _json.loads(_json.dumps(tr.to_dicts()))
+        clone = Tracer.from_dicts(wire)
+        assert clone.to_dicts() == tr.to_dicts()
+
+    def test_shift_rebases_whole_subtree(self):
+        tr = self._tracer()
+        clone = Tracer.from_dicts(tr.to_dicts())
+        before = [(s.t0, s.t1) for s, _ in clone.walk()]
+        for root in clone.roots:
+            root.shift(-0.25)
+        after = [(s.t0, s.t1) for s, _ in clone.walk()]
+        assert after == [(t0 - 0.25, t1 - 0.25) for t0, t1 in before]
+
+    def test_open_span_round_trips_as_open(self):
+        """An open span serializes with ``t1=None`` and stays open after
+        the round trip (the exporter skips it; shift must not crash)."""
+        tr = Tracer(clock=FakeClock())
+        with tr.span("closed"):
+            pass
+        tr.span("open").__enter__()
+        clone = Tracer.from_dicts(tr.to_dicts())
+        states = {s.name: s.t1 for s in clone.roots}
+        assert states["closed"] is not None
+        assert states["open"] is None
+        clone.roots[1].shift(-1.0)  # open span: t0 moves, t1 stays None
+        assert clone.roots[1].t1 is None

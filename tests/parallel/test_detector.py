@@ -122,6 +122,23 @@ class TestClassification:
         d = s.as_dict()
         assert d == {"rank": 3, "state": "slow", "age": 0.5123, "beats": 7}
 
+    def test_transition_log_records_each_state_change_once(self):
+        pool = _FakePool(1)
+        det = FailureDetector(pool, stall_after=1.0)
+        now = time.monotonic()
+        det._last_sent[0] = now - 0.7
+        det.classify(0)  # ok -> slow
+        det.classify(0)  # still slow: no new entry
+        det._last_sent[0] = now - 5.0
+        det.classify(0)  # slow -> stalled
+        det._last_sent[0] = time.monotonic()
+        det.classify(0)  # stalled -> ok (recovered)
+        assert det.transitions == [
+            (0, "ok", "slow"),
+            (0, "slow", "stalled"),
+            (0, "stalled", "ok"),
+        ]
+
 
 class TestRealPool:
     def teardown_method(self):
@@ -169,3 +186,43 @@ class TestRealPool:
         snap = pool.detector.snapshot()
         assert snap[1].state == "dead"
         assert FailureDetector.dead_ranks(snap) == [1]
+
+    @pytest.mark.skipif(heartbeat_interval() <= 0,
+                        reason="heartbeats disabled via REPRO_PROC_HB_INTERVAL")
+    def test_real_sigstop_walks_ok_slow_stalled_then_recovered(self):
+        """The full lifecycle under real signals, asserted via the
+        transition log: ok → slow → stalled while SIGSTOPped, then a
+        recovery transition back to ok after SIGCONT."""
+        pool = get_pool(2)
+        det = FailureDetector(pool, stall_after=0.8)
+        # settle into a confirmed-ok state before stopping the worker
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if det.snapshot()[0].beats > 0:
+                break
+            time.sleep(0.05)
+        assert det.snapshot()[0].state == "ok"
+        pid = pool.procs[0].pid
+        os.kill(pid, signal.SIGSTOP)
+        try:
+            # poll through the decay so every intermediate state is seen
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if det.snapshot()[0].state == "stalled":
+                    break
+                time.sleep(0.05)
+            assert det.snapshot()[0].state == "stalled"
+        finally:
+            os.kill(pid, signal.SIGCONT)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if det.snapshot()[0].state == "ok":
+                break
+            time.sleep(0.05)
+        assert det.snapshot()[0].state == "ok"
+        r0 = [(old, new) for rank, old, new in det.transitions if rank == 0]
+        assert ("slow", "stalled") in r0
+        assert ("stalled", "ok") in r0, "recovery transition must be logged"
+        # the decay passed through slow on its way down
+        assert r0.index(("slow", "stalled")) > 0
+        assert r0[r0.index(("slow", "stalled")) - 1][1] == "slow"
